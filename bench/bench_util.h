@@ -1,0 +1,31 @@
+// Shared helpers for the table/figure reproduction binaries.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/cluster/experiments.h"
+
+namespace gms {
+
+// Every bench accepts --scale= and --seed=. The default scale of 0.25 keeps
+// a full bench run to seconds while preserving every memory-pressure ratio;
+// pass --scale=1 for paper-sized runs.
+inline PaperScale BenchScale(int argc, char** argv, double default_scale = 0.25) {
+  PaperScale s;
+  s.scale = FlagValue(argc, argv, "scale", default_scale);
+  s.seed = static_cast<uint64_t>(FlagValue(argc, argv, "seed", 1));
+  return s;
+}
+
+inline void BenchHeader(const std::string& title, const PaperScale& s) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("(scale=%.3g seed=%llu; pass --scale=1 for paper-sized runs)\n\n",
+              s.scale, static_cast<unsigned long long>(s.seed));
+}
+
+}  // namespace gms
+
+#endif  // BENCH_BENCH_UTIL_H_

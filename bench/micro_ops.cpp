@@ -1,0 +1,158 @@
+// Micro-operation benchmarks (google-benchmark): the hot paths of the GMS
+// implementation itself — event queue, frame table, directories, epoch math,
+// and the samplers the eviction targeting depends on.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/common/alias.h"
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/core/directory.h"
+#include "src/core/epoch.h"
+#include "src/mem/frame_table.h"
+#include "src/sim/simulator.h"
+
+namespace gms {
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  Simulator sim;
+  Rng rng(1);
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int i = 0; i < batch; i++) {
+      sim.After(static_cast<SimTime>(rng.NextBelow(1000000)), [] {});
+    }
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HashUid(benchmark::State& state) {
+  Uid uid = MakeUid(0x0a000001, 1, 42, 0);
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    uid.lo++;
+    sink += HashUid(uid);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_HashUid);
+
+void BM_FrameTableLookupTouch(benchmark::State& state) {
+  const uint32_t frames = static_cast<uint32_t>(state.range(0));
+  FrameTable table(frames);
+  for (uint32_t i = 0; i < frames; i++) {
+    table.Allocate(MakeUid(1, 0, 1, i), PageLocation::kLocal,
+                   static_cast<SimTime>(i));
+  }
+  Rng rng(2);
+  SimTime now = frames;
+  for (auto _ : state) {
+    Frame* f = table.Lookup(
+        MakeUid(1, 0, 1, static_cast<uint32_t>(rng.NextBelow(frames))));
+    table.Touch(f, now++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameTableLookupTouch)->Arg(1024)->Arg(8192);
+
+void BM_FrameTablePickVictim(benchmark::State& state) {
+  FrameTable table(8192);
+  for (uint32_t i = 0; i < 8192; i++) {
+    table.Allocate(MakeUid(1, 0, 1, i),
+                   i % 4 == 0 ? PageLocation::kGlobal : PageLocation::kLocal,
+                   static_cast<SimTime>(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.PickVictim(10000, 1.5));
+  }
+}
+BENCHMARK(BM_FrameTablePickVictim);
+
+void BM_GcdApplyAndPick(benchmark::State& state) {
+  GcdTable gcd;
+  Rng rng(3);
+  uint32_t i = 0;
+  for (auto _ : state) {
+    const Uid uid = MakeFileUid(NodeId{1}, 7, i % 65536);
+    gcd.Apply(GcdUpdate{uid, GcdUpdate::kAdd, NodeId{i % 8}, (i & 1) != 0});
+    benchmark::DoNotOptimize(gcd.Pick(uid, NodeId{0}));
+    i++;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GcdApplyAndPick);
+
+void BM_PodGcdNodeFor(benchmark::State& state) {
+  Pod pod;
+  std::vector<NodeId> live;
+  for (uint32_t i = 0; i < 20; i++) {
+    live.push_back(NodeId{i});
+  }
+  pod.Adopt(Pod::Build(1, live));
+  uint32_t off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pod.GcdNodeFor(MakeFileUid(NodeId{3}, 9, off++)));
+  }
+}
+BENCHMARK(BM_PodGcdNodeFor);
+
+void BM_AliasSample(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> weights(n);
+  Rng rng(4);
+  for (auto& w : weights) {
+    w = static_cast<double>(rng.NextBelow(1000));
+  }
+  AliasSampler sampler(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(rng));
+  }
+}
+BENCHMARK(BM_AliasSample)->Arg(8)->Arg(100);
+
+void BM_LogHistogramAdd(benchmark::State& state) {
+  LogHistogram hist;
+  Rng rng(5);
+  for (auto _ : state) {
+    hist.Add(rng.NextBelow(1ULL << 40));
+  }
+  benchmark::DoNotOptimize(hist.total());
+}
+BENCHMARK(BM_LogHistogramAdd);
+
+void BM_ComputeEpochPlan(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  EpochConfig config;
+  Rng rng(6);
+  std::vector<EpochSummary> summaries(n);
+  for (uint32_t i = 0; i < n; i++) {
+    summaries[i].node = NodeId{i};
+    summaries[i].evictions = 100;
+    for (int p = 0; p < 8192; p++) {
+      summaries[i].ages.Add(rng.NextBelow(1ULL << 36));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeEpochPlan(config, 1, n, summaries, Seconds(5), NodeId{0}));
+  }
+}
+BENCHMARK(BM_ComputeEpochPlan)->Arg(8)->Arg(100);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(1 << 20, 0.7);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+}  // namespace gms
+
+BENCHMARK_MAIN();

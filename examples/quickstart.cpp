@@ -1,0 +1,74 @@
+// Quickstart: build a 3-node GMS cluster, run a memory-hungry program on one
+// node, and watch the cluster's idle memory absorb the overflow.
+//
+//   $ ./quickstart
+//
+// The program's working set (6000 pages, ~47 MB) exceeds its node's memory
+// (2048 frames, 16 MB). Without GMS every overflow fault would cost a disk
+// read; with GMS the overflow lives in the two idle peers' memory, and
+// faults are served by ~1.5 ms getpage operations instead of ~14 ms disk
+// seeks.
+#include <cstdio>
+#include <memory>
+
+#include "src/cluster/cluster.h"
+#include "src/core/directory.h"
+#include "src/workload/patterns.h"
+
+int main() {
+  using namespace gms;
+
+  // 1. Describe the cluster: three nodes; node 0 is small, nodes 1-2 house
+  //    idle memory. Everything else (network, disks, GMS parameters) uses
+  //    calibrated defaults matching the paper's testbed.
+  ClusterConfig config;
+  config.num_nodes = 3;
+  config.policy = PolicyKind::kGms;
+  config.frames_per_node = {2048, 4096, 4096};
+  config.seed = 42;
+
+  Cluster cluster(config);
+  cluster.Start();  // installs the POD, elects node 0 first initiator
+
+  // 2. Attach a workload: uniform random reads over a 6000-page file on
+  //    node 0's own disk — a classic thrashing pattern.
+  const PageSet dataset{MakeFileUid(NodeId{0}, /*inode=*/1, 0), 6000};
+  WorkloadDriver& app = cluster.AddWorkload(
+      NodeId{0},
+      std::make_unique<UniformRandomPattern>(dataset, /*total_ops=*/40000,
+                                             /*compute=*/Microseconds(100)),
+      "thrash");
+  app.Start();
+
+  // 3. Run the simulation until the workload finishes.
+  if (!cluster.RunUntilWorkloadsDone()) {
+    std::printf("workload did not finish!\n");
+    return 1;
+  }
+
+  // 4. Report what happened.
+  const auto& os = cluster.node_os(NodeId{0}).stats();
+  const auto& svc = cluster.service(NodeId{0}).stats();
+  std::printf("elapsed (simulated):   %s\n", FormatTime(app.elapsed()).c_str());
+  std::printf("accesses:              %llu\n",
+              static_cast<unsigned long long>(os.accesses));
+  std::printf("local hits:            %llu\n",
+              static_cast<unsigned long long>(os.local_hits));
+  std::printf("faults:                %llu\n",
+              static_cast<unsigned long long>(os.faults));
+  std::printf("  served from cluster: %llu (getpage hits)\n",
+              static_cast<unsigned long long>(svc.getpage_hits));
+  std::printf("  served from disk:    %llu\n",
+              static_cast<unsigned long long>(os.disk_reads));
+  std::printf("mean fault time:       %.2f ms\n", os.fault_us.mean() / 1000.0);
+  std::printf("global pages on peers: %u + %u\n",
+              cluster.frames(NodeId{1}).global_count(),
+              cluster.frames(NodeId{2}).global_count());
+
+  // The punchline: after the cold start, nearly every fault hits cluster
+  // memory rather than disk.
+  const double hit_rate =
+      static_cast<double>(svc.getpage_hits) / static_cast<double>(os.faults);
+  std::printf("cluster-memory hit rate on faults: %.0f%%\n", hit_rate * 100);
+  return 0;
+}

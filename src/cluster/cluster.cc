@@ -1,0 +1,209 @@
+#include "src/cluster/cluster.h"
+
+#include <cassert>
+#include <utility>
+
+#include "src/core/messages.h"
+
+namespace gms {
+
+namespace {
+
+uint64_t MixSeed(uint64_t seed, uint64_t salt) {
+  uint64_t x = seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  return x;
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  assert(config_.num_nodes >= 1);
+  net_ = std::make_unique<Network>(&sim_, config_.num_nodes, config_.net);
+  nodes_.reserve(config_.num_nodes);
+  for (uint32_t i = 0; i < config_.num_nodes; i++) {
+    const NodeId id{i};
+    auto rt = std::make_unique<NodeRuntime>();
+    rt->cpu = std::make_unique<Cpu>(&sim_);
+    rt->disk = std::make_unique<Disk>(&sim_, config_.disk);
+    const uint32_t frames = i < config_.frames_per_node.size()
+                                ? config_.frames_per_node[i]
+                                : config_.frames;
+    rt->frames = std::make_unique<FrameTable>(frames);
+    rt->service = MakeService(id, *rt);
+    rt->os = std::make_unique<NodeOs>(&sim_, net_.get(), rt->cpu.get(),
+                                      rt->disk.get(), rt->frames.get(),
+                                      rt->service.get(), id,
+                                      config_.gms.costs, config_.node);
+    nodes_.push_back(std::move(rt));
+    AttachDispatcher(id);
+  }
+}
+
+Cluster::~Cluster() = default;
+
+std::unique_ptr<MemoryService> Cluster::MakeService(NodeId id,
+                                                    NodeRuntime& rt) {
+  const uint64_t seed = MixSeed(config_.seed, id.value + 1);
+  switch (config_.policy) {
+    case PolicyKind::kGms: {
+      auto agent = std::make_unique<GmsAgent>(&sim_, net_.get(), rt.cpu.get(),
+                                              rt.frames.get(), id, seed,
+                                              config_.gms);
+      rt.gms = agent.get();
+      return agent;
+    }
+    case PolicyKind::kNchance: {
+      auto agent = std::make_unique<NchanceAgent>(
+          &sim_, net_.get(), rt.cpu.get(), rt.frames.get(), id, seed,
+          config_.nchance);
+      rt.nchance = agent.get();
+      return agent;
+    }
+    case PolicyKind::kNone:
+      return std::make_unique<NullMemoryService>(&sim_, rt.frames.get());
+  }
+  return nullptr;
+}
+
+void Cluster::AttachDispatcher(NodeId id) {
+  net_->Attach(id, [this, id](Datagram dgram) {
+    NodeRuntime& rt = *nodes_[id.value];
+    if (dgram.type == kMsgNfsReadReq || dgram.type == kMsgNfsReadReply ||
+        dgram.type == kMsgWriteBack) {
+      rt.os->OnDatagram(std::move(dgram));
+      return;
+    }
+    if (rt.gms != nullptr) {
+      rt.gms->OnDatagram(std::move(dgram));
+    } else if (rt.nchance != nullptr) {
+      rt.nchance->OnDatagram(std::move(dgram));
+    }
+    // PolicyKind::kNone: non-NFS traffic is dropped.
+  });
+}
+
+void Cluster::Start() {
+  assert(!started_);
+  started_ = true;
+  std::vector<NodeId> live;
+  live.reserve(config_.num_nodes);
+  for (uint32_t i = 0; i < config_.num_nodes; i++) {
+    live.push_back(NodeId{i});
+  }
+  const PodTable pod = Pod::Build(1, live);
+  for (auto& rt : nodes_) {
+    if (rt->gms != nullptr) {
+      rt->gms->Start(pod, config_.master, config_.first_initiator);
+    } else if (rt->nchance != nullptr) {
+      rt->nchance->Start(pod);
+    }
+  }
+}
+
+GmsAgent* Cluster::gms_agent(NodeId node) { return nodes_.at(node.value)->gms; }
+
+NchanceAgent* Cluster::nchance_agent(NodeId node) {
+  return nodes_.at(node.value)->nchance;
+}
+
+WorkloadDriver& Cluster::AddWorkload(NodeId node,
+                                     std::unique_ptr<AccessPattern> pattern,
+                                     std::string name) {
+  NodeRuntime& rt = *nodes_.at(node.value);
+  workloads_.push_back(std::make_unique<WorkloadDriver>(
+      &sim_, rt.cpu.get(), rt.os.get(), std::move(pattern),
+      Rng(MixSeed(config_.seed, 0x10000 + workloads_.size())),
+      std::move(name)));
+  return *workloads_.back();
+}
+
+void Cluster::StartWorkloads() {
+  for (auto& w : workloads_) {
+    w->Start();
+  }
+}
+
+bool Cluster::AllWorkloadsFinished() const {
+  for (const auto& w : workloads_) {
+    if (w->started() && !w->finished()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Cluster::RunUntilWorkloadsDone(SimTime max_time) {
+  const SimTime deadline = sim_.now() + max_time;
+  // Chunked advance: cheap finish checks without per-event callbacks.
+  while (!AllWorkloadsFinished() && sim_.now() < deadline) {
+    SimTime chunk = Milliseconds(50);
+    if (sim_.now() + chunk > deadline) {
+      chunk = deadline - sim_.now();
+    }
+    sim_.RunFor(chunk);
+  }
+  return AllWorkloadsFinished();
+}
+
+void Cluster::CrashNode(NodeId node) {
+  NodeRuntime& rt = *nodes_.at(node.value);
+  net_->SetNodeUp(node, false);
+  if (rt.gms != nullptr) {
+    rt.gms->SetAlive(false);
+  } else if (rt.nchance != nullptr) {
+    rt.nchance->SetAlive(false);
+  }
+  rt.frames->Reset();
+}
+
+void Cluster::RestartNode(NodeId node) {
+  NodeRuntime& rt = *nodes_.at(node.value);
+  net_->SetNodeUp(node, true);
+  if (config_.policy == PolicyKind::kGms) {
+    // Fresh agent: a rebooted kernel has no directory or epoch state.
+    auto agent = std::make_unique<GmsAgent>(
+        &sim_, net_.get(), rt.cpu.get(), rt.frames.get(), node,
+        MixSeed(config_.seed, 0x20000 + node.value), config_.gms);
+    rt.gms = agent.get();
+    rt.service = std::move(agent);
+    rt.os->set_service(rt.service.get());
+    std::vector<NodeId> self_only{node};
+    rt.gms->Start(Pod::Build(0, self_only), config_.master, kInvalidNode);
+    rt.gms->Join(config_.master);
+  } else if (config_.policy == PolicyKind::kNchance) {
+    rt.nchance->SetAlive(true);
+  }
+}
+
+Cluster::Totals Cluster::totals() const {
+  Totals t;
+  for (uint32_t i = 0; i < config_.num_nodes; i++) {
+    const NodeRuntime& rt = *nodes_[i];
+    const NodeOsStats& os = rt.os->stats();
+    t.accesses += os.accesses;
+    t.local_hits += os.local_hits;
+    t.faults += os.faults;
+    t.disk_reads += os.disk_reads + os.nfs_server_disk_reads;
+    t.disk_writes += os.disk_writes;
+    const MemoryServiceStats& svc = rt.service->stats();
+    t.getpage_hits += svc.getpage_hits;
+    t.putpages_sent += svc.putpages_sent;
+  }
+  t.net_messages = net_->total_traffic().events;
+  t.net_bytes = net_->total_traffic().bytes;
+  return t;
+}
+
+void Cluster::ResetStats() {
+  for (auto& rt : nodes_) {
+    rt->os->ResetStats();
+    rt->service->ResetStats();
+    rt->disk->ResetStats();
+  }
+  net_->ResetStats();
+}
+
+}  // namespace gms

@@ -1,0 +1,135 @@
+// Cluster assembly: builds a complete simulated cluster — network, one CPU,
+// disk, frame table, memory-policy agent and node/OS layer per node — from a
+// declarative config, wires the per-node message dispatch, and provides the
+// run/crash/metrics controls the experiments use.
+#ifndef SRC_CLUSTER_CLUSTER_H_
+#define SRC_CLUSTER_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/workload_driver.h"
+#include "src/core/gms_agent.h"
+#include "src/core/memory_service.h"
+#include "src/disk/disk.h"
+#include "src/mem/frame_table.h"
+#include "src/nchance/nchance_agent.h"
+#include "src/net/network.h"
+#include "src/node/node_os.h"
+#include "src/sim/cpu.h"
+#include "src/sim/simulator.h"
+#include "src/workload/access_pattern.h"
+
+namespace gms {
+
+enum class PolicyKind {
+  kNone,     // native OSF/1: no cluster memory
+  kGms,      // the paper's algorithm
+  kNchance,  // N-chance forwarding baseline
+};
+
+struct ClusterConfig {
+  uint32_t num_nodes = 2;
+  PolicyKind policy = PolicyKind::kGms;
+  uint64_t seed = 1;
+
+  // Frames per node; 8192 = the paper's 64 MB workstations. Override single
+  // nodes via frames_per_node.
+  uint32_t frames = 8192;
+  std::vector<uint32_t> frames_per_node;  // empty = uniform
+
+  NetworkParams net;
+  DiskParams disk;
+  NodeParams node;
+  GmsConfig gms;
+  NchanceConfig nchance;
+
+  NodeId master{0};
+  NodeId first_initiator{0};
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Installs the initial membership and starts the agents. Call once, before
+  // running.
+  void Start();
+
+  // --- access to parts ---
+  Simulator& sim() { return sim_; }
+  Network& net() { return *net_; }
+  uint32_t num_nodes() const { return config_.num_nodes; }
+  Cpu& cpu(NodeId node) { return *nodes_.at(node.value)->cpu; }
+  Disk& disk(NodeId node) { return *nodes_.at(node.value)->disk; }
+  FrameTable& frames(NodeId node) { return *nodes_.at(node.value)->frames; }
+  NodeOs& node_os(NodeId node) { return *nodes_.at(node.value)->os; }
+  MemoryService& service(NodeId node) { return *nodes_.at(node.value)->service; }
+  // Typed agent accessors; nullptr when the policy does not match.
+  GmsAgent* gms_agent(NodeId node);
+  NchanceAgent* nchance_agent(NodeId node);
+
+  // --- workloads ---
+  WorkloadDriver& AddWorkload(NodeId node, std::unique_ptr<AccessPattern> pattern,
+                              std::string name);
+  const std::vector<std::unique_ptr<WorkloadDriver>>& workloads() const {
+    return workloads_;
+  }
+  void StartWorkloads();
+  bool AllWorkloadsFinished() const;
+  // Runs the simulation until every workload finishes (or max_time elapses).
+  // Returns true when all finished.
+  bool RunUntilWorkloadsDone(SimTime max_time = Seconds(36000));
+
+  // --- faults/membership ---
+  // Crashes a node: network down, agent stopped, memory contents lost.
+  void CrashNode(NodeId node);
+  // Reboots a crashed node with empty memory and a fresh agent, which joins
+  // via the master (GMS policy only).
+  void RestartNode(NodeId node);
+
+  // --- metrics ---
+  struct Totals {
+    uint64_t accesses = 0;
+    uint64_t local_hits = 0;
+    uint64_t faults = 0;
+    uint64_t getpage_hits = 0;
+    uint64_t disk_reads = 0;
+    uint64_t disk_writes = 0;
+    uint64_t putpages_sent = 0;
+    uint64_t net_messages = 0;
+    uint64_t net_bytes = 0;
+  };
+  Totals totals() const;
+  void ResetStats();
+
+ private:
+  struct NodeRuntime {
+    std::unique_ptr<Cpu> cpu;
+    std::unique_ptr<Disk> disk;
+    std::unique_ptr<FrameTable> frames;
+    std::unique_ptr<MemoryService> service;
+    GmsAgent* gms = nullptr;          // view into `service` when policy == kGms
+    NchanceAgent* nchance = nullptr;  // view when policy == kNchance
+    std::unique_ptr<NodeOs> os;
+  };
+
+  std::unique_ptr<MemoryService> MakeService(NodeId id, NodeRuntime& rt);
+  void AttachDispatcher(NodeId id);
+
+  ClusterConfig config_;
+  Simulator sim_;
+  std::unique_ptr<Network> net_;
+  std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+  std::vector<std::unique_ptr<WorkloadDriver>> workloads_;
+  bool started_ = false;
+};
+
+}  // namespace gms
+
+#endif  // SRC_CLUSTER_CLUSTER_H_

@@ -1,0 +1,64 @@
+#include "src/cluster/workload_driver.h"
+
+#include <utility>
+
+namespace gms {
+
+WorkloadDriver::WorkloadDriver(Simulator* sim, Cpu* cpu, NodeOs* node,
+                               std::unique_ptr<AccessPattern> pattern, Rng rng,
+                               std::string name)
+    : sim_(sim), cpu_(cpu), node_(node), pattern_(std::move(pattern)),
+      rng_(rng), name_(std::move(name)) {}
+
+void WorkloadDriver::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  started_at_ = sim_->now();
+  Step();
+}
+
+SimTime WorkloadDriver::elapsed() const {
+  if (!started_) {
+    return 0;
+  }
+  return (finished_ ? finished_at_ : sim_->now()) - started_at_;
+}
+
+void WorkloadDriver::Resume() {
+  paused_ = false;
+  if (parked_ && !finished_) {
+    parked_ = false;
+    Step();
+  }
+}
+
+void WorkloadDriver::Step() {
+  if (stopped_ || finished_) {
+    finished_ = true;
+    if (finished_at_ == 0) {
+      finished_at_ = sim_->now();
+    }
+    return;
+  }
+  if (paused_) {
+    parked_ = true;
+    return;
+  }
+  std::optional<AccessOp> op = pattern_->Next(rng_);
+  if (!op.has_value()) {
+    finished_ = true;
+    finished_at_ = sim_->now();
+    return;
+  }
+  cpu_->Submit(op->compute, CpuCategory::kWorkload, Cpu::kPriorityUser,
+               [this, op = *op] {
+    node_->Access(op.uid, op.write, [this] {
+      ops_++;
+      Step();
+    });
+  });
+}
+
+}  // namespace gms

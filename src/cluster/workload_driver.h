@@ -1,0 +1,70 @@
+// Drives an access pattern against a node: the simulation analogue of a
+// running application process. Compute quanta run at user priority on the
+// node's CPU (so kernel-side GMS service work can interleave), then the
+// access is issued and the next step waits for it to complete.
+#ifndef SRC_CLUSTER_WORKLOAD_DRIVER_H_
+#define SRC_CLUSTER_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/node/node_os.h"
+#include "src/sim/cpu.h"
+#include "src/sim/simulator.h"
+#include "src/workload/access_pattern.h"
+
+namespace gms {
+
+class WorkloadDriver {
+ public:
+  WorkloadDriver(Simulator* sim, Cpu* cpu, NodeOs* node,
+                 std::unique_ptr<AccessPattern> pattern, Rng rng,
+                 std::string name);
+
+  void Start();
+  // Stops issuing new operations after the in-flight one completes.
+  void Stop() { stopped_ = true; }
+
+  // Pause/Resume: a paused driver parks after the in-flight operation and
+  // resumes from the same point later (the Figure 8 idle/non-idle role
+  // swaps). Pausing a finished driver is a no-op.
+  void Pause() { paused_ = true; }
+  void Resume();
+  bool paused() const { return paused_; }
+
+  bool started() const { return started_; }
+  bool finished() const { return finished_; }
+  uint64_t ops() const { return ops_; }
+  const std::string& name() const { return name_; }
+  SimTime started_at() const { return started_at_; }
+  SimTime finished_at() const { return finished_at_; }
+
+  // Elapsed run time: completion time for finished workloads, time-so-far
+  // for running ones.
+  SimTime elapsed() const;
+
+ private:
+  void Step();
+
+  Simulator* sim_;
+  Cpu* cpu_;
+  NodeOs* node_;
+  std::unique_ptr<AccessPattern> pattern_;
+  Rng rng_;
+  std::string name_;
+
+  bool started_ = false;
+  bool stopped_ = false;
+  bool finished_ = false;
+  bool paused_ = false;
+  bool parked_ = false;
+  uint64_t ops_ = 0;
+  SimTime started_at_ = 0;
+  SimTime finished_at_ = 0;
+};
+
+}  // namespace gms
+
+#endif  // SRC_CLUSTER_WORKLOAD_DRIVER_H_

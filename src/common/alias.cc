@@ -1,0 +1,56 @@
+#include "src/common/alias.h"
+
+#include <cassert>
+
+namespace gms {
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  double sum = 0;
+  for (double w : weights) {
+    assert(w >= 0);
+    sum += w;
+  }
+  if (weights.empty() || sum <= 0) {
+    return;  // Leaves the sampler empty.
+  }
+  const size_t n = weights.size();
+  prob_.resize(n);
+  alias_.resize(n);
+
+  std::vector<double> scaled(n);
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    scaled[i] = weights[i] * static_cast<double>(n) / sum;
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (uint32_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+size_t AliasSampler::Sample(Rng& rng) const {
+  assert(!empty());
+  const size_t i = static_cast<size_t>(rng.NextBelow(prob_.size()));
+  return rng.NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace gms

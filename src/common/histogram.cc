@@ -1,0 +1,86 @@
+#include "src/common/histogram.h"
+
+#include <bit>
+#include <limits>
+
+namespace gms {
+
+// Bucket layout (quarter-octave resolution above 4*kUnit):
+//   idx 0          : [0, unit)
+//   idx 1          : [unit, 2*unit)
+//   idx 2, 3       : [2u, 3u), [3u, 4u)
+//   idx 4 + 4e + s : [(4+s) * u * 2^e, (5+s) * u * 2^e)   e >= 0, s in 0..3
+// Four sub-buckets per octave bound the relative error of a bucket lower
+// bound to 25%, which keeps the epoch MinAge threshold honest (a factor-two
+// error would make GMS discard pages well younger than the true M-th-oldest
+// age).
+int LogHistogram::BucketIndex(uint64_t value) {
+  const uint64_t scaled = value / kUnit;
+  if (scaled < 1) {
+    return 0;
+  }
+  if (scaled < 4) {
+    return static_cast<int>(scaled);  // 1, 2, 3
+  }
+  const int e = std::bit_width(scaled) - 3;  // scaled in [4*2^e, 8*2^e)
+  const int sub = static_cast<int>((scaled >> e) & 3);
+  const int idx = 4 + 4 * e + sub;
+  return idx >= kNumBuckets ? kNumBuckets - 1 : idx;
+}
+
+uint64_t LogHistogram::BucketLowerBound(int i) {
+  if (i <= 0) {
+    return 0;
+  }
+  if (i < 4) {
+    return kUnit * static_cast<uint64_t>(i);
+  }
+  const int e = (i - 4) / 4;
+  const uint64_t sub = static_cast<uint64_t>((i - 4) % 4);
+  return kUnit * ((4 + sub) << e);
+}
+
+void LogHistogram::Add(uint64_t value, uint64_t count) {
+  buckets_[static_cast<size_t>(BucketIndex(value))] += count;
+  total_ += count;
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  for (int i = 0; i < kNumBuckets; i++) {
+    buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  }
+  total_ += other.total_;
+}
+
+void LogHistogram::Reset() {
+  buckets_.fill(0);
+  total_ = 0;
+}
+
+uint64_t LogHistogram::CountAtOrAbove(uint64_t threshold) const {
+  uint64_t count = 0;
+  for (int i = 0; i < kNumBuckets; i++) {
+    if (BucketLowerBound(i) >= threshold) {
+      count += buckets_[static_cast<size_t>(i)];
+    }
+  }
+  return count;
+}
+
+uint64_t LogHistogram::ThresholdForCount(uint64_t want) const {
+  if (want == 0) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  // Walk thresholds from the oldest bucket downward; the first threshold
+  // whose tail population reaches `want` is the answer.
+  uint64_t tail = 0;
+  for (int i = kNumBuckets - 1; i >= 1; i--) {
+    tail += buckets_[static_cast<size_t>(i)];
+    if (tail >= want) {
+      return BucketLowerBound(i);
+    }
+  }
+  return 0;
+}
+
+}  // namespace gms

@@ -1,0 +1,34 @@
+// Minimal leveled logging for library diagnostics.
+//
+// Logging is off by default (kWarning) so simulations stay quiet; tests and
+// examples can raise the level. Formatting is printf-style to avoid iostream
+// overhead inside the event loop.
+#ifndef SRC_COMMON_LOG_H_
+#define SRC_COMMON_LOG_H_
+
+#include <cstdarg>
+
+namespace gms {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+void LogMessage(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace gms
+
+#define GMS_LOG_DEBUG(...) ::gms::LogMessage(::gms::LogLevel::kDebug, __VA_ARGS__)
+#define GMS_LOG_INFO(...) ::gms::LogMessage(::gms::LogLevel::kInfo, __VA_ARGS__)
+#define GMS_LOG_WARN(...) ::gms::LogMessage(::gms::LogLevel::kWarning, __VA_ARGS__)
+#define GMS_LOG_ERROR(...) ::gms::LogMessage(::gms::LogLevel::kError, __VA_ARGS__)
+
+#endif  // SRC_COMMON_LOG_H_

@@ -1,0 +1,31 @@
+// Cluster node identity.
+#ifndef SRC_COMMON_NODE_ID_H_
+#define SRC_COMMON_NODE_ID_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace gms {
+
+// Dense index of a node within a cluster configuration. The paper identifies
+// nodes by IP address; the simulation uses small dense ids and keeps the
+// IP-address analogy inside the page UID (see src/common/uid.h).
+struct NodeId {
+  uint32_t value = UINT32_MAX;
+
+  constexpr bool valid() const { return value != UINT32_MAX; }
+  constexpr auto operator<=>(const NodeId&) const = default;
+};
+
+inline constexpr NodeId kInvalidNode{};
+
+}  // namespace gms
+
+template <>
+struct std::hash<gms::NodeId> {
+  size_t operator()(const gms::NodeId& id) const noexcept {
+    return std::hash<uint32_t>{}(id.value);
+  }
+};
+
+#endif  // SRC_COMMON_NODE_ID_H_

@@ -1,0 +1,116 @@
+#include "src/common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace gms {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling over the largest multiple of bound.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // Full 64-bit range.
+    return static_cast<int64_t>(Next());
+  }
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+double Rng::NextExponential(double mean) {
+  assert(mean > 0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u == 0.0);
+  return -mean * std::log(u);
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+  assert(n >= 1);
+  assert(theta > 0 && theta < 1);
+  zetan_ = Zeta(n, theta);
+  zeta2_ = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  const uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+}  // namespace gms

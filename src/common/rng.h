@@ -1,0 +1,71 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the simulation (workload generators, the
+// probabilistic eviction targeting of section 3.2, N-chance's random node
+// choice) draws from an explicitly-seeded Rng so that whole-cluster runs are
+// bit-reproducible. The generator is xoshiro256**, seeded via splitmix64.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gms {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  // Uniform over all 64-bit values.
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0. Uses rejection to avoid modulo
+  // bias.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Bernoulli trial with probability p of returning true.
+  bool NextBool(double p);
+
+  // Exponentially distributed with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Derives an independent child generator; used to give each node/workload
+  // its own stream from a single experiment seed.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf(theta) sampler over [0, n). theta in (0, 1) skews toward low ranks;
+// theta -> 0 approaches uniform. Uses the standard acceptance method of
+// Gray et al. with precomputed constants, O(1) per sample.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+}  // namespace gms
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,52 @@
+// Streaming statistics accumulators used by metrics collection.
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace gms {
+
+// Count / mean / variance / min / max over a stream of samples (Welford's
+// online algorithm; numerically stable).
+class StatAccumulator {
+ public:
+  void Add(double x);
+  void Merge(const StatAccumulator& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Monotonic event counter with byte accounting; used for network traffic and
+// page-operation rates.
+struct Counter {
+  uint64_t events = 0;
+  uint64_t bytes = 0;
+
+  void Add(uint64_t byte_count) {
+    events++;
+    bytes += byte_count;
+  }
+  void Merge(const Counter& o) {
+    events += o.events;
+    bytes += o.bytes;
+  }
+};
+
+}  // namespace gms
+
+#endif  // SRC_COMMON_STATS_H_

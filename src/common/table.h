@@ -1,0 +1,34 @@
+// Plain-text table rendering for the benchmark binaries. Each bench prints
+// the same rows/series as the corresponding paper table or figure.
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gms {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Cells are stringified with reasonable defaults; use AddRow with
+  // pre-formatted strings when precise formatting matters.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: first cell is a label, the rest are numbers rendered with
+  // the given precision.
+  void AddNumericRow(const std::string& label, const std::vector<double>& values,
+                     int precision = 2);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gms
+
+#endif  // SRC_COMMON_TABLE_H_

@@ -1,0 +1,22 @@
+#include "src/common/time.h"
+
+#include <cstdio>
+
+namespace gms {
+
+std::string FormatTime(SimTime t) {
+  char buf[64];
+  double v = static_cast<double>(t);
+  if (t < kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(t));
+  } else if (t < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", v / kMicrosecond);
+  } else if (t < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", v / kMillisecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", v / kSecond);
+  }
+  return buf;
+}
+
+}  // namespace gms

@@ -1,0 +1,16 @@
+#include "src/common/uid.h"
+
+#include <cstdio>
+
+namespace gms {
+
+std::string Uid::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "uid{ip=%u.%u.%u.%u part=%u ino=%llu off=%u}",
+                (ip() >> 24) & 0xff, (ip() >> 16) & 0xff, (ip() >> 8) & 0xff,
+                ip() & 0xff, partition(),
+                static_cast<unsigned long long>(inode()), page_offset());
+  return buf;
+}
+
+}  // namespace gms

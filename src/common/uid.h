@@ -1,0 +1,77 @@
+// Cluster-wide unique page identifiers.
+//
+// The paper (section 4.1) identifies the contents of a page by the file
+// blocks backing it: "the IP address of the node backing that page, the disk
+// partition on that node, the inode number, and the offset within the inode",
+// packed into a 128-bit UID. We reproduce that layout exactly:
+//
+//   [ ip:32 | partition:16 | inode:48 | page_offset:32 ]
+//
+// Anonymous (VM) pages are backed by a per-node swap partition, so they get
+// UIDs too; shared NFS pages are backed by the file server's ip/inode and are
+// therefore identical UIDs on every client, which is what makes cluster-wide
+// duplicate detection possible.
+#ifndef SRC_COMMON_UID_H_
+#define SRC_COMMON_UID_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace gms {
+
+struct Uid {
+  uint64_t hi = 0;  // [ ip:32 | partition:16 | inode_hi:16 ]
+  uint64_t lo = 0;  // [ inode_lo:32 | page_offset:32 ]
+
+  constexpr auto operator<=>(const Uid&) const = default;
+
+  constexpr bool valid() const { return hi != 0 || lo != 0; }
+
+  constexpr uint32_t ip() const { return static_cast<uint32_t>(hi >> 32); }
+  constexpr uint16_t partition() const { return static_cast<uint16_t>(hi >> 16); }
+  constexpr uint64_t inode() const {
+    return ((hi & 0xffff) << 32) | (lo >> 32);
+  }
+  constexpr uint32_t page_offset() const { return static_cast<uint32_t>(lo); }
+
+  std::string ToString() const;
+};
+
+// Builds a UID from its backing-store coordinates. `inode` must fit in 48
+// bits; `offset` is a page index within the file (not a byte offset).
+constexpr Uid MakeUid(uint32_t ip, uint16_t partition, uint64_t inode,
+                      uint32_t page_offset) {
+  Uid u;
+  u.hi = (static_cast<uint64_t>(ip) << 32) |
+         (static_cast<uint64_t>(partition) << 16) | ((inode >> 32) & 0xffff);
+  u.lo = (inode << 32) | page_offset;
+  return u;
+}
+
+inline constexpr Uid kInvalidUid{};
+
+// 64-bit mix of the full 128 bits; used by the GCD hash partitioning and by
+// std::hash. Stable across runs (required for deterministic simulation).
+constexpr uint64_t HashUid(const Uid& u) {
+  // splitmix64-style finalizer over both words.
+  uint64_t x = u.hi ^ (u.lo * 0x9e3779b97f4a7c15ULL);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace gms
+
+template <>
+struct std::hash<gms::Uid> {
+  size_t operator()(const gms::Uid& u) const noexcept {
+    return static_cast<size_t>(gms::HashUid(u));
+  }
+};
+
+#endif  // SRC_COMMON_UID_H_

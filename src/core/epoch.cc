@@ -1,0 +1,82 @@
+#include "src/core/epoch.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gms {
+
+EpochPlan ComputeEpochPlan(const EpochConfig& config, uint64_t epoch,
+                           uint32_t num_nodes,
+                           const std::vector<EpochSummary>& summaries,
+                           SimTime last_duration, NodeId fallback_initiator) {
+  EpochPlan plan;
+  plan.epoch = epoch;
+  plan.weights.assign(num_nodes, 0.0);
+  plan.next_initiator = fallback_initiator;
+
+  LogHistogram merged;
+  uint64_t total_evictions = 0;
+  for (const EpochSummary& s : summaries) {
+    merged.Merge(s.ages);
+    total_evictions += s.evictions;
+  }
+
+  // Replacement-rate estimate (pages/second), floored so a quiet cluster
+  // still plans a sane budget.
+  const double last_secs =
+      last_duration > 0 ? ToSeconds(last_duration) : ToSeconds(config.t_max);
+  const double rate =
+      std::max(static_cast<double>(total_evictions) / last_secs, 16.0);
+
+  // Old-page supply: pages (plus free frames, already folded into the
+  // summaries at free_frame_age) at least minimally idle.
+  const uint64_t supply =
+      merged.CountAtOrAbove(static_cast<uint64_t>(config.min_useful_age));
+  if (supply < config.m_min) {
+    // "When the number of old pages in the network is too small, indicating
+    // that all nodes are actively using their memory, MinAge is set to 0."
+    plan.duration = config.t_min;
+    plan.budget = config.m_min;
+    return plan;
+  }
+
+  // T: long when the supply would outlast the demand, short when old pages
+  // are scarce or churn is high.
+  const double supply_secs = static_cast<double>(supply) / rate;
+  plan.duration = std::clamp(static_cast<SimTime>(supply_secs * kSecond / 4),
+                             config.t_min, config.t_max);
+
+  // M: predicted demand for the epoch, with headroom, bounded by supply
+  // (supply >= m_min here, so the clamp bounds are ordered).
+  const uint64_t demand = static_cast<uint64_t>(
+      rate * ToSeconds(plan.duration) * config.budget_headroom);
+  const uint64_t m_cap = std::min<uint64_t>(config.m_max, supply);
+  plan.budget = std::clamp(demand, std::min(config.m_min, m_cap), m_cap);
+
+  // MinAge: the threshold selecting the M globally-oldest pages.
+  const uint64_t threshold = merged.ThresholdForCount(plan.budget);
+  plan.min_age = static_cast<SimTime>(threshold);
+  if (plan.min_age < config.min_useful_age) {
+    // Too few old pages: every node is actively using its memory. Evictions
+    // go to disk (MinAge = 0 regime) and nobody gets weight.
+    plan.min_age = 0;
+    return plan;
+  }
+
+  for (const EpochSummary& s : summaries) {
+    if (s.node.value >= num_nodes) {
+      continue;
+    }
+    plan.weights[s.node.value] = static_cast<double>(
+        s.ages.CountAtOrAbove(static_cast<uint64_t>(plan.min_age)));
+  }
+  for (uint32_t i = 0; i < num_nodes; i++) {
+    if (plan.weights[i] > plan.max_weight) {
+      plan.max_weight = plan.weights[i];
+      plan.next_initiator = NodeId{i};
+    }
+  }
+  return plan;
+}
+
+}  // namespace gms

@@ -1,0 +1,72 @@
+// Epoch parameter computation (section 3.2).
+//
+// At the start of each epoch the initiator merges per-node age summaries and
+// derives: MinAge (the age threshold above which evicted pages go to disk or
+// are discarded rather than forwarded), the replacement budget M, the epoch
+// duration T, the per-node weights w_i (node i holds w_i of the cluster's M
+// oldest pages), and the next initiator (the node with the largest w_i).
+//
+// The paper gives the decision procedure qualitatively: "the more old pages
+// there are in the network, the longer T should be (and the larger M and
+// MinAge are); similarly, if the expected discard rate is low, T can be
+// larger as well. When the number of old pages in the network is too small
+// ... MinAge is set to 0, so that pages are always discarded or written to
+// disk rather than forwarded." ComputeEpochPlan implements exactly that
+// shape, with the constants gathered in EpochConfig.
+//
+// Pure functions: no clock, no I/O — fully unit-testable.
+#ifndef SRC_CORE_EPOCH_H_
+#define SRC_CORE_EPOCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/node_id.h"
+#include "src/common/time.h"
+#include "src/core/messages.h"
+
+namespace gms {
+
+struct EpochConfig {
+  SimTime t_min = Seconds(2);
+  SimTime t_max = Seconds(10);
+  uint64_t m_min = 64;
+  uint64_t m_max = 1 << 20;
+  // A computed MinAge below this is treated as "the cluster has no usefully
+  // idle pages": MinAge becomes 0 and all evictions go to disk.
+  SimTime min_useful_age = Milliseconds(100);
+  // Headroom multiplier on the predicted replacement demand when sizing M.
+  double budget_headroom = 1.0;
+  // Multiplier applied to global pages' ages before summarizing, so they are
+  // replaced in preference to local pages of similar age (section 3.1).
+  double global_age_boost = 1.5;
+  // Age credited to a free frame in the summary: a free frame is idler than
+  // any used page.
+  SimTime free_frame_age = Seconds(3600);
+  // How long the initiator waits for stragglers before computing the plan.
+  SimTime summary_timeout = Milliseconds(500);
+};
+
+struct EpochPlan {
+  uint64_t epoch = 0;
+  SimTime min_age = 0;
+  uint64_t budget = 0;  // M
+  SimTime duration = 0;  // T
+  std::vector<double> weights;  // dense by NodeId.value
+  NodeId next_initiator;
+  double max_weight = 0;
+};
+
+// Computes the plan for epoch `epoch` from the received summaries.
+// `num_nodes` sizes the dense weight vector. `last_duration` is the measured
+// length of the previous epoch (used with the summaries' eviction counts to
+// estimate the cluster replacement rate); pass 0 for the first epoch.
+// `fallback_initiator` is used when no node has any weight.
+EpochPlan ComputeEpochPlan(const EpochConfig& config, uint64_t epoch,
+                           uint32_t num_nodes,
+                           const std::vector<EpochSummary>& summaries,
+                           SimTime last_duration, NodeId fallback_initiator);
+
+}  // namespace gms
+
+#endif  // SRC_CORE_EPOCH_H_

@@ -1,0 +1,1045 @@
+#include "src/core/gms_agent.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace gms {
+
+GmsAgent::GmsAgent(Simulator* sim, Network* net, Cpu* cpu, FrameTable* frames,
+                   NodeId self, uint64_t seed, GmsConfig config)
+    : sim_(sim), net_(net), cpu_(cpu), frames_(frames), self_(self),
+      config_(config), rng_(seed) {}
+
+void GmsAgent::Start(const PodTable& pod, NodeId master, NodeId first_initiator) {
+  assert(!alive_);
+  alive_ = true;
+  pod_.Adopt(pod);
+  master_ = master;
+  view_ = EpochView{};
+  view_.next_initiator = first_initiator;
+  if (first_initiator == self_) {
+    sim_->After(config_.first_epoch_delay, [this] {
+      if (alive_) {
+        StartEpochAsInitiator();
+      }
+    });
+  }
+  if (config_.enable_heartbeats && master_ == self_) {
+    hb_timer_ = sim_->ScheduleTimer(config_.heartbeat_interval,
+                                    [this] { SendHeartbeats(); });
+  }
+  if (config_.enable_heartbeats && config_.enable_master_election &&
+      master_ != self_) {
+    ArmMasterWatchdog();
+  }
+}
+
+void GmsAgent::SetAlive(bool alive) {
+  if (alive_ == alive) {
+    return;
+  }
+  alive_ = alive;
+  if (!alive) {
+    sim_->CancelTimer(epoch_timer_);
+    sim_->CancelTimer(collect_timer_);
+    sim_->CancelTimer(hb_timer_);
+    sim_->CancelTimer(master_watchdog_);
+    epoch_timer_ = collect_timer_ = hb_timer_ = master_watchdog_ = 0;
+    for (auto& [id, pending] : pending_gets_) {
+      sim_->CancelTimer(pending.timer);
+    }
+    pending_gets_.clear();
+    collecting_ = false;
+  }
+}
+
+void GmsAgent::Join(NodeId master) {
+  master_ = master;
+  alive_ = true;
+  Send(master, kMsgJoinReq, config_.costs.small_message_bytes(),
+       JoinReq{self_});
+}
+
+void GmsAgent::Send(NodeId dst, uint32_t type, uint32_t bytes,
+                    std::any payload) {
+  net_->Send(Datagram{self_, dst, bytes, type, std::move(payload)});
+}
+
+SimTime GmsAgent::EffectiveAge(const Frame& frame) const {
+  const SimTime age = sim_->now() - frame.last_access;
+  if (frame.location == PageLocation::kGlobal) {
+    return static_cast<SimTime>(static_cast<double>(age) *
+                                config_.epoch.global_age_boost);
+  }
+  return age;
+}
+
+// ---------------------------------------------------------------------------
+// getpage — requester side
+// ---------------------------------------------------------------------------
+
+void GmsAgent::GetPage(const Uid& uid, GetPageCallback callback) {
+  stats_.getpage_attempts++;
+  const uint64_t op_id = next_op_id_++;
+  PendingGet pending;
+  pending.uid = uid;
+  pending.callback = std::move(callback);
+  pending.timer = sim_->ScheduleTimer(config_.getpage_timeout, [this, op_id] {
+    stats_.getpage_timeouts++;
+    ResolveGet(op_id, GetPageResult{});
+  });
+  pending_gets_.emplace(op_id, std::move(pending));
+
+  // Request generation: UID hash + POD lookup (Table 1, "Request
+  // Generation"; 7 us when the GCD turns out to be local).
+  cpu_->SubmitKernel(config_.costs.get_request_local, CpuCategory::kFault,
+                     [this, uid, op_id] {
+    if (!alive_) {
+      return;
+    }
+    const NodeId gcd_node = pod_.GcdNodeFor(uid);
+    if (gcd_node == self_) {
+      LookupInGcd(uid, self_, op_id);
+      return;
+    }
+    // Marshal + transmit the request to the remote GCD node.
+    cpu_->SubmitKernel(config_.costs.get_request_remote_extra,
+                       CpuCategory::kFault, [this, uid, op_id, gcd_node] {
+      if (!alive_) {
+        return;
+      }
+      Send(gcd_node, kMsgGetPageReq, config_.costs.small_message_bytes(),
+           GetPageReq{uid, self_, op_id});
+    });
+  });
+}
+
+void GmsAgent::ResolveGet(uint64_t op_id, GetPageResult result) {
+  auto it = pending_gets_.find(op_id);
+  if (it == pending_gets_.end()) {
+    return;  // late reply after a timeout already resolved it
+  }
+  sim_->CancelTimer(it->second.timer);
+  GetPageCallback callback = std::move(it->second.callback);
+  pending_gets_.erase(it);
+  if (result.hit) {
+    stats_.getpage_hits++;
+  } else {
+    stats_.getpage_misses++;
+  }
+  callback(result);
+}
+
+// Runs on the node storing the GCD entry (which may be the requester itself
+// for private pages). `requester == self_` means the lookup cost belongs to
+// the local fault, not to serving a peer.
+void GmsAgent::LookupInGcd(const Uid& uid, NodeId requester, uint64_t op_id) {
+  const CpuCategory category =
+      requester == self_ ? CpuCategory::kFault : CpuCategory::kService;
+  cpu_->SubmitKernel(config_.costs.gcd_lookup, category,
+                     [this, uid, requester, op_id, category] {
+    if (!alive_) {
+      return;
+    }
+    stats_.gcd_lookups++;
+    const std::optional<GcdTable::Holder> pick = gcd_.Pick(uid, requester);
+    if (!pick.has_value() || !pod_.IsLive(pick->node)) {
+      if (requester == self_) {
+        ResolveGet(op_id, GetPageResult{});  // the 15 us non-shared miss path
+      } else {
+        Send(requester, kMsgGetPageMiss, config_.costs.small_message_bytes(),
+             GetPageMiss{uid, op_id});
+      }
+      return;
+    }
+    // Optimistic directory update: the requester will hold the page once the
+    // transfer completes. A global copy moves (single-copy invariant); a
+    // shared local copy gains a duplicate.
+    if (pick->global) {
+      gcd_.Apply(GcdUpdate{uid, GcdUpdate::kRemove, pick->node, true});
+    }
+    gcd_.Apply(GcdUpdate{uid, GcdUpdate::kAdd, requester, false});
+    cpu_->SubmitKernel(config_.costs.gcd_forward_extra, category,
+                       [this, uid, requester, op_id, holder = pick->node] {
+      if (!alive_) {
+        return;
+      }
+      Send(holder, kMsgGetPageFwd, config_.costs.small_message_bytes(),
+           GetPageFwd{uid, requester, op_id});
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// getpage — GCD and housing-node sides
+// ---------------------------------------------------------------------------
+
+void GmsAgent::HandleGetPageReq(const GetPageReq& msg) {
+  LookupInGcd(msg.uid, msg.requester, msg.op_id);
+}
+
+void GmsAgent::HandleGetPageFwd(const GetPageFwd& msg) {
+  cpu_->SubmitKernel(config_.costs.get_target, CpuCategory::kService,
+                     [this, msg] {
+    if (!alive_) {
+      return;
+    }
+    Frame* frame = frames_->Lookup(msg.uid);
+    if (frame == nullptr || frame->pinned) {
+      // Stale GCD hint (the page moved or is mid-transfer): the requester
+      // falls back to disk — the paper's "worst case" reconfiguration
+      // behaviour.
+      Send(msg.requester, kMsgGetPageMiss, config_.costs.small_message_bytes(),
+           GetPageMiss{msg.uid, msg.op_id});
+      return;
+    }
+    GetPageReply reply{msg.uid, msg.op_id, false, frame->dirty};
+    if (frame->location == PageLocation::kGlobal) {
+      // A global page has exactly one copy (a dirty page may have replicas;
+      // this one moves and any sibling is reconciled by the directory); it
+      // moves to the requester and this node's frame becomes free (the
+      // getpage half of the "swap" — section 4.5).
+      reply.was_global = true;
+      stats_.global_hits_served++;
+      frames_->Free(frame);
+    } else {
+      // Shared page served from our active local memory (case 4): we keep
+      // our copy and both copies become duplicates.
+      frame->duplicated = true;
+    }
+    Send(msg.requester, kMsgGetPageReply, config_.costs.page_message_bytes(),
+         reply);
+  });
+}
+
+void GmsAgent::HandleGetPageReply(const GetPageReply& msg) {
+  cpu_->SubmitKernel(config_.costs.get_reply_receipt_data, CpuCategory::kFault,
+                     [this, msg] {
+    if (!alive_) {
+      return;
+    }
+    ResolveGet(msg.op_id, GetPageResult{true, !msg.was_global, msg.dirty});
+  });
+}
+
+void GmsAgent::HandleGetPageMiss(const GetPageMiss& msg) {
+  cpu_->SubmitKernel(config_.costs.get_reply_receipt_miss, CpuCategory::kFault,
+                     [this, msg] {
+    if (!alive_) {
+      return;
+    }
+    ResolveGet(msg.op_id, GetPageResult{});
+  });
+}
+
+// ---------------------------------------------------------------------------
+// putpage / eviction
+// ---------------------------------------------------------------------------
+
+void GmsAgent::OnPageLoaded(Frame* frame) {
+  SendGcdUpdate(frame->uid, GcdUpdate::kAdd, self_,
+                frame->location == PageLocation::kGlobal);
+}
+
+void GmsAgent::EvictClean(Frame* frame) {
+  assert(frame != nullptr && frame->in_use() && !frame->dirty);
+  evictions_since_summary_++;
+
+  // Duplicate shared pages are dropped without network transmission
+  // (section 4.5; the Table 4 "GMS duplicate" case).
+  if (frame->shared && frame->duplicated) {
+    stats_.discards_duplicate++;
+    DiscardFrame(frame);
+    return;
+  }
+
+  // MinAge test (section 3.2): pages at least as old as the epoch threshold
+  // are expected to leave cluster memory this epoch — drop to disk.
+  const SimTime age = EffectiveAge(*frame);
+  if (view_.min_age == 0 || age >= view_.min_age) {
+    stats_.discards_old++;
+    DiscardFrame(frame);
+    return;
+  }
+
+  const std::optional<NodeId> target = SampleEvictionTarget();
+  if (!target.has_value()) {
+    stats_.discards_no_budget++;
+    ReportStaleWeights();
+    DiscardFrame(frame);
+    return;
+  }
+  SendPutPage(frame, *target);
+}
+
+bool GmsAgent::EvictDirty(Frame* frame) {
+  assert(frame != nullptr && frame->in_use() && frame->dirty);
+  if (!config_.dirty_global) {
+    return false;
+  }
+  evictions_since_summary_++;
+
+  if (frame->location == PageLocation::kGlobal) {
+    // A dirty global page leaving a holder goes home for write-back rather
+    // than recirculating; a lingering replica elsewhere is harmless (the
+    // write-back is idempotent).
+    stats_.dirty_writebacks_sent++;
+    WriteBack msg{frame->uid, self_};
+    const NodeId backing = NodeOfIp(frame->uid.ip());
+    SendGcdUpdate(frame->uid, GcdUpdate::kRemove, self_, true);
+    frames_->Free(frame);
+    cpu_->SubmitKernel(config_.costs.put_request, CpuCategory::kFault,
+                       [this, msg, backing] {
+      if (alive_) {
+        Send(backing, kMsgWriteBack, config_.costs.page_message_bytes(), msg);
+      }
+    });
+    return true;
+  }
+
+  // Local dirty page: replicate into the global memory of `dirty_replicas`
+  // distinct nodes. Without at least one target we fall back to the
+  // caller's disk write-back.
+  std::vector<NodeId> targets;
+  for (uint32_t i = 0; i < config_.dirty_replicas * 4 &&
+                       targets.size() < config_.dirty_replicas;
+       i++) {
+    const std::optional<NodeId> t = SampleEvictionTarget();
+    if (!t.has_value()) {
+      break;
+    }
+    if (std::find(targets.begin(), targets.end(), *t) == targets.end()) {
+      targets.push_back(*t);
+    }
+  }
+  if (targets.empty()) {
+    ReportStaleWeights();
+    return false;
+  }
+  stats_.dirty_putpages_sent++;
+  stats_.putpages_sent += targets.size();
+  PutPage msg;
+  msg.uid = frame->uid;
+  msg.from = self_;
+  msg.age = sim_->now() - frame->last_access;
+  msg.shared = frame->shared;
+  msg.dirty = true;
+  frames_->Free(frame);
+  const SimTime marshal =
+      config_.costs.put_request * static_cast<SimTime>(targets.size());
+  cpu_->SubmitKernel(marshal, CpuCategory::kFault, [this, msg, targets] {
+    if (!alive_) {
+      return;
+    }
+    for (size_t i = 0; i < targets.size(); i++) {
+      Send(targets[i], kMsgPutPage, config_.costs.page_message_bytes(), msg);
+      // The first target is the "primary" in the directory (kReplace); the
+      // replicas are added alongside it.
+      if (i == 0) {
+        SendGcdUpdate(msg.uid, GcdUpdate::kReplace, targets[i], true, self_);
+      } else {
+        SendGcdUpdate(msg.uid, GcdUpdate::kAdd, targets[i], true);
+      }
+    }
+  });
+  return true;
+}
+
+void GmsAgent::DiscardFrame(Frame* frame) {
+  SendGcdUpdate(frame->uid, GcdUpdate::kRemove, self_,
+                frame->location == PageLocation::kGlobal);
+  frames_->Free(frame);
+}
+
+void GmsAgent::SendPutPage(Frame* frame, NodeId target) {
+  stats_.putpages_sent++;
+  PutPage msg;
+  msg.uid = frame->uid;
+  msg.from = self_;
+  msg.age = sim_->now() - frame->last_access;
+  msg.shared = frame->shared;
+  // The frame is reusable once the page is copied into a network buffer;
+  // model that copy as instantaneous and charge the Table 2 sender latency
+  // (marshal + GCD update) as CPU time before the message hits the wire.
+  frames_->Free(frame);
+
+  const NodeId gcd_node = pod_.GcdNodeFor(msg.uid);
+  const SimTime marshal =
+      config_.costs.put_request + (gcd_node == self_
+                                       ? config_.costs.put_gcd_processing
+                                       : config_.costs.put_gcd_remote_extra);
+  cpu_->SubmitKernel(marshal, CpuCategory::kFault, [this, msg, target] {
+    if (!alive_) {
+      return;
+    }
+    Send(target, kMsgPutPage, config_.costs.page_message_bytes(), msg);
+    SendGcdUpdate(msg.uid, GcdUpdate::kReplace, target, true, self_);
+  });
+}
+
+void GmsAgent::SendGcdUpdate(const Uid& uid, GcdUpdate::Op op, NodeId holder,
+                             bool global, NodeId prev) {
+  GcdUpdate update{uid, op, holder, global, prev};
+  const NodeId gcd_node = pod_.GcdNodeFor(uid);
+  if (gcd_node == self_) {
+    ApplyGcdAsOwner(update);
+    return;
+  }
+  Send(gcd_node, kMsgGcdUpdate, config_.costs.small_message_bytes(), update);
+}
+
+void GmsAgent::ApplyGcdAsOwner(const GcdUpdate& update) {
+  if (update.op == GcdUpdate::kReplace) {
+    // A replace that supersedes a still-registered global copy elsewhere
+    // means a race (e.g. a disk refetch forked the page while a putpage was
+    // in flight); tell the stale holder to drop its clean copy so the
+    // single-copy invariant re-converges.
+    if (const GcdTable::Entry* entry = gcd_.Lookup(update.uid)) {
+      for (const GcdTable::Holder& h : entry->holders) {
+        if (h.global && h.node != update.node && h.node != update.prev &&
+            h.node != self_) {
+          Send(h.node, kMsgGcdInvalidate, config_.costs.small_message_bytes(),
+               GcdInvalidate{update.uid});
+        }
+      }
+    }
+  }
+  gcd_.Apply(update);
+}
+
+void GmsAgent::HandleGcdUpdate(const GcdUpdate& msg) {
+  cpu_->SubmitKernel(config_.costs.put_gcd_processing, CpuCategory::kService,
+                     [this, msg] {
+    if (alive_) {
+      ApplyGcdAsOwner(msg);
+    }
+  });
+}
+
+void GmsAgent::HandleGcdInvalidate(const GcdInvalidate& msg) {
+  cpu_->SubmitKernel(config_.costs.gcd_lookup, CpuCategory::kService,
+                     [this, msg] {
+    if (!alive_) {
+      return;
+    }
+    Frame* frame = frames_->Lookup(msg.uid);
+    if (frame != nullptr && frame->location == PageLocation::kGlobal &&
+        !frame->pinned) {
+      frames_->Free(frame);  // clean by construction; disk has it
+    }
+  });
+}
+
+std::optional<NodeId> GmsAgent::SampleEvictionTarget() {
+  if (remaining_weight_ <= 0 || sampler_.empty()) {
+    return std::nullopt;
+  }
+  const size_t idx = sampler_.Sample(rng_);
+  if (weights_[idx] <= 0) {
+    // Sampler is stale relative to consumed weights (rebuilds are deferred
+    // to weight exhaustion); treat as no budget at this node this time.
+    RebuildSampler();
+    if (sampler_.empty()) {
+      return std::nullopt;
+    }
+    return SampleEvictionTarget();
+  }
+  weights_[idx] -= 1.0;
+  remaining_weight_ -= 1.0;
+  if (weights_[idx] <= 0) {
+    RebuildSampler();
+  }
+  return NodeId{static_cast<uint32_t>(idx)};
+}
+
+void GmsAgent::RebuildSampler() { sampler_ = AliasSampler(weights_); }
+
+void GmsAgent::ReportStaleWeights() {
+  if (stale_reported_ || view_.epoch == 0) {
+    return;
+  }
+  stale_reported_ = true;
+  if (view_.next_initiator == self_) {
+    if (!collecting_) {
+      StartEpochAsInitiator();
+    }
+    return;
+  }
+  if (view_.next_initiator.valid()) {
+    Send(view_.next_initiator, kMsgEpochStale,
+         config_.costs.small_message_bytes(), EpochStale{view_.epoch, self_});
+  }
+}
+
+void GmsAgent::HandlePutPage(const PutPage& msg) {
+  cpu_->SubmitKernel(config_.costs.put_target, CpuCategory::kService,
+                     [this, msg] {
+    if (!alive_) {
+      return;
+    }
+    stats_.putpages_received++;
+    putpages_this_epoch_++;
+
+    if (frames_->Lookup(msg.uid) != nullptr) {
+      // We already cache this (shared) page; keep ours, fix the directory.
+      SendGcdUpdate(msg.uid, GcdUpdate::kAdd, self_, false);
+    } else {
+      const SimTime last_access = sim_->now() - msg.age;
+      Frame* frame = frames_->AllocateWithAge(msg.uid, PageLocation::kGlobal,
+                                              last_access);
+      if (frame == nullptr) {
+        // "The oldest page on i is discarded" — but only if it really is
+        // older than the incoming page; otherwise the incoming page bounces
+        // (a stale-weights signal).
+        Frame* victim = frames_->PickVictim(
+            sim_->now(), config_.epoch.global_age_boost, /*require_clean=*/true);
+        if (victim != nullptr && EffectiveAge(*victim) >= msg.age) {
+          DiscardFrame(victim);
+          frame = frames_->AllocateWithAge(msg.uid, PageLocation::kGlobal,
+                                           last_access);
+        } else if (config_.dirty_global) {
+          // With the dirty-global extension, an idle node can fill up with
+          // dirty global pages that no clean-victim scan can reclaim; send
+          // the oldest one home for write-back to make room.
+          Frame* dirty_victim = frames_->OldestMatching(
+              sim_->now(), config_.epoch.global_age_boost,
+              [](const Frame& f) {
+                return f.dirty && f.location == PageLocation::kGlobal;
+              });
+          if (dirty_victim != nullptr &&
+              EffectiveAge(*dirty_victim) >= msg.age) {
+            EvictDirty(dirty_victim);
+            frame = frames_->AllocateWithAge(msg.uid, PageLocation::kGlobal,
+                                             last_access);
+          }
+        }
+      }
+      if (frame == nullptr) {
+        stats_.putpages_bounced++;
+        SendGcdUpdate(msg.uid, GcdUpdate::kRemove, self_, true);
+        ReportStaleWeights();
+      } else {
+        frame->shared = msg.shared;
+        frame->dirty = msg.dirty;
+        // Confirm our registration: if a concurrent getpage raced ahead of
+        // this transfer, its optimistic directory update de-listed us; the
+        // re-add heals that (and is a cheap no-op otherwise).
+        SendGcdUpdate(msg.uid, GcdUpdate::kAdd, self_, true);
+      }
+    }
+
+    // Early epoch termination (section 3.2): the node with the largest w_i
+    // — the designated next initiator — declares the epoch over once it has
+    // absorbed its share of the replacements.
+    if (view_.next_initiator == self_ && view_.my_weight > 0 &&
+        static_cast<double>(putpages_this_epoch_) >= view_.my_weight &&
+        !collecting_) {
+      StartEpochAsInitiator();
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// epochs
+// ---------------------------------------------------------------------------
+
+void GmsAgent::StartEpochAsInitiator() {
+  if (!alive_ || collecting_) {
+    return;
+  }
+  sim_->CancelTimer(epoch_timer_);
+  epoch_timer_ = 0;
+  stats_.epochs_started++;
+  collecting_ = true;
+  collecting_epoch_ = view_.epoch + 1;
+  summaries_.clear();
+
+  const size_t live = pod_.table().live.size();
+  const SimTime request_cost =
+      config_.costs.epoch_request_per_node * static_cast<SimTime>(live);
+  cpu_->SubmitKernel(request_cost, CpuCategory::kEpoch, [this] {
+    if (!alive_ || !collecting_) {
+      return;
+    }
+    for (NodeId node : pod_.table().live) {
+      if (node != self_) {
+        Send(node, kMsgEpochSummaryReq, config_.costs.small_message_bytes(),
+             EpochSummaryReq{collecting_epoch_, self_});
+      }
+    }
+    // Our own summary, charged at the same scan rates as everyone else's.
+    const SimTime scan =
+        config_.costs.epoch_scan_per_local_page * frames_->local_count() +
+        config_.costs.epoch_scan_per_global_page * frames_->global_count() +
+        config_.costs.epoch_summary_marshal;
+    cpu_->SubmitKernel(scan, CpuCategory::kEpoch, [this] {
+      if (!alive_ || !collecting_) {
+        return;
+      }
+      EpochSummary own;
+      BuildOwnSummary(collecting_epoch_, &own);
+      own.evictions = evictions_since_summary_;
+      evictions_since_summary_ = 0;
+      summaries_.push_back(std::move(own));
+      if (summaries_.size() >= pod_.table().live.size()) {
+        FinishSummaryCollection();
+        return;
+      }
+      collect_timer_ = sim_->ScheduleTimer(config_.epoch.summary_timeout,
+                                           [this] { FinishSummaryCollection(); });
+    });
+  });
+}
+
+void GmsAgent::BuildOwnSummary(uint64_t epoch, EpochSummary* out) const {
+  out->epoch = epoch;
+  out->node = self_;
+  out->local_pages = frames_->local_count();
+  out->global_pages = frames_->global_count();
+  out->free_frames = frames_->free_count();
+  const SimTime now = sim_->now();
+  const double boost = config_.epoch.global_age_boost;
+  frames_->ForEach([&](const Frame& f) {
+    double age = static_cast<double>(now - f.last_access);
+    if (f.location == PageLocation::kGlobal) {
+      age *= boost;
+    }
+    out->ages.Add(static_cast<uint64_t>(age));
+  });
+  // Free frames are idler than any page — but the pageout daemon keeps a
+  // small watermark reserve free on every node, including busy ones, and
+  // that reserve is not idle memory. Only the excess counts.
+  const uint32_t reserve =
+      std::max<uint32_t>(16, frames_->num_frames() / 32);
+  if (out->free_frames > reserve) {
+    out->ages.Add(static_cast<uint64_t>(config_.epoch.free_frame_age),
+                  out->free_frames - reserve);
+  }
+}
+
+void GmsAgent::HandleEpochSummaryReq(const EpochSummaryReq& msg) {
+  const SimTime scan =
+      config_.costs.epoch_scan_per_local_page * frames_->local_count() +
+      config_.costs.epoch_scan_per_global_page * frames_->global_count() +
+      config_.costs.epoch_summary_marshal;
+  cpu_->SubmitKernel(scan, CpuCategory::kEpoch, [this, msg] {
+    if (!alive_) {
+      return;
+    }
+    EpochSummary summary;
+    BuildOwnSummary(msg.epoch, &summary);
+    summary.evictions = evictions_since_summary_;
+    evictions_since_summary_ = 0;
+    Send(msg.initiator, kMsgEpochSummary,
+         EpochSummaryBytes(config_.costs.header_size), std::move(summary));
+  });
+}
+
+void GmsAgent::HandleEpochSummary(const EpochSummary& msg) {
+  if (!collecting_ || msg.epoch != collecting_epoch_) {
+    return;
+  }
+  summaries_.push_back(msg);
+  if (summaries_.size() >= pod_.table().live.size()) {
+    FinishSummaryCollection();
+  }
+}
+
+void GmsAgent::FinishSummaryCollection() {
+  if (!collecting_) {
+    return;
+  }
+  collecting_ = false;
+  sim_->CancelTimer(collect_timer_);
+  collect_timer_ = 0;
+
+  const SimTime last_duration =
+      epoch_started_at_ > 0 ? sim_->now() - epoch_started_at_ : 0;
+  EpochPlan plan = ComputeEpochPlan(config_.epoch, collecting_epoch_,
+                                    net_->num_nodes(), summaries_,
+                                    last_duration, self_);
+  // Nodes outside the membership never receive weight.
+  for (uint32_t i = 0; i < plan.weights.size(); i++) {
+    if (!pod_.IsLive(NodeId{i})) {
+      plan.weights[i] = 0;
+    }
+  }
+
+  EpochParams params;
+  params.epoch = plan.epoch;
+  params.min_age = plan.min_age;
+  params.duration = plan.duration;
+  params.budget = plan.budget;
+  params.next_initiator = plan.next_initiator;
+  params.weights = std::move(plan.weights);
+
+  const size_t live = pod_.table().live.size();
+  const SimTime cost =
+      (config_.costs.epoch_weights_compute_per_node +
+       config_.costs.epoch_params_marshal_per_node) *
+      static_cast<SimTime>(live);
+  cpu_->SubmitKernel(cost, CpuCategory::kEpoch, [this, params = std::move(params)] {
+    if (!alive_) {
+      return;
+    }
+    for (NodeId node : pod_.table().live) {
+      if (node != self_) {
+        Send(node, kMsgEpochParams,
+             EpochParamsBytes(config_.costs.header_size, params.weights.size()),
+             params);
+      }
+    }
+    AdoptEpochParams(params);
+  });
+}
+
+void GmsAgent::HandleEpochParams(const EpochParams& msg) {
+  cpu_->SubmitKernel(config_.costs.gcd_lookup, CpuCategory::kEpoch,
+                     [this, msg] {
+    if (alive_) {
+      AdoptEpochParams(msg);
+    }
+  });
+}
+
+void GmsAgent::AdoptEpochParams(const EpochParams& params) {
+  if (params.epoch <= view_.epoch) {
+    return;  // stale (reordered) parameters
+  }
+  view_.epoch = params.epoch;
+  view_.min_age = params.min_age;
+  view_.budget = params.budget;
+  view_.duration = params.duration;
+  view_.next_initiator = params.next_initiator;
+  weights_ = params.weights;
+  if (weights_.size() < net_->num_nodes()) {
+    weights_.resize(net_->num_nodes(), 0.0);
+  }
+  view_.my_weight =
+      self_.value < weights_.size() ? weights_[self_.value] : 0.0;
+  // Evictions are never directed at ourselves (paper case 3: the page is
+  // sent to another node Q); our own weight only matters for the
+  // next-initiator bookkeeping.
+  if (self_.value < weights_.size()) {
+    weights_[self_.value] = 0;
+  }
+  remaining_weight_ = 0;
+  for (double w : weights_) {
+    remaining_weight_ += w;
+  }
+  RebuildSampler();
+  putpages_this_epoch_ = 0;
+  stale_reported_ = false;
+  epoch_started_at_ = sim_->now();
+
+  sim_->CancelTimer(epoch_timer_);
+  epoch_timer_ = 0;
+  if (params.next_initiator == self_) {
+    epoch_timer_ = sim_->ScheduleTimer(params.duration, [this] {
+      if (alive_ && !collecting_) {
+        StartEpochAsInitiator();
+      }
+    });
+  }
+}
+
+void GmsAgent::HandleEpochStale(const EpochStale& msg) {
+  if (msg.epoch == view_.epoch && view_.next_initiator == self_ &&
+      !collecting_) {
+    StartEpochAsInitiator();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// membership
+// ---------------------------------------------------------------------------
+
+void GmsAgent::HandleJoinReq(const JoinReq& msg) {
+  if (master_ != self_) {
+    return;
+  }
+  std::vector<NodeId> live = pod_.table().live;
+  if (std::find(live.begin(), live.end(), msg.node) == live.end()) {
+    live.push_back(msg.node);
+  }
+  MasterReconfigure(std::move(live));
+}
+
+void GmsAgent::MasterRemoveNode(NodeId node) {
+  if (master_ != self_) {
+    return;
+  }
+  std::vector<NodeId> live;
+  for (NodeId n : pod_.table().live) {
+    if (n != node) {
+      live.push_back(n);
+    }
+  }
+  MasterReconfigure(std::move(live));
+}
+
+void GmsAgent::MasterReconfigure(std::vector<NodeId> live) {
+  PodTable pod = Pod::Build(pod_.version() + 1, std::move(live));
+  MemberUpdate update{pod, self_};
+  for (NodeId node : pod.live) {
+    if (node != self_) {
+      Send(node, kMsgMemberUpdate,
+           MemberUpdateBytes(config_.costs.header_size, pod.live.size(),
+                             pod.buckets.size()),
+           update);
+    }
+  }
+  HandleMemberUpdate(update);
+}
+
+void GmsAgent::HandleMemberUpdate(const MemberUpdate& msg) {
+  if (msg.pod.version <= pod_.version()) {
+    return;
+  }
+  pod_.Adopt(msg.pod);
+  master_ = msg.master;
+  if (config_.enable_heartbeats && config_.enable_master_election) {
+    if (master_ != self_) {
+      ArmMasterWatchdog();
+    } else {
+      sim_->CancelTimer(master_watchdog_);
+      master_watchdog_ = 0;
+    }
+  }
+  gcd_.Prune(pod_, self_);
+  // Departed nodes can no longer absorb evictions.
+  bool changed = false;
+  for (uint32_t i = 0; i < weights_.size(); i++) {
+    if (weights_[i] > 0 && !pod_.IsLive(NodeId{i})) {
+      remaining_weight_ -= weights_[i];
+      weights_[i] = 0;
+      changed = true;
+    }
+  }
+  if (changed) {
+    RebuildSampler();
+  }
+  RepublishAfterPodChange();
+  // The master restarts the epoch cycle so weights reflect the new world;
+  // this also covers the case where the failed node was the next initiator.
+  if (master_ == self_ && !collecting_) {
+    StartEpochAsInitiator();
+  }
+}
+
+void GmsAgent::RepublishAfterPodChange() {
+  // Re-register our pages with their (possibly new) GCD owners. Entries
+  // whose GCD stayed local are applied directly.
+  std::unordered_map<uint32_t, Republish> batches;
+  const SimTime per_entry = Nanoseconds(300);
+  uint64_t entries = 0;
+  frames_->ForEach([&](const Frame& f) {
+    entries++;
+    GcdUpdate update{f.uid, GcdUpdate::kAdd, self_,
+                     f.location == PageLocation::kGlobal};
+    const NodeId gcd_node = pod_.GcdNodeFor(f.uid);
+    if (gcd_node == self_) {
+      gcd_.Apply(update);
+      return;
+    }
+    Republish& batch = batches[gcd_node.value];
+    batch.from = self_;
+    batch.entries.push_back(update);
+  });
+  cpu_->SubmitKernel(per_entry * static_cast<SimTime>(entries),
+                     CpuCategory::kEpoch,
+                     [this, batches = std::move(batches)] {
+    if (!alive_) {
+      return;
+    }
+    for (const auto& [node, batch] : batches) {
+      Send(NodeId{node}, kMsgRepublish,
+           RepublishBytes(config_.costs.header_size, batch.entries.size()),
+           batch);
+    }
+  });
+}
+
+void GmsAgent::HandleRepublish(const Republish& msg) {
+  const SimTime cost = Nanoseconds(300) * static_cast<SimTime>(msg.entries.size());
+  cpu_->SubmitKernel(cost, CpuCategory::kEpoch, [this, msg] {
+    if (!alive_) {
+      return;
+    }
+    for (const GcdUpdate& update : msg.entries) {
+      if (pod_.GcdNodeFor(update.uid) == self_) {
+        gcd_.Apply(update);
+      }
+    }
+  });
+}
+
+void GmsAgent::SendHeartbeats() {
+  if (!alive_ || master_ != self_) {
+    return;
+  }
+  hb_seq_++;
+  std::vector<NodeId> dead;
+  for (NodeId node : pod_.table().live) {
+    if (node == self_) {
+      continue;
+    }
+    const uint64_t acked = hb_acked_.contains(node.value)
+                               ? hb_acked_[node.value]
+                               : hb_seq_ - 1;  // grace for new members
+    if (hb_seq_ > acked + static_cast<uint64_t>(config_.heartbeat_miss_limit)) {
+      dead.push_back(node);
+      continue;
+    }
+    Send(node, kMsgHeartbeat, config_.costs.small_message_bytes(),
+         Heartbeat{hb_seq_});
+  }
+  if (!dead.empty()) {
+    std::vector<NodeId> live;
+    for (NodeId node : pod_.table().live) {
+      if (std::find(dead.begin(), dead.end(), node) == dead.end()) {
+        live.push_back(node);
+      }
+    }
+    for (NodeId node : dead) {
+      GMS_LOG_INFO("master %u: node %u declared dead", self_.value, node.value);
+      hb_acked_.erase(node.value);
+    }
+    MasterReconfigure(std::move(live));
+  }
+  hb_timer_ = sim_->ScheduleTimer(config_.heartbeat_interval,
+                                  [this] { SendHeartbeats(); });
+}
+
+void GmsAgent::HandleHeartbeat(const Heartbeat& msg, NodeId from) {
+  if (config_.enable_master_election && from == master_) {
+    ArmMasterWatchdog();
+  }
+  Send(from, kMsgHeartbeatAck, config_.costs.small_message_bytes(),
+       HeartbeatAck{msg.seq, self_});
+}
+
+void GmsAgent::ArmMasterWatchdog() {
+  sim_->CancelTimer(master_watchdog_);
+  const SimTime window = config_.heartbeat_interval *
+                         static_cast<SimTime>(config_.heartbeat_miss_limit + 2);
+  master_watchdog_ = sim_->ScheduleTimer(window, [this] { OnMasterSilent(); });
+}
+
+void GmsAgent::OnMasterSilent() {
+  if (!alive_ || master_ == self_) {
+    return;
+  }
+  // The master went quiet. Succession order is the lowest surviving id
+  // (deterministic, no coordination needed on a reliable network: every
+  // survivor computes the same successor).
+  NodeId successor = kInvalidNode;
+  for (NodeId node : pod_.table().live) {
+    if (node != master_ &&
+        (!successor.valid() || node.value < successor.value)) {
+      successor = node;
+    }
+  }
+  if (successor != self_) {
+    // Not us: keep watching; the successor's MemberUpdate (as new master)
+    // will re-arm the watchdog against the new master.
+    ArmMasterWatchdog();
+    return;
+  }
+  GMS_LOG_INFO("node %u: master %u silent, taking over", self_.value,
+               master_.value);
+  const NodeId old_master = master_;
+  master_ = self_;
+  std::vector<NodeId> live;
+  for (NodeId node : pod_.table().live) {
+    if (node != old_master) {
+      live.push_back(node);
+    }
+  }
+  MasterReconfigure(std::move(live));
+  hb_timer_ = sim_->ScheduleTimer(config_.heartbeat_interval,
+                                  [this] { SendHeartbeats(); });
+}
+
+void GmsAgent::HandleHeartbeatAck(const HeartbeatAck& msg) {
+  uint64_t& acked = hb_acked_[msg.node.value];
+  acked = std::max(acked, msg.seq);
+}
+
+// ---------------------------------------------------------------------------
+// dispatch
+// ---------------------------------------------------------------------------
+
+void GmsAgent::OnDatagram(Datagram dgram) {
+  if (!alive_) {
+    return;
+  }
+  // Interrupt + protocol-stack cost for every received datagram.
+  cpu_->SubmitKernel(config_.costs.receive_isr, CpuCategory::kService,
+                     [this, dgram = std::move(dgram)] {
+    if (!alive_) {
+      return;
+    }
+    switch (dgram.type) {
+      case kMsgGetPageReq:
+        HandleGetPageReq(std::any_cast<const GetPageReq&>(dgram.payload));
+        break;
+      case kMsgGetPageFwd:
+        HandleGetPageFwd(std::any_cast<const GetPageFwd&>(dgram.payload));
+        break;
+      case kMsgGetPageReply:
+        HandleGetPageReply(std::any_cast<const GetPageReply&>(dgram.payload));
+        break;
+      case kMsgGetPageMiss:
+        HandleGetPageMiss(std::any_cast<const GetPageMiss&>(dgram.payload));
+        break;
+      case kMsgPutPage:
+        HandlePutPage(std::any_cast<const PutPage&>(dgram.payload));
+        break;
+      case kMsgGcdUpdate:
+        HandleGcdUpdate(std::any_cast<const GcdUpdate&>(dgram.payload));
+        break;
+      case kMsgGcdInvalidate:
+        HandleGcdInvalidate(std::any_cast<const GcdInvalidate&>(dgram.payload));
+        break;
+      case kMsgEpochSummaryReq:
+        HandleEpochSummaryReq(
+            std::any_cast<const EpochSummaryReq&>(dgram.payload));
+        break;
+      case kMsgEpochSummary:
+        HandleEpochSummary(std::any_cast<const EpochSummary&>(dgram.payload));
+        break;
+      case kMsgEpochParams:
+        HandleEpochParams(std::any_cast<const EpochParams&>(dgram.payload));
+        break;
+      case kMsgEpochStale:
+        HandleEpochStale(std::any_cast<const EpochStale&>(dgram.payload));
+        break;
+      case kMsgJoinReq:
+        HandleJoinReq(std::any_cast<const JoinReq&>(dgram.payload));
+        break;
+      case kMsgMemberUpdate:
+        HandleMemberUpdate(std::any_cast<const MemberUpdate&>(dgram.payload));
+        break;
+      case kMsgHeartbeat:
+        HandleHeartbeat(std::any_cast<const Heartbeat&>(dgram.payload),
+                        dgram.src);
+        break;
+      case kMsgHeartbeatAck:
+        HandleHeartbeatAck(std::any_cast<const HeartbeatAck&>(dgram.payload));
+        break;
+      case kMsgRepublish:
+        HandleRepublish(std::any_cast<const Republish&>(dgram.payload));
+        break;
+      default:
+        GMS_LOG_WARN("node %u: unknown message type %u", self_.value,
+                     dgram.type);
+        break;
+    }
+  });
+}
+
+}  // namespace gms

@@ -1,0 +1,227 @@
+// The per-node GMS engine: the paper's algorithm (sections 3 and 4).
+//
+// One GmsAgent runs on every cluster node. It owns that node's slice of the
+// distributed state:
+//   * the node's frame metadata (page-frame-directory role),
+//   * one partition of the global-cache-directory,
+//   * a replica of the page-ownership-directory,
+//   * the node's view of the current epoch (MinAge, weights, sampler),
+// and implements the getpage/putpage protocol, the epoch state machine
+// (initiator + participant sides), and master-driven membership.
+//
+// Threading: none. The agent is driven entirely by simulator events; all
+// CPU costs are charged to the node's Cpu so that serving remote memory
+// contends with local computation (Figures 10/13).
+#ifndef SRC_CORE_GMS_AGENT_H_
+#define SRC_CORE_GMS_AGENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/alias.h"
+#include "src/common/node_id.h"
+#include "src/common/rng.h"
+#include "src/common/uid.h"
+#include "src/core/cost_model.h"
+#include "src/core/directory.h"
+#include "src/core/epoch.h"
+#include "src/core/memory_service.h"
+#include "src/core/messages.h"
+#include "src/mem/frame_table.h"
+#include "src/net/network.h"
+#include "src/sim/cpu.h"
+#include "src/sim/simulator.h"
+
+namespace gms {
+
+struct GmsConfig {
+  CostModel costs;
+  EpochConfig epoch;
+  // A getpage with no reply within this window is treated as a miss (the
+  // housing node crashed); the faulting node falls back to disk.
+  SimTime getpage_timeout = Milliseconds(100);
+  // Master liveness checking. Off by default: the experiment harness manages
+  // membership explicitly; the membership tests and the churn example turn
+  // it on.
+  bool enable_heartbeats = false;
+  SimTime heartbeat_interval = Seconds(1);
+  int heartbeat_miss_limit = 3;
+  // Master failover (paper section 6: "simple algorithms exist for the
+  // remaining nodes to elect a replacement"): when heartbeats from the
+  // master stop, the lowest-id surviving node takes over, removes the dead
+  // master from the membership, and distributes a new POD.
+  bool enable_master_election = false;
+  // Start-of-world delay before the first epoch.
+  SimTime first_epoch_delay = Milliseconds(1);
+
+  // Dirty-global extension (paper section 6, future work): dirty pages may
+  // be sent to global memory without first being written to disk, at the
+  // risk of data loss on failure — mitigated by replicating each dirty page
+  // in the global memory of `dirty_replicas` nodes. A holder evicting a
+  // dirty global page returns it to the backing node for write-back.
+  bool dirty_global = false;
+  uint32_t dirty_replicas = 2;
+};
+
+struct EpochView {
+  uint64_t epoch = 0;
+  SimTime min_age = 0;
+  uint64_t budget = 0;
+  SimTime duration = 0;
+  NodeId next_initiator;
+  double my_weight = 0;
+};
+
+class GmsAgent final : public MemoryService {
+ public:
+  GmsAgent(Simulator* sim, Network* net, Cpu* cpu, FrameTable* frames,
+           NodeId self, uint64_t seed, GmsConfig config = {});
+
+  // Installs the initial membership and starts protocol processing. The
+  // designated first initiator kicks off epoch 1; the master (if heartbeats
+  // are enabled) starts liveness checks. Must be called exactly once per
+  // boot.
+  void Start(const PodTable& pod, NodeId master, NodeId first_initiator);
+
+  // --- MemoryService ---
+  void GetPage(const Uid& uid, GetPageCallback callback) override;
+  void EvictClean(Frame* frame) override;
+  void OnPageLoaded(Frame* frame) override;
+  bool EvictDirty(Frame* frame) override;
+
+  // Called by the cluster when this node crashes (stops timers; the network
+  // is taken down separately) or reboots.
+  void SetAlive(bool alive);
+  bool alive() const { return alive_; }
+
+  // A rebooted or new node announces itself to the master.
+  void Join(NodeId master);
+
+  // Administrative removal of a node (master only): rebuilds and distributes
+  // the POD as if the node had been declared dead by liveness checking.
+  void MasterRemoveNode(NodeId node);
+
+  // Protocol entry point; the cluster's per-node dispatcher routes all
+  // non-NFS datagrams here.
+  void OnDatagram(Datagram dgram);
+
+  // --- introspection (tests, benches) ---
+  // Direct GCD mutation for white-box microbenchmark setup (placing a page
+  // in a chosen state before timing one operation). Not part of the
+  // protocol.
+  void ApplyGcdLocal(const GcdUpdate& update) { gcd_.Apply(update); }
+  const Pod& pod() const { return pod_; }
+  const GcdTable& gcd() const { return gcd_; }
+  const EpochView& epoch_view() const { return view_; }
+  FrameTable& frames() { return *frames_; }
+  NodeId self() const { return self_; }
+  NodeId master() const { return master_; }
+  double remaining_weight() const { return remaining_weight_; }
+
+ private:
+  struct PendingGet {
+    Uid uid;
+    GetPageCallback callback;
+    TimerId timer = 0;
+  };
+
+  // Message dispatch.
+  void HandleGetPageReq(const GetPageReq& msg);
+  void HandleGetPageFwd(const GetPageFwd& msg);
+  void HandleGetPageReply(const GetPageReply& msg);
+  void HandleGetPageMiss(const GetPageMiss& msg);
+  void HandlePutPage(const PutPage& msg);
+  void HandleGcdUpdate(const GcdUpdate& msg);
+  void HandleGcdInvalidate(const GcdInvalidate& msg);
+  // Applies a GCD mutation on this (GCD-owner) node; a kReplace that
+  // supersedes a surviving global holder triggers an invalidation to it.
+  void ApplyGcdAsOwner(const GcdUpdate& update);
+  void HandleEpochSummaryReq(const EpochSummaryReq& msg);
+  void HandleEpochSummary(const EpochSummary& msg);
+  void HandleEpochParams(const EpochParams& msg);
+  void HandleEpochStale(const EpochStale& msg);
+  void HandleJoinReq(const JoinReq& msg);
+  void HandleMemberUpdate(const MemberUpdate& msg);
+  void HandleHeartbeat(const Heartbeat& msg, NodeId from);
+  void HandleHeartbeatAck(const HeartbeatAck& msg);
+  void HandleRepublish(const Republish& msg);
+
+  // Getpage plumbing.
+  void ResolveGet(uint64_t op_id, GetPageResult result);
+  void LookupInGcd(const Uid& uid, NodeId requester, uint64_t op_id);
+
+  // Putpage plumbing.
+  void SendPutPage(Frame* frame, NodeId target);
+  void DiscardFrame(Frame* frame);
+  std::optional<NodeId> SampleEvictionTarget();
+  void RebuildSampler();
+  void SendGcdUpdate(const Uid& uid, GcdUpdate::Op op, NodeId holder,
+                     bool global, NodeId prev = kInvalidNode);
+  void ReportStaleWeights();
+
+  // Epoch machinery.
+  void StartEpochAsInitiator();
+  void FinishSummaryCollection();
+  void BuildOwnSummary(uint64_t epoch, EpochSummary* out) const;
+  void AdoptEpochParams(const EpochParams& params);
+
+  // Membership machinery (master side).
+  void MasterReconfigure(std::vector<NodeId> live);
+  void SendHeartbeats();
+  void RepublishAfterPodChange();
+  void ArmMasterWatchdog();
+  void OnMasterSilent();
+
+  // Helpers.
+  void Send(NodeId dst, uint32_t type, uint32_t bytes, std::any payload);
+  SimTime EffectiveAge(const Frame& frame) const;
+
+  Simulator* sim_;
+  Network* net_;
+  Cpu* cpu_;
+  FrameTable* frames_;
+  NodeId self_;
+  GmsConfig config_;
+  Rng rng_;
+  bool alive_ = false;
+
+  // Directories.
+  Pod pod_;
+  GcdTable gcd_;
+  NodeId master_;
+
+  // Epoch participant state.
+  EpochView view_;
+  std::vector<double> weights_;
+  AliasSampler sampler_;
+  double remaining_weight_ = 0;
+  uint64_t putpages_this_epoch_ = 0;  // absorbed by us (next-initiator side)
+  uint32_t evictions_since_summary_ = 0;
+  bool stale_reported_ = false;
+  TimerId epoch_timer_ = 0;
+
+  // Epoch initiator state.
+  bool collecting_ = false;
+  uint64_t collecting_epoch_ = 0;
+  std::vector<EpochSummary> summaries_;
+  TimerId collect_timer_ = 0;
+  SimTime epoch_started_at_ = 0;
+  SimTime prev_epoch_duration_ = 0;
+
+  // Getpage state.
+  uint64_t next_op_id_ = 1;
+  std::unordered_map<uint64_t, PendingGet> pending_gets_;
+
+  // Heartbeat state (master side).
+  uint64_t hb_seq_ = 0;
+  std::unordered_map<uint32_t, int> hb_misses_;
+  std::unordered_map<uint32_t, uint64_t> hb_acked_;
+  TimerId hb_timer_ = 0;
+  TimerId master_watchdog_ = 0;
+};
+
+}  // namespace gms
+
+#endif  // SRC_CORE_GMS_AGENT_H_

@@ -1,0 +1,116 @@
+// The node-facing interface to a cluster memory policy.
+//
+// The node/OS layer (src/node) is written against this interface; three
+// implementations exist:
+//   * GmsAgent (src/core)     — the paper's algorithm,
+//   * NchanceAgent (src/nchance) — the comparison baseline of section 5.5,
+//   * NullMemoryService       — no cluster memory at all ("native OSF/1"),
+//     the denominator of every speedup the paper reports.
+#ifndef SRC_CORE_MEMORY_SERVICE_H_
+#define SRC_CORE_MEMORY_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/uid.h"
+#include "src/mem/frame_table.h"
+#include "src/sim/simulator.h"
+
+namespace gms {
+
+struct GetPageResult {
+  bool hit = false;
+  // The fetched copy coexists with another cached copy (shared page served
+  // from a node's local memory, paper case 4); the faulting node's copy must
+  // be marked a duplicate so a later eviction can drop it silently.
+  bool duplicate = false;
+  // The fetched copy is dirty (dirty-global extension): disk does not have
+  // this version yet.
+  bool dirty = false;
+};
+
+using GetPageCallback = std::function<void(GetPageResult)>;
+
+struct MemoryServiceStats {
+  uint64_t getpage_attempts = 0;
+  uint64_t getpage_hits = 0;
+  uint64_t getpage_misses = 0;
+  uint64_t getpage_timeouts = 0;
+  uint64_t putpages_sent = 0;       // page sent to another node's memory
+  uint64_t putpages_to_self = 0;    // kept locally as a global page
+  uint64_t putpages_received = 0;
+  uint64_t putpages_bounced = 0;    // arrived but no frame could be freed
+  uint64_t discards_old = 0;        // older than MinAge -> dropped/disk
+  uint64_t discards_duplicate = 0;  // duplicate shared page -> dropped
+  uint64_t discards_no_budget = 0;  // weights exhausted -> dropped
+  uint64_t global_hits_served = 0;  // getpage requests we answered with data
+  uint64_t epochs_started = 0;
+  uint64_t gcd_lookups = 0;
+  // Dirty-global extension counters.
+  uint64_t dirty_putpages_sent = 0;   // dirty pages replicated to peers
+  uint64_t dirty_writebacks_sent = 0; // dirty globals returned for write-back
+};
+
+class MemoryService {
+ public:
+  virtual ~MemoryService() = default;
+
+  // Tries to fetch `uid` from cluster memory. The callback always fires
+  // (possibly after a timeout) exactly once; on a miss the caller reads the
+  // page from disk or the file server.
+  virtual void GetPage(const Uid& uid, GetPageCallback callback) = 0;
+
+  // Takes ownership of a clean, unreferenced frame the pageout daemon chose
+  // to evict, and applies the policy: forward to another node, keep locally
+  // as a global page, or discard. The frame is freed (possibly after a
+  // marshaling delay). Dirty pages must be written to disk by the caller
+  // first (only clean pages ever enter global memory — section 3.3).
+  virtual void EvictClean(Frame* frame) = 0;
+
+  // Notifies the policy that a page was loaded from backing store into a
+  // local frame, so location directories can be updated.
+  virtual void OnPageLoaded(Frame* frame) = 0;
+
+  // Dirty-global extension (paper section 6 future work, off by default):
+  // offers a dirty frame to the policy *instead of* writing it to disk
+  // first. Returns true if the policy took ownership (replicating the page
+  // into the global memory of multiple nodes and freeing the frame); false
+  // means the caller must perform the ordinary disk write-back.
+  virtual bool EvictDirty(Frame* frame) {
+    (void)frame;
+    return false;
+  }
+
+  const MemoryServiceStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = MemoryServiceStats{}; }
+
+ protected:
+  MemoryServiceStats stats_;
+};
+
+// "Native OSF/1": every getpage misses, every eviction is a plain free.
+class NullMemoryService final : public MemoryService {
+ public:
+  NullMemoryService(Simulator* sim, FrameTable* frames)
+      : sim_(sim), frames_(frames) {}
+
+  void GetPage(const Uid& uid, GetPageCallback callback) override {
+    (void)uid;
+    stats_.getpage_attempts++;
+    stats_.getpage_misses++;
+    // Asynchronous like the real services, so callers never re-enter.
+    sim_->After(0, [cb = std::move(callback)]() { cb(GetPageResult{}); });
+  }
+
+  void EvictClean(Frame* frame) override { frames_->Free(frame); }
+
+  void OnPageLoaded(Frame* frame) override { (void)frame; }
+
+ private:
+  Simulator* sim_;
+  FrameTable* frames_;
+};
+
+}  // namespace gms
+
+#endif  // SRC_CORE_MEMORY_SERVICE_H_

@@ -1,0 +1,223 @@
+// GMS wire protocol.
+//
+// Message structs are carried as std::any payloads on src/net datagrams. The
+// wire size reported to the network is computed per message so that traffic
+// accounting (Figure 11, Table 5) reflects what a real implementation would
+// put on the wire, even though the simulation passes structs by value.
+#ifndef SRC_CORE_MESSAGES_H_
+#define SRC_CORE_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/node_id.h"
+#include "src/common/time.h"
+#include "src/common/uid.h"
+
+namespace gms {
+
+// Datagram::type tags; also the index used for per-type traffic accounting.
+enum MsgType : uint32_t {
+  kMsgGetPageReq = 1,    // requester -> GCD node
+  kMsgGetPageFwd = 2,    // GCD node -> node housing the page
+  kMsgGetPageReply = 3,  // housing node -> requester (carries the page)
+  kMsgGetPageMiss = 4,   // GCD node -> requester
+  kMsgPutPage = 5,       // evicting node -> target (carries the page)
+  kMsgGcdUpdate = 6,     // location change -> GCD node
+  kMsgEpochSummaryReq = 7,
+  kMsgEpochSummary = 8,
+  kMsgEpochParams = 9,
+  kMsgEpochStale = 10,   // weights exhausted/bounced -> next initiator
+  kMsgJoinReq = 11,
+  kMsgMemberUpdate = 12,
+  kMsgHeartbeat = 13,
+  kMsgHeartbeatAck = 14,
+  kMsgNfsReadReq = 15,
+  kMsgNfsReadReply = 16,
+  kMsgRepublish = 17,    // batched GCD re-registration after reconfiguration
+  kMsgNchanceForward = 18,
+  kMsgGcdInvalidate = 19,  // GCD node -> stale global holder: drop your copy
+  kMsgWriteBack = 20,      // dirty-global holder -> backing node: write to disk
+};
+
+struct GetPageReq {
+  Uid uid;
+  NodeId requester;
+  uint64_t op_id = 0;  // matches replies to pending fault state
+};
+
+struct GetPageFwd {
+  Uid uid;
+  NodeId requester;
+  uint64_t op_id = 0;
+};
+
+struct GetPageReply {
+  Uid uid;
+  uint64_t op_id = 0;
+  // True when the page was a global page and its housing node dropped its
+  // copy (single-copy invariant); false for a duplicated shared page.
+  bool was_global = false;
+  // The served copy was dirty (dirty-global extension): the faulting node
+  // must treat the page as dirty since disk does not have this version.
+  bool dirty = false;
+};
+
+struct GetPageMiss {
+  Uid uid;
+  uint64_t op_id = 0;
+};
+
+struct PutPage {
+  Uid uid;
+  NodeId from;
+  // Age (now - last access) of the page when evicted; the receiver inserts
+  // the page with this age preserved so global LRU ordering survives the
+  // transfer.
+  SimTime age = 0;
+  bool shared = false;
+  // Dirty-global extension (paper section 6 future work): the page has not
+  // been written to disk; the receiver must hold it as a dirty global page.
+  bool dirty = false;
+};
+
+// GCD mutations. kAdd registers a holder, kRemove drops one, kReplace moves
+// the (single) global copy to `node`, additionally dropping `prev` (the
+// evicting node, which no longer holds the page).
+struct GcdUpdate {
+  enum Op : uint8_t { kAdd, kRemove, kReplace };
+  Uid uid;
+  Op op = kAdd;
+  NodeId node;
+  bool global = false;  // holder caches the page as a global page
+  NodeId prev = kInvalidNode;
+};
+
+struct EpochSummaryReq {
+  uint64_t epoch = 0;
+  NodeId initiator;
+};
+
+// Per-node age summary (section 3.2): a fixed-size histogram of page ages
+// (global pages' ages pre-boosted), plus counts the initiator needs for
+// weight computation and for choosing M and T.
+struct EpochSummary {
+  uint64_t epoch = 0;
+  NodeId node;
+  LogHistogram ages;
+  uint32_t local_pages = 0;
+  uint32_t global_pages = 0;
+  uint32_t free_frames = 0;
+  // Evictions (putpage + discard) since the previous summary; the initiator
+  // sums these to estimate the cluster replacement rate when sizing M and T.
+  uint32_t evictions = 0;
+};
+
+struct EpochParams {
+  uint64_t epoch = 0;
+  SimTime min_age = 0;
+  SimTime duration = 0;   // T
+  uint64_t budget = 0;    // M
+  NodeId next_initiator;
+  // weights[i] = w_i for cluster node i (dense by NodeId); zero for nodes
+  // with no old pages.
+  std::vector<double> weights;
+};
+
+struct EpochStale {
+  uint64_t epoch = 0;
+  NodeId reporter;
+};
+
+struct JoinReq {
+  NodeId node;
+};
+
+// Replicated page-ownership-directory: bucket -> GCD node. Redistributed by
+// the master on every membership change (section 4.4).
+struct PodTable {
+  uint64_t version = 0;
+  std::vector<NodeId> live;     // current members
+  std::vector<NodeId> buckets;  // kPodBuckets entries
+};
+
+struct MemberUpdate {
+  PodTable pod;
+  NodeId master;
+};
+
+struct Heartbeat {
+  uint64_t seq = 0;
+};
+
+struct HeartbeatAck {
+  uint64_t seq = 0;
+  NodeId node;
+};
+
+struct NfsReadReq {
+  Uid uid;
+  NodeId client;
+  uint64_t op_id = 0;
+};
+
+struct NfsReadReply {
+  Uid uid;
+  uint64_t op_id = 0;
+  bool ok = false;  // false: no such file / server shutting down
+};
+
+// Batched re-registration of this node's pages with their (new) GCD owners
+// after a POD redistribution.
+struct Republish {
+  NodeId from;
+  std::vector<GcdUpdate> entries;
+};
+
+// Sent by a GCD node to a node holding a superseded global copy (a race
+// between a disk refetch and a putpage can briefly create two global
+// copies); the holder frees the clean page, restoring the single-copy
+// invariant.
+struct GcdInvalidate {
+  Uid uid;
+};
+
+// Dirty-global extension: a holder evicting a dirty global page returns it
+// to the backing node, which writes it to disk (carries the page data).
+struct WriteBack {
+  Uid uid;
+  NodeId from;
+};
+
+struct NchanceForward {
+  Uid uid;
+  NodeId from;
+  SimTime age = 0;
+  bool shared = false;
+  uint8_t recirculation = 0;
+};
+
+// Wire-size helpers (bytes), used when handing messages to the network.
+inline uint32_t SmallMessageBytes(uint32_t header) { return header; }
+
+inline uint32_t EpochSummaryBytes(uint32_t header) {
+  return header + static_cast<uint32_t>(LogHistogram::kWireSize) + 20;
+}
+
+inline uint32_t EpochParamsBytes(uint32_t header, size_t num_nodes) {
+  return header + 28 + static_cast<uint32_t>(num_nodes) * 4;
+}
+
+inline uint32_t MemberUpdateBytes(uint32_t header, size_t num_live,
+                                  size_t num_buckets) {
+  return header + static_cast<uint32_t>(num_live + num_buckets) * 4 + 12;
+}
+
+inline uint32_t RepublishBytes(uint32_t header, size_t num_entries) {
+  return header + static_cast<uint32_t>(num_entries) * 24;
+}
+
+}  // namespace gms
+
+#endif  // SRC_CORE_MESSAGES_H_

@@ -1,0 +1,77 @@
+#include "src/disk/disk.h"
+
+#include <utility>
+
+namespace gms {
+
+Disk::Disk(Simulator* sim, DiskParams params) : sim_(sim), params_(params) {}
+
+void Disk::Read(uint64_t block, EventFn done) {
+  queue_.push_back(Request{block, false, sim_->now(), std::move(done)});
+  if (!busy_) {
+    busy_ = true;
+    StartNext();
+  }
+}
+
+void Disk::Write(uint64_t block, EventFn done) {
+  queue_.push_back(Request{block, true, sim_->now(), std::move(done)});
+  if (!busy_) {
+    busy_ = true;
+    StartNext();
+  }
+}
+
+SimTime Disk::ServiceTime(const Request& req) {
+  if (req.is_write) {
+    stats_.writes++;
+    // Writes invalidate the readahead window (head moved away).
+    window_begin_ = 1;
+    window_end_ = 0;
+    last_read_block_ = UINT64_MAX;
+    return params_.positioning_write + params_.transfer_per_page;
+  }
+
+  stats_.reads++;
+  SimTime service;
+  if (req.block >= window_begin_ && req.block < window_end_) {
+    // Already streaming off the platter.
+    stats_.readahead_hits++;
+    service = params_.transfer_per_page;
+  } else if (last_read_block_ != UINT64_MAX && req.block == last_read_block_ + 1) {
+    // Sequential run continues past the window: start a new cluster with the
+    // cheap positioning cost and prefetch ahead.
+    stats_.sequential_reads++;
+    service = params_.positioning_sequential + params_.transfer_per_page;
+    window_begin_ = req.block + 1;
+    window_end_ = req.block + 1 + params_.readahead_pages;
+  } else {
+    service = params_.positioning_random + params_.transfer_per_page;
+    window_begin_ = req.block + 1;
+    window_end_ = req.block + 1 + params_.readahead_pages;
+  }
+  last_read_block_ = req.block;
+  return service;
+}
+
+void Disk::StartNext() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  Request req = std::move(queue_.front());
+  queue_.pop_front();
+  const SimTime service = ServiceTime(req);
+  stats_.busy_time += service;
+  sim_->After(service, [this, req = std::move(req)]() mutable {
+    if (!req.is_write) {
+      stats_.read_latency.Add(ToMicroseconds(sim_->now() - req.issued_at));
+    }
+    if (req.done) {
+      req.done();
+    }
+    StartNext();
+  });
+}
+
+}  // namespace gms

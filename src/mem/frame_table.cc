@@ -1,0 +1,243 @@
+#include "src/mem/frame_table.h"
+
+#include <cassert>
+
+namespace gms {
+
+FrameTable::FrameTable(uint32_t num_frames) {
+  assert(num_frames > 0);
+  frames_.resize(num_frames);
+  free_.reserve(num_frames);
+  // Hand out low indices first (cosmetic; keeps tests predictable).
+  for (uint32_t i = num_frames; i > 0; i--) {
+    frames_[i - 1].index_ = i - 1;
+    free_.push_back(i - 1);
+  }
+  index_.reserve(num_frames * 2);
+}
+
+Frame* FrameTable::Lookup(const Uid& uid) {
+  auto it = index_.find(uid);
+  return it == index_.end() ? nullptr : &frames_[it->second];
+}
+
+const Frame* FrameTable::Lookup(const Uid& uid) const {
+  auto it = index_.find(uid);
+  return it == index_.end() ? nullptr : &frames_[it->second];
+}
+
+Frame* FrameTable::Allocate(const Uid& uid, PageLocation location, SimTime now) {
+  assert(uid.valid());
+  assert(Lookup(uid) == nullptr);
+  if (free_.empty()) {
+    return nullptr;
+  }
+  const uint32_t idx = free_.back();
+  free_.pop_back();
+  Frame& f = frames_[idx];
+  f.uid = uid;
+  f.location = location;
+  f.dirty = false;
+  f.shared = false;
+  f.duplicated = false;
+  f.pinned = false;
+  f.recirculation = 0;
+  f.last_access = now;
+  index_.emplace(uid, idx);
+  PushMru(&f);
+  return &f;
+}
+
+Frame* FrameTable::AllocateWithAge(const Uid& uid, PageLocation location,
+                                   SimTime last_access) {
+  Frame* f = Allocate(uid, location, last_access);
+  if (f == nullptr) {
+    return nullptr;
+  }
+  // Allocate pushed at MRU; re-link at the position matching last_access.
+  Unlink(f);
+  InsertByAge(f);
+  return f;
+}
+
+void FrameTable::Free(Frame* frame) {
+  assert(frame != nullptr && frame->in_use());
+  Unlink(frame);
+  index_.erase(frame->uid);
+  frame->uid = kInvalidUid;
+  frame->pinned = false;
+  frame->dirty = false;
+  frame->duplicated = false;
+  free_.push_back(frame->index_);
+}
+
+void FrameTable::Touch(Frame* frame, SimTime now) {
+  assert(frame->in_use());
+  frame->last_access = now;
+  Unlink(frame);
+  PushMru(frame);
+}
+
+void FrameTable::SetLocation(Frame* frame, PageLocation location, SimTime now) {
+  assert(frame->in_use());
+  if (frame->location == location) {
+    Touch(frame, now);
+    return;
+  }
+  Unlink(frame);
+  frame->location = location;
+  frame->last_access = now;
+  PushMru(frame);
+}
+
+void FrameTable::MoveToList(Frame* frame, PageLocation location) {
+  assert(frame->in_use());
+  if (frame->location == location) {
+    return;
+  }
+  Unlink(frame);
+  frame->location = location;
+  InsertByAge(frame);
+}
+
+void FrameTable::Reset() {
+  const uint32_t n = num_frames();
+  frames_.clear();
+  free_.clear();
+  index_.clear();
+  lists_[0] = List{};
+  lists_[1] = List{};
+  frames_.resize(n);
+  for (uint32_t i = n; i > 0; i--) {
+    frames_[i - 1].index_ = i - 1;
+    free_.push_back(i - 1);
+  }
+}
+
+Frame* FrameTable::OldestOf(int list_index) {
+  return OldestOf(list_index, /*require_clean=*/false);
+}
+
+Frame* FrameTable::OldestOf(int list_index, bool require_clean) {
+  uint32_t idx = lists_[list_index].tail;
+  while (idx != UINT32_MAX) {
+    Frame& f = frames_[idx];
+    if (!f.pinned && !(require_clean && f.dirty)) {
+      return &f;
+    }
+    idx = f.prev_;
+  }
+  return nullptr;
+}
+
+Frame* FrameTable::PickVictim(SimTime now, double global_age_boost,
+                              bool require_clean) {
+  assert(global_age_boost >= 1.0);
+  Frame* local = OldestOf(0, require_clean);
+  Frame* global = OldestOf(1, require_clean);
+  if (global == nullptr) {
+    return local;
+  }
+  if (local == nullptr) {
+    return global;
+  }
+  const double local_age = static_cast<double>(now - local->last_access);
+  const double global_age =
+      static_cast<double>(now - global->last_access) * global_age_boost;
+  return global_age >= local_age ? global : local;
+}
+
+Frame* FrameTable::OldestMatching(
+    SimTime now, double global_age_boost,
+    const std::function<bool(const Frame&)>& pred) {
+  Frame* best = nullptr;
+  double best_age = -1;
+  for (int list = 0; list < 2; list++) {
+    uint32_t idx = lists_[list].tail;
+    while (idx != UINT32_MAX) {
+      Frame& f = frames_[idx];
+      if (!f.pinned && pred(f)) {
+        double age = static_cast<double>(now - f.last_access);
+        if (f.location == PageLocation::kGlobal) {
+          age *= global_age_boost;
+        }
+        if (age > best_age) {
+          best = &f;
+          best_age = age;
+        }
+        break;  // tail-first: the first match in a list is its oldest
+      }
+      idx = f.prev_;
+    }
+  }
+  return best;
+}
+
+void FrameTable::ForEach(const std::function<void(const Frame&)>& fn) const {
+  for (const Frame& f : frames_) {
+    if (f.in_use()) {
+      fn(f);
+    }
+  }
+}
+
+void FrameTable::InsertByAge(Frame* f) {
+  List& list = list_for(*f);
+  // Walk from the MRU end until we find a frame at least as recent as f;
+  // putpaged pages are younger than the receiving node's idle tail, so the
+  // walk is short in practice.
+  uint32_t idx = list.head;
+  uint32_t prev = UINT32_MAX;
+  while (idx != UINT32_MAX && frames_[idx].last_access > f->last_access) {
+    prev = idx;
+    idx = frames_[idx].next_;
+  }
+  // Insert f between prev and idx.
+  f->prev_ = prev;
+  f->next_ = idx;
+  if (prev != UINT32_MAX) {
+    frames_[prev].next_ = f->index_;
+  } else {
+    list.head = f->index_;
+  }
+  if (idx != UINT32_MAX) {
+    frames_[idx].prev_ = f->index_;
+  } else {
+    list.tail = f->index_;
+  }
+  list.size++;
+}
+
+void FrameTable::PushMru(Frame* f) {
+  List& list = list_for(*f);
+  f->prev_ = UINT32_MAX;
+  f->next_ = list.head;
+  if (list.head != UINT32_MAX) {
+    frames_[list.head].prev_ = f->index_;
+  }
+  list.head = f->index_;
+  if (list.tail == UINT32_MAX) {
+    list.tail = f->index_;
+  }
+  list.size++;
+}
+
+void FrameTable::Unlink(Frame* f) {
+  List& list = list_for(*f);
+  if (f->prev_ != UINT32_MAX) {
+    frames_[f->prev_].next_ = f->next_;
+  } else {
+    list.head = f->next_;
+  }
+  if (f->next_ != UINT32_MAX) {
+    frames_[f->next_].prev_ = f->prev_;
+  } else {
+    list.tail = f->prev_;
+  }
+  f->prev_ = UINT32_MAX;
+  f->next_ = UINT32_MAX;
+  assert(list.size > 0);
+  list.size--;
+}
+
+}  // namespace gms

@@ -1,0 +1,145 @@
+// Page-frame bookkeeping for one node.
+//
+// This is the storage half of the paper's page-frame-directory (PFD,
+// section 4.1): a per-node table with one record per resident page, holding
+// the frame, LRU statistics, and whether the page is local or global. Two
+// intrusive LRU lists (local and global) give O(1) access ordering and O(1)
+// oldest-page lookup, replacing the paper's sampled TLB ages with exact
+// last-access timestamps (a documented divergence — strictly better
+// information).
+#ifndef SRC_MEM_FRAME_TABLE_H_
+#define SRC_MEM_FRAME_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/common/uid.h"
+
+namespace gms {
+
+// A page on a node is local (recently accessed by this node) or global
+// (stored on behalf of the cluster). Section 3.1.
+enum class PageLocation : uint8_t {
+  kLocal,
+  kGlobal,
+};
+
+struct Frame {
+  Uid uid;
+  PageLocation location = PageLocation::kLocal;
+  bool dirty = false;
+  bool shared = false;       // backed by a file that other nodes may cache
+  bool duplicated = false;   // another node is known to cache a copy
+  bool pinned = false;       // mid-fault or mid-transfer; not evictable
+  SimTime last_access = 0;
+  // N-chance recirculation count; unused by GMS proper.
+  uint8_t recirculation = 0;
+
+  bool in_use() const { return uid.valid(); }
+
+ private:
+  friend class FrameTable;
+  uint32_t index_ = UINT32_MAX;
+  uint32_t prev_ = UINT32_MAX;
+  uint32_t next_ = UINT32_MAX;
+};
+
+class FrameTable {
+ public:
+  explicit FrameTable(uint32_t num_frames);
+  FrameTable(const FrameTable&) = delete;
+  FrameTable& operator=(const FrameTable&) = delete;
+
+  uint32_t num_frames() const { return static_cast<uint32_t>(frames_.size()); }
+  uint32_t free_count() const { return static_cast<uint32_t>(free_.size()); }
+  uint32_t local_count() const { return lists_[0].size; }
+  uint32_t global_count() const { return lists_[1].size; }
+  uint32_t used_count() const { return local_count() + global_count(); }
+
+  // Returns the frame caching `uid`, or nullptr.
+  Frame* Lookup(const Uid& uid);
+  const Frame* Lookup(const Uid& uid) const;
+
+  // Takes a free frame and binds it to `uid` at the MRU end of the given
+  // list. Returns nullptr when no frame is free (the caller must evict
+  // first). `uid` must not already be present.
+  Frame* Allocate(const Uid& uid, PageLocation location, SimTime now);
+
+  // Like Allocate, but the page keeps an externally-supplied last-access
+  // time (a putpaged page arrives with its age intact so global LRU ordering
+  // survives the transfer) and is linked at the list position matching that
+  // age.
+  Frame* AllocateWithAge(const Uid& uid, PageLocation location,
+                         SimTime last_access);
+
+  // Unbinds the frame and returns it to the free list.
+  void Free(Frame* frame);
+
+  // Records an access: updates last_access and moves the frame to MRU.
+  void Touch(Frame* frame, SimTime now);
+
+  // Moves a frame between the local and global lists (e.g. a received global
+  // page, or a faulted-in page becoming local), recording an access.
+  void SetLocation(Frame* frame, PageLocation location, SimTime now);
+
+  // Moves a frame between lists without touching its age (a page demoted to
+  // global in place keeps its LRU position — paper case 3 when the eviction
+  // target is this node itself).
+  void MoveToList(Frame* frame, PageLocation location);
+
+  // Drops every page (crash semantics: a failed node's memory contents are
+  // gone; clean global pages remain recoverable from disk).
+  void Reset();
+
+  // LRU-end (oldest) page of each list, skipping pinned frames; nullptr when
+  // the list has no evictable frame.
+  Frame* OldestLocal() { return OldestOf(0); }
+  Frame* OldestGlobal() { return OldestOf(1); }
+
+  // The node-level replacement choice (section 3.1): the oldest evictable
+  // page, with global pages' ages boosted by `global_age_boost` (>= 1) so
+  // they are replaced in preference to local pages of similar age ("our
+  // current implementation boosts the ages of global pages"). With
+  // `require_clean`, dirty frames are skipped (used on paths that must free
+  // a frame synchronously, e.g. absorbing an incoming putpage).
+  Frame* PickVictim(SimTime now, double global_age_boost,
+                    bool require_clean = false);
+
+  // Oldest unpinned frame satisfying `pred` (ages boosted for global pages
+  // as in PickVictim). Walks both LRU tails; used by N-chance's victim
+  // selection (oldest duplicate / oldest recirculating page).
+  Frame* OldestMatching(SimTime now, double global_age_boost,
+                        const std::function<bool(const Frame&)>& pred);
+
+  // Invokes fn for every in-use frame. Used by the epoch age scan; cost is
+  // charged to the CPU by the caller (Table 5: ~0.3 us/page).
+  void ForEach(const std::function<void(const Frame&)>& fn) const;
+
+ private:
+  struct List {
+    uint32_t head = UINT32_MAX;  // MRU
+    uint32_t tail = UINT32_MAX;  // LRU
+    uint32_t size = 0;
+  };
+
+  List& list_for(const Frame& f) {
+    return lists_[f.location == PageLocation::kLocal ? 0 : 1];
+  }
+  void PushMru(Frame* f);
+  void InsertByAge(Frame* f);
+  void Unlink(Frame* f);
+  Frame* OldestOf(int list_index);
+  Frame* OldestOf(int list_index, bool require_clean);
+
+  std::vector<Frame> frames_;
+  std::vector<uint32_t> free_;
+  std::unordered_map<Uid, uint32_t> index_;
+  List lists_[2];  // [0] local, [1] global
+};
+
+}  // namespace gms
+
+#endif  // SRC_MEM_FRAME_TABLE_H_

@@ -1,0 +1,391 @@
+#include "src/nchance/nchance_agent.h"
+
+#include <cassert>
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace gms {
+
+NchanceAgent::NchanceAgent(Simulator* sim, Network* net, Cpu* cpu,
+                           FrameTable* frames, NodeId self, uint64_t seed,
+                           NchanceConfig config)
+    : sim_(sim), net_(net), cpu_(cpu), frames_(frames), self_(self),
+      config_(config), rng_(seed) {}
+
+void NchanceAgent::Start(const PodTable& pod) {
+  alive_ = true;
+  pod_.Adopt(pod);
+}
+
+void NchanceAgent::SetAlive(bool alive) {
+  alive_ = alive;
+  if (!alive) {
+    for (auto& [id, pending] : pending_gets_) {
+      sim_->CancelTimer(pending.timer);
+    }
+    pending_gets_.clear();
+  }
+}
+
+void NchanceAgent::Send(NodeId dst, uint32_t type, uint32_t bytes,
+                        std::any payload) {
+  net_->Send(Datagram{self_, dst, bytes, type, std::move(payload)});
+}
+
+// ---------------------------------------------------------------------------
+// getpage: identical directory path to GMS (shared lookup infrastructure)
+// ---------------------------------------------------------------------------
+
+void NchanceAgent::GetPage(const Uid& uid, GetPageCallback callback) {
+  stats_.getpage_attempts++;
+  const uint64_t op_id = next_op_id_++;
+  PendingGet pending;
+  pending.uid = uid;
+  pending.callback = std::move(callback);
+  pending.timer = sim_->ScheduleTimer(config_.getpage_timeout, [this, op_id] {
+    stats_.getpage_timeouts++;
+    ResolveGet(op_id, GetPageResult{});
+  });
+  pending_gets_.emplace(op_id, std::move(pending));
+
+  cpu_->SubmitKernel(config_.costs.get_request_local, CpuCategory::kFault,
+                     [this, uid, op_id] {
+    if (!alive_) {
+      return;
+    }
+    const NodeId gcd_node = pod_.GcdNodeFor(uid);
+    if (gcd_node == self_) {
+      LookupInGcd(uid, self_, op_id);
+      return;
+    }
+    cpu_->SubmitKernel(config_.costs.get_request_remote_extra,
+                       CpuCategory::kFault, [this, uid, op_id, gcd_node] {
+      if (alive_) {
+        Send(gcd_node, kMsgGetPageReq, config_.costs.small_message_bytes(),
+             GetPageReq{uid, self_, op_id});
+      }
+    });
+  });
+}
+
+void NchanceAgent::LookupInGcd(const Uid& uid, NodeId requester,
+                               uint64_t op_id) {
+  const CpuCategory category =
+      requester == self_ ? CpuCategory::kFault : CpuCategory::kService;
+  cpu_->SubmitKernel(config_.costs.gcd_lookup, category,
+                     [this, uid, requester, op_id, category] {
+    if (!alive_) {
+      return;
+    }
+    stats_.gcd_lookups++;
+    const std::optional<GcdTable::Holder> pick = gcd_.Pick(uid, requester);
+    if (!pick.has_value() || !pod_.IsLive(pick->node)) {
+      if (requester == self_) {
+        ResolveGet(op_id, GetPageResult{});
+      } else {
+        Send(requester, kMsgGetPageMiss, config_.costs.small_message_bytes(),
+             GetPageMiss{uid, op_id});
+      }
+      return;
+    }
+    if (pick->global) {
+      gcd_.Apply(GcdUpdate{uid, GcdUpdate::kRemove, pick->node, true});
+    }
+    gcd_.Apply(GcdUpdate{uid, GcdUpdate::kAdd, requester, false});
+    cpu_->SubmitKernel(config_.costs.gcd_forward_extra, category,
+                       [this, uid, requester, op_id, holder = pick->node] {
+      if (alive_) {
+        Send(holder, kMsgGetPageFwd, config_.costs.small_message_bytes(),
+             GetPageFwd{uid, requester, op_id});
+      }
+    });
+  });
+}
+
+void NchanceAgent::HandleGetPageReq(const GetPageReq& msg) {
+  LookupInGcd(msg.uid, msg.requester, msg.op_id);
+}
+
+void NchanceAgent::HandleGetPageFwd(const GetPageFwd& msg) {
+  cpu_->SubmitKernel(config_.costs.get_target, CpuCategory::kService,
+                     [this, msg] {
+    if (!alive_) {
+      return;
+    }
+    Frame* frame = frames_->Lookup(msg.uid);
+    if (frame == nullptr || frame->pinned) {
+      Send(msg.requester, kMsgGetPageMiss, config_.costs.small_message_bytes(),
+           GetPageMiss{msg.uid, msg.op_id});
+      return;
+    }
+    GetPageReply reply{msg.uid, msg.op_id, false};
+    if (frame->location == PageLocation::kGlobal) {
+      reply.was_global = true;
+      stats_.global_hits_served++;
+      frames_->Free(frame);
+    } else {
+      frame->duplicated = true;
+    }
+    Send(msg.requester, kMsgGetPageReply, config_.costs.page_message_bytes(),
+         reply);
+  });
+}
+
+void NchanceAgent::HandleGetPageReply(const GetPageReply& msg) {
+  cpu_->SubmitKernel(config_.costs.get_reply_receipt_data, CpuCategory::kFault,
+                     [this, msg] {
+    if (alive_) {
+      ResolveGet(msg.op_id, GetPageResult{true, !msg.was_global});
+    }
+  });
+}
+
+void NchanceAgent::HandleGetPageMiss(const GetPageMiss& msg) {
+  cpu_->SubmitKernel(config_.costs.get_reply_receipt_miss, CpuCategory::kFault,
+                     [this, msg] {
+    if (alive_) {
+      ResolveGet(msg.op_id, GetPageResult{});
+    }
+  });
+}
+
+void NchanceAgent::ResolveGet(uint64_t op_id, GetPageResult result) {
+  auto it = pending_gets_.find(op_id);
+  if (it == pending_gets_.end()) {
+    return;
+  }
+  sim_->CancelTimer(it->second.timer);
+  GetPageCallback callback = std::move(it->second.callback);
+  pending_gets_.erase(it);
+  if (result.hit) {
+    stats_.getpage_hits++;
+  } else {
+    stats_.getpage_misses++;
+  }
+  callback(result);
+}
+
+void NchanceAgent::OnPageLoaded(Frame* frame) {
+  SendGcdUpdate(frame->uid, GcdUpdate::kAdd, self_,
+                frame->location == PageLocation::kGlobal);
+}
+
+void NchanceAgent::SendGcdUpdate(const Uid& uid, GcdUpdate::Op op,
+                                 NodeId holder, bool global, NodeId prev) {
+  GcdUpdate update{uid, op, holder, global, prev};
+  const NodeId gcd_node = pod_.GcdNodeFor(uid);
+  if (gcd_node == self_) {
+    gcd_.Apply(update);
+    return;
+  }
+  Send(gcd_node, kMsgGcdUpdate, config_.costs.small_message_bytes(), update);
+}
+
+void NchanceAgent::HandleGcdUpdate(const GcdUpdate& msg) {
+  cpu_->SubmitKernel(config_.costs.put_gcd_processing, CpuCategory::kService,
+                     [this, msg] {
+    if (alive_) {
+      gcd_.Apply(msg);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// N-chance replacement
+// ---------------------------------------------------------------------------
+
+void NchanceAgent::EvictClean(Frame* frame) {
+  assert(frame != nullptr && frame->in_use() && !frame->dirty);
+
+  // Non-singlets are simply discarded.
+  if (frame->duplicated) {
+    stats_.discards_duplicate++;
+    SendGcdUpdate(frame->uid, GcdUpdate::kRemove, self_,
+                  frame->location == PageLocation::kGlobal);
+    frames_->Free(frame);
+    return;
+  }
+
+  uint8_t count;
+  if (frame->location == PageLocation::kGlobal) {
+    // A recirculating page being evicted again: one hop consumed.
+    if (frame->recirculation <= 1) {
+      stats_.discards_old++;
+      nstats_.dropped_exhausted++;
+      SendGcdUpdate(frame->uid, GcdUpdate::kRemove, self_, true);
+      frames_->Free(frame);
+      return;
+    }
+    count = static_cast<uint8_t>(frame->recirculation - 1);
+  } else {
+    count = config_.recirculation;
+  }
+  ForwardPage(frame->uid, frame->shared, sim_->now() - frame->last_access,
+              count, frame);
+}
+
+void NchanceAgent::ForwardPage(Uid uid, bool shared, SimTime age,
+                               uint8_t count, Frame* frame_to_free) {
+  const std::optional<NodeId> target = RandomTarget();
+  if (!target.has_value()) {
+    stats_.discards_old++;
+    SendGcdUpdate(uid, GcdUpdate::kRemove, self_, true);
+    if (frame_to_free != nullptr) {
+      frames_->Free(frame_to_free);
+    }
+    return;
+  }
+  nstats_.forwards_sent++;
+  stats_.putpages_sent++;
+  if (frame_to_free != nullptr) {
+    frames_->Free(frame_to_free);  // copied to a network buffer
+  }
+  NchanceForward msg{uid, self_, age, shared, count};
+  cpu_->SubmitKernel(config_.costs.put_request, CpuCategory::kFault,
+                     [this, msg, target = *target] {
+    if (!alive_) {
+      return;
+    }
+    Send(target, kMsgNchanceForward, config_.costs.page_message_bytes(), msg);
+    SendGcdUpdate(msg.uid, GcdUpdate::kReplace, target, true, self_);
+  });
+}
+
+std::optional<NodeId> NchanceAgent::RandomTarget() {
+  const auto& live = pod_.table().live;
+  if (live.size() < 2) {
+    return std::nullopt;
+  }
+  for (;;) {
+    const NodeId node = live[rng_.NextBelow(live.size())];
+    if (node != self_) {
+      return node;
+    }
+  }
+}
+
+void NchanceAgent::HandleForward(const NchanceForward& msg) {
+  cpu_->SubmitKernel(config_.costs.put_target, CpuCategory::kService,
+                     [this, msg] {
+    if (!alive_) {
+      return;
+    }
+    nstats_.forwards_received++;
+    stats_.putpages_received++;
+
+    if (frames_->Lookup(msg.uid) != nullptr) {
+      SendGcdUpdate(msg.uid, GcdUpdate::kAdd, self_, false);
+      return;
+    }
+
+    auto install = [&]() -> bool {
+      // Dahlin: the received page is made the youngest on the LRU list.
+      Frame* frame = frames_->Allocate(msg.uid, PageLocation::kGlobal,
+                                       sim_->now());
+      if (frame == nullptr) {
+        return false;
+      }
+      frame->shared = msg.shared;
+      frame->recirculation = msg.recirculation;
+      return true;
+    };
+
+    // (1) a free page, if taking one will not trigger reclamation.
+    if (frames_->free_count() > config_.free_reserve && install()) {
+      return;
+    }
+
+    // (2) the oldest duplicate — even a recently-used one. This is the
+    // documented flaw that displaces active shared pages on non-idle nodes.
+    Frame* victim = frames_->OldestMatching(
+        sim_->now(), config_.global_age_boost,
+        [](const Frame& f) { return f.duplicated && !f.dirty; });
+    if (victim != nullptr) {
+      nstats_.victims_duplicate++;
+    } else {
+      // (3) the oldest recirculating page.
+      victim = frames_->OldestMatching(
+          sim_->now(), config_.global_age_boost, [](const Frame& f) {
+            return f.recirculation > 0 && !f.dirty &&
+                   f.location == PageLocation::kGlobal;
+          });
+      if (victim != nullptr) {
+        nstats_.victims_recirculating++;
+      }
+    }
+    if (victim == nullptr) {
+      // (4) a very old singlet.
+      Frame* oldest = frames_->PickVictim(sim_->now(), config_.global_age_boost,
+                                          /*require_clean=*/true);
+      if (oldest != nullptr &&
+          sim_->now() - oldest->last_access >= config_.very_old_age) {
+        victim = oldest;
+        nstats_.victims_old_singlet++;
+      }
+    }
+
+    if (victim != nullptr) {
+      SendGcdUpdate(victim->uid, GcdUpdate::kRemove, self_,
+                    victim->location == PageLocation::kGlobal);
+      frames_->Free(victim);
+      const bool ok = install();
+      assert(ok);
+      (void)ok;
+      return;
+    }
+
+    // No victim: decrement and re-forward, or drop at zero.
+    if (msg.recirculation <= 1) {
+      nstats_.dropped_exhausted++;
+      stats_.putpages_bounced++;
+      SendGcdUpdate(msg.uid, GcdUpdate::kRemove, self_, true);
+      return;
+    }
+    nstats_.reforwards++;
+    ForwardPage(msg.uid, msg.shared, msg.age,
+                static_cast<uint8_t>(msg.recirculation - 1), nullptr);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// dispatch
+// ---------------------------------------------------------------------------
+
+void NchanceAgent::OnDatagram(Datagram dgram) {
+  if (!alive_) {
+    return;
+  }
+  cpu_->SubmitKernel(config_.costs.receive_isr, CpuCategory::kService,
+                     [this, dgram = std::move(dgram)] {
+    if (!alive_) {
+      return;
+    }
+    switch (dgram.type) {
+      case kMsgGetPageReq:
+        HandleGetPageReq(std::any_cast<const GetPageReq&>(dgram.payload));
+        break;
+      case kMsgGetPageFwd:
+        HandleGetPageFwd(std::any_cast<const GetPageFwd&>(dgram.payload));
+        break;
+      case kMsgGetPageReply:
+        HandleGetPageReply(std::any_cast<const GetPageReply&>(dgram.payload));
+        break;
+      case kMsgGetPageMiss:
+        HandleGetPageMiss(std::any_cast<const GetPageMiss&>(dgram.payload));
+        break;
+      case kMsgNchanceForward:
+        HandleForward(std::any_cast<const NchanceForward&>(dgram.payload));
+        break;
+      case kMsgGcdUpdate:
+        HandleGcdUpdate(std::any_cast<const GcdUpdate&>(dgram.payload));
+        break;
+      default:
+        GMS_LOG_WARN("nchance node %u: unknown message type %u", self_.value,
+                     dgram.type);
+        break;
+    }
+  });
+}
+
+}  // namespace gms

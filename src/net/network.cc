@@ -1,0 +1,115 @@
+#include "src/net/network.h"
+#include <cstdio>
+#include <cstdlib>
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace gms {
+
+Network::Network(Simulator* sim, uint32_t num_nodes, NetworkParams params)
+    : sim_(sim), params_(params), endpoints_(num_nodes),
+      type_traffic_(kMaxTypes) {}
+
+void Network::Attach(NodeId node, DatagramHandler handler) {
+  endpoints_.at(node.value).handler = std::move(handler);
+}
+
+SimTime Network::TransferLatency(uint32_t bytes) const {
+  return params_.fixed_latency + params_.per_byte * bytes;
+}
+
+void Network::Send(Datagram dgram) {
+  assert(dgram.src.valid() && dgram.dst.valid());
+  if (dgram.dst.value >= endpoints_.size()) {
+    std::fprintf(stderr, "BAD SEND: src=%u dst=%u type=%u\n", dgram.src.value,
+                 dgram.dst.value, dgram.type);
+    std::abort();
+  }
+  Endpoint& src = endpoints_.at(dgram.src.value);
+  if (!src.up) {
+    return;
+  }
+  // The switch drops traffic for a down port immediately; a node that comes
+  // back up does not receive packets addressed to it while it was down.
+  if (!endpoints_.at(dgram.dst.value).up) {
+    if (dgram.src != dgram.dst) {
+      src.tx.Add(dgram.bytes);
+      total_traffic_.Add(dgram.bytes);
+    }
+    return;
+  }
+
+  if (dgram.src == dgram.dst) {
+    // Loopback: no wire, no latency, but still delivered asynchronously so
+    // handlers never re-enter their caller.
+    sim_->After(0, [this, dgram = std::move(dgram)]() mutable {
+      Endpoint& dst = endpoints_.at(dgram.dst.value);
+      if (dst.up && dst.handler) {
+        dst.handler(std::move(dgram));
+      }
+    });
+    return;
+  }
+
+  src.tx.Add(dgram.bytes);
+  total_traffic_.Add(dgram.bytes);
+  if (dgram.type < kMaxTypes) {
+    type_traffic_[dgram.type].Add(dgram.bytes);
+  }
+
+  // Egress serialization: the message occupies the sender's link for
+  // bytes * egress_per_byte starting when the link is free.
+  // Wire-rate serialization occupies the egress link; the remaining
+  // store-and-forward and controller time (TransferLatency minus the wire
+  // portion) is pure pipeline latency, so back-to-back sends still achieve
+  // full link throughput.
+  const SimTime serialize = params_.egress_per_byte * dgram.bytes;
+  const SimTime start = std::max(sim_->now(), src.egress_free_at);
+  src.egress_free_at = start + serialize;
+  const SimTime pipeline = TransferLatency(dgram.bytes) - serialize;
+  const SimTime arrival = src.egress_free_at + (pipeline > 0 ? pipeline : 0);
+
+  sim_->At(arrival, [this, dgram = std::move(dgram)]() mutable {
+    Endpoint& dst = endpoints_.at(dgram.dst.value);
+    if (!dst.up || !dst.handler) {
+      return;  // dropped on the floor; sender-side timeouts recover
+    }
+    dst.rx.Add(dgram.bytes);
+    dst.handler(std::move(dgram));
+  });
+}
+
+void Network::SetNodeUp(NodeId node, bool up) {
+  endpoints_.at(node.value).up = up;
+}
+
+bool Network::IsNodeUp(NodeId node) const {
+  return endpoints_.at(node.value).up;
+}
+
+const Counter& Network::node_tx(NodeId node) const {
+  return endpoints_.at(node.value).tx;
+}
+
+const Counter& Network::node_rx(NodeId node) const {
+  return endpoints_.at(node.value).rx;
+}
+
+const Counter& Network::type_traffic(uint32_t type) const {
+  return type_traffic_.at(type);
+}
+
+void Network::ResetStats() {
+  total_traffic_ = Counter{};
+  for (auto& c : type_traffic_) {
+    c = Counter{};
+  }
+  for (auto& e : endpoints_) {
+    e.tx = Counter{};
+    e.rx = Counter{};
+  }
+}
+
+}  // namespace gms

@@ -1,0 +1,104 @@
+// Cluster network model.
+//
+// Models the paper's environment: a reliable, switched, 155 Mb/s DEC AN2 ATM
+// LAN. Reliability is assumed (paper section 4.3: "we assume that the network
+// is reliable ... flow control eliminates cell loss"), so there is no
+// retransmission machinery; what the model does capture is
+//
+//   * per-message latency = fixed controller/switch overhead + serialization
+//     at the sender's link rate (the paper notes controller latency is
+//     comparable to fiber transmission time for large packets),
+//   * sender-side link contention (messages serialize on the egress link),
+//   * byte- and message-level traffic accounting (Figure 11, Table 5), and
+//   * node up/down state: packets to or from a down node vanish, which is
+//     what forces getpage timeouts and the disk fallback after a crash.
+//
+// Payloads are std::any; the GMS protocol definitions live in src/core.
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/node_id.h"
+#include "src/common/stats.h"
+#include "src/common/time.h"
+#include "src/sim/simulator.h"
+
+namespace gms {
+
+struct Datagram {
+  NodeId src;
+  NodeId dst;
+  uint32_t bytes = 0;  // wire size including headers
+  uint32_t type = 0;   // protocol-defined tag, used for per-type accounting
+  std::any payload;
+};
+
+using DatagramHandler = std::function<void(Datagram)>;
+
+struct NetworkParams {
+  // Fixed per-message overhead: send/receive controllers plus switch.
+  SimTime fixed_latency = Microseconds(105);
+  // Serialization rate. 155 Mb/s ATM ~= 19.4 bytes/us ~= 51.6 ns/byte; the
+  // default of 100 ns/byte additionally folds in the receiving controller's
+  // store-and-forward copy, calibrated so an 8 KB transfer costs ~930 us
+  // end-to-end and the Table 1 getpage totals land on the paper's values.
+  SimTime per_byte = Nanoseconds(100);
+  // Egress link rate used for contention (pure wire rate, 51.6 ns/byte).
+  SimTime egress_per_byte = Nanoseconds(52);
+};
+
+class Network {
+ public:
+  Network(Simulator* sim, uint32_t num_nodes, NetworkParams params = {});
+
+  // Registers the receive handler for a node. Must be set before traffic
+  // arrives; replacing an existing handler is allowed (used when an agent is
+  // rebuilt after a reboot).
+  void Attach(NodeId node, DatagramHandler handler);
+
+  // Sends one datagram. Self-sends are delivered through the queue with no
+  // wire cost or latency (loopback). Packets involving a down endpoint are
+  // silently dropped, like a LAN with an unplugged station.
+  void Send(Datagram dgram);
+
+  // Marks a node down/up. Down nodes neither send nor receive.
+  void SetNodeUp(NodeId node, bool up);
+  bool IsNodeUp(NodeId node) const;
+
+  uint32_t num_nodes() const { return static_cast<uint32_t>(endpoints_.size()); }
+
+  // End-to-end latency for a message of the given size, ignoring contention.
+  SimTime TransferLatency(uint32_t bytes) const;
+
+  // --- accounting ---
+  const Counter& total_traffic() const { return total_traffic_; }
+  const Counter& node_tx(NodeId node) const;
+  const Counter& node_rx(NodeId node) const;
+  // Per-type counters (indexed by Datagram::type, up to kMaxTypes).
+  static constexpr uint32_t kMaxTypes = 32;
+  const Counter& type_traffic(uint32_t type) const;
+  void ResetStats();
+
+ private:
+  struct Endpoint {
+    DatagramHandler handler;
+    bool up = true;
+    SimTime egress_free_at = 0;
+    Counter tx;
+    Counter rx;
+  };
+
+  Simulator* sim_;
+  NetworkParams params_;
+  std::vector<Endpoint> endpoints_;
+  Counter total_traffic_;
+  std::vector<Counter> type_traffic_;
+};
+
+}  // namespace gms
+
+#endif  // SRC_NET_NETWORK_H_

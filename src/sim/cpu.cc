@@ -1,0 +1,50 @@
+#include "src/sim/cpu.h"
+
+#include <cassert>
+#include <utility>
+
+namespace gms {
+
+void Cpu::Submit(SimTime duration, CpuCategory category, int priority,
+                 EventFn done) {
+  assert(duration >= 0);
+  assert(priority >= 0 && priority < kNumPriorities);
+  queues_[static_cast<size_t>(priority)].push_back(
+      Task{duration, category, std::move(done)});
+  if (!busy_) {
+    busy_ = true;
+    StartNext();
+  }
+}
+
+void Cpu::StartNext() {
+  for (auto& queue : queues_) {
+    if (queue.empty()) {
+      continue;
+    }
+    Task task = std::move(queue.front());
+    queue.pop_front();
+    sim_->After(task.duration, [this, task = std::move(task)]() mutable {
+      busy_time_[static_cast<size_t>(task.category)] += task.duration;
+      completed_[static_cast<size_t>(task.category)]++;
+      // Run the completion before starting the next task so that any work it
+      // submits competes in priority order with what is already queued.
+      if (task.done) {
+        task.done();
+      }
+      StartNext();
+    });
+    return;
+  }
+  busy_ = false;
+}
+
+SimTime Cpu::total_busy_time() const {
+  SimTime total = 0;
+  for (SimTime t : busy_time_) {
+    total += t;
+  }
+  return total;
+}
+
+}  // namespace gms

@@ -1,0 +1,87 @@
+// Per-node CPU model.
+//
+// Each node owns one Cpu. Workload computation, GMS request service
+// (getpage/putpage handling on a target node), and epoch bookkeeping are
+// submitted as non-preemptive tasks with a priority class; kernel-side
+// service work runs ahead of queued workload quanta, which is how serving
+// remote memory steals cycles from local programs (the effect measured in
+// Figures 10 and 13 of the paper).
+//
+// Per-category busy accounting supports the idle-node CPU overhead
+// measurement (Figure 13: 2880 ops/s at ~194 us/op -> 56 % CPU).
+#ifndef SRC_SIM_CPU_H_
+#define SRC_SIM_CPU_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "src/common/time.h"
+#include "src/sim/simulator.h"
+
+namespace gms {
+
+enum class CpuCategory : int {
+  kWorkload = 0,   // application compute
+  kFault = 1,      // requester-side fault handling (getpage/putpage issue)
+  kService = 2,    // target-side getpage/putpage/GCD processing
+  kEpoch = 3,      // age summaries and epoch parameter distribution
+  kCategoryCount = 4,
+};
+
+class Cpu {
+ public:
+  // Priorities: lower value runs first. Service/epoch work is kernel-side
+  // and runs ahead of workload quanta.
+  static constexpr int kPriorityKernel = 0;
+  static constexpr int kPriorityUser = 1;
+  static constexpr int kNumPriorities = 2;
+
+  explicit Cpu(Simulator* sim) : sim_(sim) {}
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  // Enqueues `duration` of CPU work; `done` fires when the task completes.
+  // Zero-duration tasks are legal and complete via the queue (preserving
+  // ordering with already-queued work).
+  void Submit(SimTime duration, CpuCategory category, int priority, EventFn done);
+
+  // Kernel-side convenience.
+  void SubmitKernel(SimTime duration, CpuCategory category, EventFn done) {
+    Submit(duration, category, kPriorityKernel, std::move(done));
+  }
+
+  bool busy() const { return busy_; }
+
+  // Cumulative busy time attributed to the category.
+  SimTime busy_time(CpuCategory category) const {
+    return busy_time_[static_cast<size_t>(category)];
+  }
+  SimTime total_busy_time() const;
+
+  // Tasks completed per category.
+  uint64_t completed(CpuCategory category) const {
+    return completed_[static_cast<size_t>(category)];
+  }
+
+ private:
+  struct Task {
+    SimTime duration;
+    CpuCategory category;
+    EventFn done;
+  };
+
+  void StartNext();
+
+  Simulator* sim_;
+  bool busy_ = false;
+  std::array<std::deque<Task>, kNumPriorities> queues_;
+  std::array<SimTime, static_cast<size_t>(CpuCategory::kCategoryCount)>
+      busy_time_ = {};
+  std::array<uint64_t, static_cast<size_t>(CpuCategory::kCategoryCount)>
+      completed_ = {};
+};
+
+}  // namespace gms
+
+#endif  // SRC_SIM_CPU_H_

@@ -1,0 +1,72 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace gms {
+
+void Simulator::At(SimTime t, EventFn fn) {
+  assert(t >= now_);
+  queue_.push(Event{t, next_seq_++, 0, std::move(fn)});
+}
+
+void Simulator::After(SimTime delay, EventFn fn) {
+  assert(delay >= 0);
+  At(now_ + delay, std::move(fn));
+}
+
+TimerId Simulator::ScheduleTimer(SimTime delay, EventFn fn) {
+  assert(delay >= 0);
+  const TimerId id = next_timer_++;
+  queue_.push(Event{now_ + delay, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+void Simulator::CancelTimer(TimerId id) {
+  if (id != 0) {
+    cancelled_.insert(id);
+  }
+}
+
+bool Simulator::Dispatch() {
+  // priority_queue exposes only const top(); the event's fn is mutable so we
+  // can move it out before popping.
+  const Event& top = queue_.top();
+  now_ = top.time;
+  const TimerId timer = top.timer;
+  EventFn fn = std::move(top.fn);
+  queue_.pop();
+  if (timer != 0) {
+    auto it = cancelled_.find(timer);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      return false;
+    }
+  }
+  fn();
+  events_processed_++;
+  return true;
+}
+
+uint64_t Simulator::Run() {
+  stopped_ = false;
+  const uint64_t start = events_processed_;
+  while (!queue_.empty() && !stopped_) {
+    Dispatch();
+  }
+  return events_processed_ - start;
+}
+
+uint64_t Simulator::RunUntil(SimTime t) {
+  stopped_ = false;
+  const uint64_t start = events_processed_;
+  while (!queue_.empty() && !stopped_ && queue_.top().time <= t) {
+    Dispatch();
+  }
+  if (!stopped_ && now_ < t) {
+    now_ = t;
+  }
+  return events_processed_ - start;
+}
+
+}  // namespace gms

@@ -1,0 +1,93 @@
+// Deterministic discrete-event simulation engine.
+//
+// Everything in the cluster model (network delivery, disk completion, epoch
+// timers, CPU task completion) is an event on a single global queue ordered
+// by (time, sequence number). Ties are broken by insertion order, so a run is
+// a pure function of the configuration and RNG seeds.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace gms {
+
+using EventFn = std::function<void()>;
+
+// Identifies a cancellable timer. Zero is never a valid id.
+using TimerId = uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules fn to run at absolute simulated time t (>= now).
+  void At(SimTime t, EventFn fn);
+
+  // Schedules fn to run after the given delay (>= 0).
+  void After(SimTime delay, EventFn fn);
+
+  // Like After, but returns an id that can cancel the event before it fires.
+  TimerId ScheduleTimer(SimTime delay, EventFn fn);
+
+  // Cancels a pending timer. Cancelling an already-fired or already-cancelled
+  // timer is a harmless no-op.
+  void CancelTimer(TimerId id);
+
+  // Runs until the queue is empty or Stop() is called. Returns the number of
+  // events processed by this call.
+  uint64_t Run();
+
+  // Processes all events with time <= t, then advances the clock to t.
+  // Returns the number of events processed.
+  uint64_t RunUntil(SimTime t);
+
+  // Convenience: RunUntil(now() + d).
+  uint64_t RunFor(SimTime d) { return RunUntil(now_ + d); }
+
+  // Makes Run/RunUntil return after the current event completes.
+  void Stop() { stopped_ = true; }
+
+  bool empty() const { return queue_.empty(); }
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    TimerId timer;  // 0 when not cancellable
+    mutable EventFn fn;
+
+    bool operator>(const Event& o) const {
+      if (time != o.time) {
+        return time > o.time;
+      }
+      return seq > o.seq;
+    }
+  };
+
+  // Pops and runs the front event. Returns false if it was a cancelled timer
+  // (in which case nothing user-visible happened).
+  bool Dispatch();
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  TimerId next_timer_ = 1;
+  bool stopped_ = false;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<TimerId> cancelled_;
+};
+
+}  // namespace gms
+
+#endif  // SRC_SIM_SIMULATOR_H_

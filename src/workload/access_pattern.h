@@ -1,0 +1,49 @@
+// Workload access-pattern interface.
+//
+// A pattern is a deterministic (given the Rng) stream of page accesses with
+// attached compute time — the simulation analogue of an application binary.
+// The six models in applications.h reproduce the structure of the paper's
+// application suite.
+#ifndef SRC_WORKLOAD_ACCESS_PATTERN_H_
+#define SRC_WORKLOAD_ACCESS_PATTERN_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/common/uid.h"
+
+namespace gms {
+
+struct AccessOp {
+  SimTime compute = 0;  // CPU work preceding the access
+  Uid uid;
+  bool write = false;
+};
+
+class AccessPattern {
+ public:
+  virtual ~AccessPattern() = default;
+
+  // The next operation, or nullopt when the workload has finished. A
+  // finished pattern keeps returning nullopt.
+  virtual std::optional<AccessOp> Next(Rng& rng) = 0;
+};
+
+// A contiguous run of pages (a file, or an anonymous region) indexed 0..n-1.
+struct PageSet {
+  Uid base;
+  uint64_t pages = 0;
+
+  Uid at(uint64_t i) const {
+    return MakeUid(base.ip(), base.partition(), base.inode(),
+                   base.page_offset() + static_cast<uint32_t>(i));
+  }
+};
+
+}  // namespace gms
+
+#endif  // SRC_WORKLOAD_ACCESS_PATTERN_H_

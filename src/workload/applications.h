@@ -1,0 +1,66 @@
+// Models of the paper's application suite (section 5.3).
+//
+// Each factory returns an access-pattern model with the footprint and access
+// structure the paper describes. Absolute speedups depend on the calibrated
+// substrate; the models fix the *shape*: footprint relative to a 64 MB node,
+// randomness vs. sequentiality (which sets the disk penalty), compute
+// density (which dilutes fault cost), and write intensity.
+//
+//   Boeing CAD     trace replay: 8-engineer bursty sessions against a shared
+//                  500 MB database file; synthesized trace, high randomness
+//   VLSI Router    memory-intensive anonymous heap, spatial locality runs
+//   Compile&Link   file I/O dominated: per-unit source reads, shared-header
+//                  reuse, object writes, then a link phase scanning objects
+//   OO7            build phase writing a VM-resident parts database, then
+//                  pointer-chasing traversals (random, read-mostly)
+//   Render         sliding working set through a 178 MB scene database
+//   Web Query      Zipf query mix over a large full-text index
+#ifndef SRC_WORKLOAD_APPLICATIONS_H_
+#define SRC_WORKLOAD_APPLICATIONS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/node_id.h"
+#include "src/workload/access_pattern.h"
+
+namespace gms {
+
+enum class AppKind {
+  kBoeingCad,
+  kVlsiRouter,
+  kCompileAndLink,
+  kOO7,
+  kRender,
+  kWebQuery,
+};
+
+const char* AppName(AppKind kind);
+
+struct AppSpec {
+  std::string name;
+  // Total distinct pages the model touches; the experiment harness sizes
+  // idle memory against this.
+  uint64_t footprint_pages = 0;
+  std::unique_ptr<AccessPattern> pattern;
+};
+
+// `self` is the node running the application (anonymous regions live on its
+// swap); `file_server` hosts shared files (pass `self` to keep files on the
+// local disk, as in the paper's single-application measurements). `scale`
+// scales both footprint and operation count; 1.0 reproduces the paper-sized
+// runs, smaller values make quick test runs.
+AppSpec MakeApp(AppKind kind, NodeId self, NodeId file_server, double scale,
+                uint64_t seed);
+
+AppSpec MakeBoeingCad(NodeId self, NodeId file_server, double scale,
+                      uint64_t seed);
+AppSpec MakeVlsiRouter(NodeId self, double scale);
+AppSpec MakeCompileAndLink(NodeId self, double scale);
+AppSpec MakeOO7(NodeId self, double scale);
+AppSpec MakeRender(NodeId self, NodeId file_server, double scale);
+AppSpec MakeWebQueryServer(NodeId self, double scale);
+
+}  // namespace gms
+
+#endif  // SRC_WORKLOAD_APPLICATIONS_H_

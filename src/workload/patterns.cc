@@ -1,0 +1,175 @@
+#include "src/workload/patterns.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gms {
+
+namespace {
+
+// Fixed pseudo-random permutation index for scattering Zipf ranks across a
+// set: deterministic, collision-free enough for workload purposes.
+uint64_t ScatterRank(uint64_t rank, uint64_t n) {
+  const uint64_t h = (rank * 0x9e3779b97f4a7c15ULL) ^ (rank >> 7);
+  return (rank + (h % n)) % n;
+}
+
+}  // namespace
+
+SequentialPattern::SequentialPattern(PageSet set, uint64_t total_ops,
+                                     SimTime compute, double write_fraction)
+    : set_(set), remaining_(total_ops), compute_(compute),
+      write_fraction_(write_fraction) {
+  assert(set_.pages > 0);
+}
+
+std::optional<AccessOp> SequentialPattern::Next(Rng& rng) {
+  if (remaining_ == 0) {
+    return std::nullopt;
+  }
+  remaining_--;
+  AccessOp op;
+  op.compute = compute_;
+  op.uid = set_.at(position_);
+  op.write = write_fraction_ > 0 && rng.NextBool(write_fraction_);
+  position_ = (position_ + 1) % set_.pages;
+  return op;
+}
+
+UniformRandomPattern::UniformRandomPattern(PageSet set, uint64_t total_ops,
+                                           SimTime compute,
+                                           double write_fraction)
+    : set_(set), remaining_(total_ops), compute_(compute),
+      write_fraction_(write_fraction) {
+  assert(set_.pages > 0);
+}
+
+std::optional<AccessOp> UniformRandomPattern::Next(Rng& rng) {
+  if (remaining_ == 0) {
+    return std::nullopt;
+  }
+  remaining_--;
+  AccessOp op;
+  op.compute = compute_;
+  op.uid = set_.at(rng.NextBelow(set_.pages));
+  op.write = write_fraction_ > 0 && rng.NextBool(write_fraction_);
+  return op;
+}
+
+ZipfPattern::ZipfPattern(PageSet set, uint64_t total_ops, SimTime compute,
+                         double theta, double write_fraction)
+    : set_(set), remaining_(total_ops), compute_(compute),
+      write_fraction_(write_fraction), zipf_(set.pages, theta) {
+  assert(set_.pages > 0);
+}
+
+std::optional<AccessOp> ZipfPattern::Next(Rng& rng) {
+  if (remaining_ == 0) {
+    return std::nullopt;
+  }
+  remaining_--;
+  AccessOp op;
+  op.compute = compute_;
+  op.uid = set_.at(ScatterRank(zipf_.Sample(rng), set_.pages));
+  op.write = write_fraction_ > 0 && rng.NextBool(write_fraction_);
+  return op;
+}
+
+ClusteredWalkPattern::ClusteredWalkPattern(PageSet set, uint64_t total_ops,
+                                           SimTime compute, double mean_run,
+                                           double write_fraction,
+                                           uint64_t stride)
+    : set_(set), remaining_(total_ops), compute_(compute),
+      mean_run_(mean_run), write_fraction_(write_fraction), stride_(stride) {
+  assert(set_.pages > 0);
+  assert(mean_run_ >= 1.0);
+}
+
+std::optional<AccessOp> ClusteredWalkPattern::Next(Rng& rng) {
+  if (remaining_ == 0) {
+    return std::nullopt;
+  }
+  remaining_--;
+  if (run_left_ == 0) {
+    position_ = rng.NextBelow(set_.pages);
+    run_left_ = 1 + static_cast<uint64_t>(rng.NextExponential(mean_run_ - 1.0));
+  }
+  AccessOp op;
+  op.compute = compute_;
+  op.uid = set_.at(position_);
+  op.write = write_fraction_ > 0 && rng.NextBool(write_fraction_);
+  position_ = (position_ + stride_) % set_.pages;
+  run_left_--;
+  return op;
+}
+
+SlidingWindowPattern::SlidingWindowPattern(PageSet set, uint64_t total_ops,
+                                           SimTime compute,
+                                           uint64_t window_pages,
+                                           uint64_t advance_every, double theta)
+    : set_(set), remaining_(total_ops), compute_(compute),
+      window_pages_(std::min(window_pages, set.pages)),
+      advance_every_(advance_every), zipf_(window_pages_, theta) {
+  assert(set_.pages > 0);
+  assert(window_pages_ > 0);
+  assert(advance_every_ > 0);
+}
+
+std::optional<AccessOp> SlidingWindowPattern::Next(Rng& rng) {
+  if (remaining_ == 0) {
+    return std::nullopt;
+  }
+  remaining_--;
+  if (++since_advance_ >= advance_every_) {
+    since_advance_ = 0;
+    window_start_ = (window_start_ + 1) % set_.pages;
+  }
+  const uint64_t rank = zipf_.Sample(rng);
+  AccessOp op;
+  op.compute = compute_;
+  op.uid = set_.at((window_start_ + rank) % set_.pages);
+  return op;
+}
+
+ChainPattern::ChainPattern(std::vector<std::unique_ptr<AccessPattern>> phases)
+    : phases_(std::move(phases)) {}
+
+std::optional<AccessOp> ChainPattern::Next(Rng& rng) {
+  while (current_ < phases_.size()) {
+    std::optional<AccessOp> op = phases_[current_]->Next(rng);
+    if (op.has_value()) {
+      return op;
+    }
+    current_++;
+  }
+  return std::nullopt;
+}
+
+InterleavePattern::InterleavePattern(std::unique_ptr<AccessPattern> a,
+                                     std::unique_ptr<AccessPattern> b,
+                                     double a_share)
+    : a_(std::move(a)), b_(std::move(b)), a_share_(a_share) {}
+
+std::optional<AccessOp> InterleavePattern::Next(Rng& rng) {
+  AccessPattern* first = rng.NextBool(a_share_) ? a_.get() : b_.get();
+  AccessPattern* second = first == a_.get() ? b_.get() : a_.get();
+  std::optional<AccessOp> op = first->Next(rng);
+  if (!op.has_value()) {
+    // One side is exhausted; drain the other.
+    op = second->Next(rng);
+  }
+  return op;
+}
+
+TracePattern::TracePattern(std::vector<AccessOp> trace)
+    : trace_(std::move(trace)) {}
+
+std::optional<AccessOp> TracePattern::Next(Rng& rng) {
+  (void)rng;
+  if (position_ >= trace_.size()) {
+    return std::nullopt;
+  }
+  return trace_[position_++];
+}
+
+}  // namespace gms

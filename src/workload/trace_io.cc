@@ -1,0 +1,92 @@
+#include "src/workload/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace gms {
+
+size_t WriteTrace(std::ostream& os, const std::vector<AccessOp>& ops) {
+  os << "# gms access trace v1\n";
+  os << "# compute_ns ip partition inode page_offset r|w\n";
+  for (const AccessOp& op : ops) {
+    os << op.compute << ' ' << op.uid.ip() << ' ' << op.uid.partition() << ' '
+       << op.uid.inode() << ' ' << op.uid.page_offset() << ' '
+       << (op.write ? 'w' : 'r') << '\n';
+  }
+  return ops.size();
+}
+
+std::optional<std::vector<AccessOp>> ReadTrace(std::istream& is,
+                                               std::string* error) {
+  std::vector<AccessOp> ops;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    line_no++;
+    // Strip comments and blank lines.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream fields(line);
+    int64_t compute;
+    uint64_t ip, partition, inode, offset;
+    std::string rw;
+    if (!(fields >> compute)) {
+      continue;  // blank/comment-only line
+    }
+    if (!(fields >> ip >> partition >> inode >> offset >> rw) ||
+        (rw != "r" && rw != "w") || compute < 0 || ip > UINT32_MAX ||
+        partition > UINT16_MAX || inode >= (1ULL << 48) ||
+        offset > UINT32_MAX) {
+      if (error != nullptr) {
+        *error = "malformed trace line " + std::to_string(line_no) + ": " + line;
+      }
+      return std::nullopt;
+    }
+    AccessOp op;
+    op.compute = compute;
+    op.uid = MakeUid(static_cast<uint32_t>(ip), static_cast<uint16_t>(partition),
+                     inode, static_cast<uint32_t>(offset));
+    op.write = (rw == "w");
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+bool WriteTraceFile(const std::string& path, const std::vector<AccessOp>& ops) {
+  std::ofstream os(path);
+  if (!os) {
+    return false;
+  }
+  WriteTrace(os, ops);
+  return static_cast<bool>(os);
+}
+
+std::optional<std::vector<AccessOp>> ReadTraceFile(const std::string& path,
+                                                   std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return std::nullopt;
+  }
+  return ReadTrace(is, error);
+}
+
+std::vector<AccessOp> RecordPattern(AccessPattern& pattern, Rng& rng,
+                                    size_t max_ops) {
+  std::vector<AccessOp> ops;
+  ops.reserve(max_ops);
+  while (ops.size() < max_ops) {
+    std::optional<AccessOp> op = pattern.Next(rng);
+    if (!op.has_value()) {
+      break;
+    }
+    ops.push_back(*op);
+  }
+  return ops;
+}
+
+}  // namespace gms

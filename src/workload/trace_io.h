@@ -1,0 +1,41 @@
+// Access-trace persistence.
+//
+// The Boeing CAD workload in the paper is a replay of captured page-level
+// traces. This module gives the reproduction the same workflow: any access
+// pattern can be recorded to a portable text format and replayed later (or
+// edited, filtered, inspected with standard tools).
+//
+// Format: one op per line, '#' comments allowed:
+//   <compute_ns> <ip> <partition> <inode> <page_offset> <r|w>
+#ifndef SRC_WORKLOAD_TRACE_IO_H_
+#define SRC_WORKLOAD_TRACE_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/workload/access_pattern.h"
+
+namespace gms {
+
+// Serializes ops to the text format. Returns the number of ops written.
+size_t WriteTrace(std::ostream& os, const std::vector<AccessOp>& ops);
+
+// Parses a trace. Returns nullopt on malformed input and reports the
+// offending line via `error` (when non-null).
+std::optional<std::vector<AccessOp>> ReadTrace(std::istream& is,
+                                               std::string* error = nullptr);
+
+// Convenience file wrappers. Write returns false on I/O failure.
+bool WriteTraceFile(const std::string& path, const std::vector<AccessOp>& ops);
+std::optional<std::vector<AccessOp>> ReadTraceFile(const std::string& path,
+                                                   std::string* error = nullptr);
+
+// Drains a pattern into a trace vector (at most `max_ops` entries).
+std::vector<AccessOp> RecordPattern(AccessPattern& pattern, Rng& rng,
+                                    size_t max_ops);
+
+}  // namespace gms
+
+#endif  // SRC_WORKLOAD_TRACE_IO_H_

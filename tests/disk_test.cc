@@ -1,0 +1,132 @@
+// Unit tests for the disk model: sequential vs random service times,
+// readahead behaviour, FIFO queueing, and write handling.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/disk/disk.h"
+
+namespace gms {
+namespace {
+
+// Issues a read and runs the sim to completion; returns the latency.
+SimTime TimedRead(Simulator& sim, Disk& disk, uint64_t block) {
+  const SimTime t0 = sim.now();
+  SimTime t1 = t0;
+  disk.Read(block, [&] { t1 = sim.now(); });
+  sim.Run();
+  return t1 - t0;
+}
+
+TEST(DiskTest, RandomReadPaysFullPositioning) {
+  Simulator sim;
+  DiskParams params;
+  Disk disk(&sim, params);
+  const SimTime latency = TimedRead(sim, disk, 1000);
+  EXPECT_EQ(latency, params.positioning_random + params.transfer_per_page);
+}
+
+TEST(DiskTest, ReadaheadMakesFollowersCheap) {
+  Simulator sim;
+  DiskParams params;
+  Disk disk(&sim, params);
+  TimedRead(sim, disk, 1000);  // seeds the window
+  // The next pages are inside the prefetch window: transfer only.
+  for (uint64_t b = 1001; b < 1001 + params.readahead_pages; b++) {
+    EXPECT_EQ(TimedRead(sim, disk, b), params.transfer_per_page) << b;
+  }
+}
+
+TEST(DiskTest, SequentialBeyondWindowPaysCheapPositioning) {
+  Simulator sim;
+  DiskParams params;
+  Disk disk(&sim, params);
+  TimedRead(sim, disk, 1000);
+  for (uint64_t b = 1001; b <= 1000 + params.readahead_pages; b++) {
+    TimedRead(sim, disk, b);
+  }
+  // First block past the window continues the sequential run.
+  const SimTime latency = TimedRead(sim, disk, 1001 + params.readahead_pages);
+  EXPECT_EQ(latency, params.positioning_sequential + params.transfer_per_page);
+}
+
+TEST(DiskTest, SteadyStateAveragesMatchPaper) {
+  Simulator sim;
+  Disk disk(&sim, DiskParams{});
+  // Long sequential scan: average should land near 3.6 ms/page.
+  for (uint64_t b = 0; b < 512; b++) {
+    TimedRead(sim, disk, b);
+  }
+  const double seq_ms = disk.stats().read_latency.mean() / 1000.0;
+  EXPECT_GT(seq_ms, 3.0);
+  EXPECT_LT(seq_ms, 4.2);
+
+  // Fresh disk, random scan: ~14.3 ms/page.
+  Simulator sim2;
+  Disk disk2(&sim2, DiskParams{});
+  Rng rng(1);
+  for (int i = 0; i < 256; i++) {
+    TimedRead(sim2, disk2, rng.NextBelow(1u << 24) * 2);
+  }
+  const double rand_ms = disk2.stats().read_latency.mean() / 1000.0;
+  EXPECT_GT(rand_ms, 12.0);
+  EXPECT_LT(rand_ms, 16.0);
+}
+
+TEST(DiskTest, JumpBackwardsIsRandom) {
+  Simulator sim;
+  DiskParams params;
+  Disk disk(&sim, params);
+  TimedRead(sim, disk, 1000);
+  TimedRead(sim, disk, 1001);
+  const SimTime latency = TimedRead(sim, disk, 500);
+  EXPECT_EQ(latency, params.positioning_random + params.transfer_per_page);
+}
+
+TEST(DiskTest, QueueingSerializesRequests) {
+  Simulator sim;
+  DiskParams params;
+  Disk disk(&sim, params);
+  std::vector<SimTime> completions;
+  disk.Read(100, [&] { completions.push_back(sim.now()); });
+  disk.Read(5000, [&] { completions.push_back(sim.now()); });
+  sim.Run();
+  ASSERT_EQ(completions.size(), 2u);
+  const SimTime service = params.positioning_random + params.transfer_per_page;
+  EXPECT_EQ(completions[0], service);
+  EXPECT_EQ(completions[1], 2 * service);
+}
+
+TEST(DiskTest, WritesInvalidateReadahead) {
+  Simulator sim;
+  DiskParams params;
+  Disk disk(&sim, params);
+  TimedRead(sim, disk, 1000);  // window now covers 1001..
+  bool wrote = false;
+  disk.Write(9000, [&] { wrote = true; });
+  sim.Run();
+  EXPECT_TRUE(wrote);
+  // 1001 would have been a readahead hit; after the write it is random.
+  EXPECT_EQ(TimedRead(sim, disk, 1001),
+            params.positioning_random + params.transfer_per_page);
+}
+
+TEST(DiskTest, StatsCountOperations) {
+  Simulator sim;
+  Disk disk(&sim, DiskParams{});
+  for (uint64_t b = 0; b < 10; b++) {
+    TimedRead(sim, disk, b);
+  }
+  disk.Write(100, {});
+  sim.Run();
+  EXPECT_EQ(disk.stats().reads, 10u);
+  EXPECT_EQ(disk.stats().writes, 1u);
+  EXPECT_GT(disk.stats().readahead_hits, 5u);
+  EXPECT_GT(disk.stats().busy_time, 0);
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().reads, 0u);
+}
+
+}  // namespace
+}  // namespace gms

@@ -1,0 +1,97 @@
+// Tests for master failover (paper section 6: "simple algorithms exist for
+// the remaining nodes to elect a replacement" — implemented here as
+// deterministic lowest-id succession driven by heartbeat silence).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cluster/cluster.h"
+
+namespace gms {
+namespace {
+
+class ElectionTest : public ::testing::Test {
+ protected:
+  void Build(uint32_t nodes) {
+    ClusterConfig config;
+    config.num_nodes = nodes;
+    config.policy = PolicyKind::kGms;
+    config.frames = 256;
+    config.gms.enable_heartbeats = true;
+    config.gms.enable_master_election = true;
+    config.gms.heartbeat_interval = Milliseconds(200);
+    config.gms.heartbeat_miss_limit = 2;
+    cluster_ = std::make_unique<Cluster>(config);
+    cluster_->Start();
+    cluster_->sim().RunFor(Seconds(1));
+  }
+
+  GmsAgent& agent(uint32_t i) { return *cluster_->gms_agent(NodeId{i}); }
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(ElectionTest, SurvivorTakesOverWhenMasterDies) {
+  Build(4);
+  ASSERT_EQ(agent(1).master(), NodeId{0});
+  cluster_->CrashNode(NodeId{0});
+  cluster_->sim().RunFor(Seconds(3));
+  // Node 1 (lowest surviving id) is the new master everywhere; the dead
+  // master is out of the membership.
+  for (uint32_t i = 1; i < 4; i++) {
+    EXPECT_EQ(agent(i).master(), NodeId{1}) << "node " << i;
+    EXPECT_FALSE(agent(i).pod().IsLive(NodeId{0})) << "node " << i;
+    EXPECT_TRUE(agent(i).pod().IsLive(NodeId{1})) << "node " << i;
+  }
+}
+
+TEST_F(ElectionTest, NewMasterDetectsFurtherFailures) {
+  Build(4);
+  cluster_->CrashNode(NodeId{0});
+  cluster_->sim().RunFor(Seconds(3));
+  ASSERT_EQ(agent(1).master(), NodeId{1});
+  // The new master's heartbeats must detect a subsequent crash.
+  cluster_->CrashNode(NodeId{3});
+  cluster_->sim().RunFor(Seconds(3));
+  EXPECT_FALSE(agent(1).pod().IsLive(NodeId{3}));
+  EXPECT_FALSE(agent(2).pod().IsLive(NodeId{3}));
+}
+
+TEST_F(ElectionTest, CascadedElections) {
+  Build(5);
+  cluster_->CrashNode(NodeId{0});
+  cluster_->sim().RunFor(Seconds(3));
+  ASSERT_EQ(agent(2).master(), NodeId{1});
+  cluster_->CrashNode(NodeId{1});
+  cluster_->sim().RunFor(Seconds(3));
+  for (uint32_t i = 2; i < 5; i++) {
+    EXPECT_EQ(agent(i).master(), NodeId{2}) << "node " << i;
+    EXPECT_FALSE(agent(i).pod().IsLive(NodeId{1})) << "node " << i;
+  }
+  // The twice-shrunk cluster still agrees on one POD version.
+  EXPECT_EQ(agent(2).pod().version(), agent(4).pod().version());
+}
+
+TEST_F(ElectionTest, NoSpuriousElectionWhileMasterAlive) {
+  Build(3);
+  cluster_->sim().RunFor(Seconds(10));
+  // Plenty of heartbeat rounds: the master must not change.
+  for (uint32_t i = 0; i < 3; i++) {
+    EXPECT_EQ(agent(i).master(), NodeId{0}) << "node " << i;
+  }
+  EXPECT_TRUE(agent(0).pod().IsLive(NodeId{2}));
+}
+
+TEST_F(ElectionTest, ClusterRemainsUsableAfterFailover) {
+  Build(4);
+  cluster_->CrashNode(NodeId{0});
+  cluster_->sim().RunFor(Seconds(3));
+  // Epochs continue under the new master: weights flow, pages can still be
+  // placed and found.
+  const uint64_t epoch_before = agent(1).epoch_view().epoch;
+  cluster_->sim().RunFor(Seconds(10));
+  EXPECT_GT(agent(1).epoch_view().epoch, epoch_before);
+  EXPECT_EQ(agent(1).epoch_view().epoch, agent(3).epoch_view().epoch);
+}
+
+}  // namespace
+}  // namespace gms

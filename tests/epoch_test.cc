@@ -1,0 +1,214 @@
+// Unit tests for the epoch parameter computation (section 3.2): MinAge,
+// the budget M, duration T, per-node weights, and initiator choice.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/epoch.h"
+
+namespace gms {
+namespace {
+
+EpochSummary SummaryWithOldPages(NodeId node, uint32_t old_pages,
+                                 uint32_t young_pages,
+                                 SimTime old_age = Seconds(100),
+                                 SimTime young_age = Milliseconds(5)) {
+  EpochSummary s;
+  s.node = node;
+  s.local_pages = old_pages + young_pages;
+  if (old_pages > 0) {
+    s.ages.Add(static_cast<uint64_t>(old_age), old_pages);
+  }
+  if (young_pages > 0) {
+    s.ages.Add(static_cast<uint64_t>(young_age), young_pages);
+  }
+  return s;
+}
+
+TEST(EpochTest, IdleNodeGetsTheWeight) {
+  EpochConfig config;
+  std::vector<EpochSummary> summaries;
+  summaries.push_back(SummaryWithOldPages(NodeId{0}, 0, 1000));     // active
+  summaries.push_back(SummaryWithOldPages(NodeId{1}, 2000, 0));     // idle
+  const EpochPlan plan =
+      ComputeEpochPlan(config, 1, 2, summaries, Seconds(5), NodeId{0});
+  EXPECT_GT(plan.min_age, 0);
+  EXPECT_EQ(plan.weights[0], 0);
+  EXPECT_GT(plan.weights[1], 0);
+  EXPECT_EQ(plan.next_initiator, NodeId{1});
+  EXPECT_EQ(plan.max_weight, plan.weights[1]);
+}
+
+TEST(EpochTest, WeightsProportionalToOldPages) {
+  EpochConfig config;
+  std::vector<EpochSummary> summaries;
+  summaries.push_back(SummaryWithOldPages(NodeId{0}, 1000, 0));
+  summaries.push_back(SummaryWithOldPages(NodeId{1}, 3000, 0));
+  const EpochPlan plan =
+      ComputeEpochPlan(config, 1, 2, summaries, Seconds(5), NodeId{0});
+  EXPECT_NEAR(plan.weights[1] / plan.weights[0], 3.0, 0.1);
+  EXPECT_EQ(plan.next_initiator, NodeId{1});
+}
+
+TEST(EpochTest, NoOldPagesMeansMinAgeZero) {
+  // "When the number of old pages in the network is too small ... MinAge is
+  // set to 0, so that pages are always discarded or written to disk."
+  EpochConfig config;
+  std::vector<EpochSummary> summaries;
+  summaries.push_back(SummaryWithOldPages(NodeId{0}, 0, 1000));
+  summaries.push_back(SummaryWithOldPages(NodeId{1}, 0, 1000));
+  const EpochPlan plan =
+      ComputeEpochPlan(config, 1, 2, summaries, Seconds(5), NodeId{0});
+  EXPECT_EQ(plan.min_age, 0);
+  EXPECT_EQ(plan.weights[0], 0);
+  EXPECT_EQ(plan.weights[1], 0);
+}
+
+TEST(EpochTest, MinAgeSelectsTheOldest) {
+  EpochConfig config;
+  config.m_min = 64;
+  std::vector<EpochSummary> summaries;
+  EpochSummary s;
+  s.node = NodeId{0};
+  s.ages.Add(static_cast<uint64_t>(Seconds(1000)), 50);  // very old
+  s.ages.Add(static_cast<uint64_t>(Seconds(1)), 5000);   // mildly old
+  s.evictions = 10;
+  summaries.push_back(s);
+  const EpochPlan plan =
+      ComputeEpochPlan(config, 1, 1, summaries, Seconds(5), NodeId{0});
+  // With a small budget, MinAge lands between the two groups or below,
+  // never above the very old group.
+  EXPECT_LE(plan.min_age, Seconds(1000));
+  EXPECT_GT(plan.min_age, 0);
+  // The budget is at least m_min.
+  EXPECT_GE(plan.budget, config.m_min);
+}
+
+TEST(EpochTest, DurationRespondsToSupplyAndDemand) {
+  EpochConfig config;
+  // Scarce old pages + high churn -> short epoch.
+  std::vector<EpochSummary> scarce;
+  auto s = SummaryWithOldPages(NodeId{0}, 200, 5000);
+  s.evictions = 50000;
+  scarce.push_back(s);
+  const EpochPlan short_plan =
+      ComputeEpochPlan(config, 1, 1, scarce, Seconds(5), NodeId{0});
+
+  // Plentiful old pages + low churn -> long epoch.
+  std::vector<EpochSummary> plentiful;
+  auto p = SummaryWithOldPages(NodeId{0}, 100000, 100);
+  p.evictions = 10;
+  plentiful.push_back(p);
+  const EpochPlan long_plan =
+      ComputeEpochPlan(config, 1, 1, plentiful, Seconds(5), NodeId{0});
+
+  EXPECT_LT(short_plan.duration, long_plan.duration);
+  EXPECT_GE(short_plan.duration, config.t_min);
+  EXPECT_LE(long_plan.duration, config.t_max);
+}
+
+TEST(EpochTest, BudgetScalesWithEvictionRate) {
+  EpochConfig config;
+  auto slow = SummaryWithOldPages(NodeId{0}, 50000, 0);
+  slow.evictions = 10;
+  auto fast = SummaryWithOldPages(NodeId{0}, 50000, 0);
+  fast.evictions = 20000;
+  const EpochPlan slow_plan = ComputeEpochPlan(
+      config, 1, 1, {slow}, Seconds(5), NodeId{0});
+  const EpochPlan fast_plan = ComputeEpochPlan(
+      config, 1, 1, {fast}, Seconds(5), NodeId{0});
+  EXPECT_GT(fast_plan.budget, slow_plan.budget);
+}
+
+TEST(EpochTest, BudgetBoundedBySupply) {
+  EpochConfig config;
+  auto s = SummaryWithOldPages(NodeId{0}, 100, 0);
+  s.evictions = 1000000;  // absurd demand
+  const EpochPlan plan =
+      ComputeEpochPlan(config, 1, 1, {s}, Seconds(1), NodeId{0});
+  EXPECT_LE(plan.budget, 100u);
+}
+
+TEST(EpochTest, FallbackInitiatorWhenNoWeight) {
+  EpochConfig config;
+  std::vector<EpochSummary> summaries;
+  summaries.push_back(SummaryWithOldPages(NodeId{1}, 0, 10));
+  const EpochPlan plan =
+      ComputeEpochPlan(config, 7, 3, summaries, Seconds(5), NodeId{2});
+  EXPECT_EQ(plan.next_initiator, NodeId{2});
+  EXPECT_EQ(plan.epoch, 7u);
+}
+
+TEST(EpochTest, EmptySummaries) {
+  EpochConfig config;
+  const EpochPlan plan =
+      ComputeEpochPlan(config, 1, 4, {}, 0, NodeId{0});
+  EXPECT_EQ(plan.min_age, 0);
+  EXPECT_EQ(plan.weights.size(), 4u);
+}
+
+TEST(EpochTest, GlobalBoostAppliedBySummaryBuilder) {
+  // The boost is applied when summaries are built (global ages scaled), so
+  // the plan computation itself treats all ages uniformly; verify the
+  // threshold math is monotone: more demanded pages -> lower MinAge.
+  EpochConfig config;
+  EpochSummary s;
+  s.node = NodeId{0};
+  for (int i = 1; i <= 20; i++) {
+    s.ages.Add(static_cast<uint64_t>(Seconds(i)), 100);
+  }
+  s.evictions = 100;
+  config.m_min = 64;
+  const EpochPlan small = ComputeEpochPlan(config, 1, 1, {s}, Seconds(10), NodeId{0});
+  config.m_min = 1500;
+  const EpochPlan big = ComputeEpochPlan(config, 1, 1, {s}, Seconds(10), NodeId{0});
+  EXPECT_LE(big.min_age, small.min_age);
+  EXPECT_GE(big.budget, small.budget);
+}
+
+// Property sweep: for random summary mixes, the invariants hold: weights are
+// only assigned above-threshold populations, Σw is near the real
+// above-threshold population, and the initiator has max weight.
+class EpochPlanPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EpochPlanPropertyTest, PlanInvariants) {
+  Rng rng(GetParam());
+  EpochConfig config;
+  const uint32_t n = 2 + static_cast<uint32_t>(rng.NextBelow(10));
+  std::vector<EpochSummary> summaries;
+  for (uint32_t i = 0; i < n; i++) {
+    EpochSummary s;
+    s.node = NodeId{i};
+    const int groups = 1 + static_cast<int>(rng.NextBelow(5));
+    for (int g = 0; g < groups; g++) {
+      s.ages.Add(rng.NextBelow(static_cast<uint64_t>(Seconds(2000))),
+                 rng.NextBelow(3000));
+    }
+    s.evictions = static_cast<uint32_t>(rng.NextBelow(5000));
+    summaries.push_back(s);
+  }
+  const EpochPlan plan =
+      ComputeEpochPlan(config, 1, n, summaries, Seconds(5), NodeId{0});
+  ASSERT_EQ(plan.weights.size(), n);
+  EXPECT_GE(plan.duration, config.t_min);
+  EXPECT_LE(plan.duration, config.t_max);
+  if (plan.min_age > 0) {
+    double total = 0;
+    for (uint32_t i = 0; i < n; i++) {
+      EXPECT_NEAR(plan.weights[i],
+                  static_cast<double>(summaries[i].ages.CountAtOrAbove(
+                      static_cast<uint64_t>(plan.min_age))),
+                  0.01);
+      total += plan.weights[i];
+    }
+    // The selected population covers the budget.
+    EXPECT_GE(total + 0.01, static_cast<double>(plan.budget));
+    EXPECT_GE(plan.max_weight, total / n - 0.01);
+    EXPECT_EQ(plan.weights[plan.next_initiator.value], plan.max_weight);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EpochPlanPropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace gms

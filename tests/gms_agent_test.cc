@@ -1,0 +1,313 @@
+// Protocol-level tests for the GMS agent: the four replacement cases of
+// section 3.1, directory consistency, epoch mechanics, eviction targeting,
+// and failure handling — exercised through small real clusters.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cluster/cluster.h"
+#include "src/core/directory.h"
+#include "src/workload/patterns.h"
+
+namespace gms {
+namespace {
+
+class GmsAgentTest : public ::testing::Test {
+ protected:
+  void Build(std::vector<uint32_t> frames, uint64_t seed = 1) {
+    ClusterConfig config;
+    config.num_nodes = static_cast<uint32_t>(frames.size());
+    config.policy = PolicyKind::kGms;
+    config.frames_per_node = std::move(frames);
+    config.frames = 256;
+    config.seed = seed;
+    config.gms.epoch.t_min = Milliseconds(200);
+    config.gms.epoch.t_max = Seconds(2);
+    config.gms.epoch.m_min = 16;
+    cluster_ = std::make_unique<Cluster>(config);
+    cluster_->Start();
+    cluster_->sim().RunFor(Milliseconds(500));  // first epoch settles
+  }
+
+  // Synchronously accesses a page via the node's OS layer.
+  void Access(uint32_t node, const Uid& uid, bool write = false) {
+    bool done = false;
+    cluster_->node_os(NodeId{node}).Access(uid, write, [&] { done = true; });
+    while (!done) {
+      cluster_->sim().RunFor(Milliseconds(1));
+    }
+  }
+
+  // Fills node `n` with fresh private pages until `target_free` remain.
+  void FillMemory(uint32_t n, uint32_t target_free, uint32_t salt = 0) {
+    uint32_t vpn = 0;
+    while (cluster_->frames(NodeId{n}).free_count() > target_free) {
+      Access(n, MakeAnonUid(NodeId{n}, 800 + salt, vpn++), /*write=*/false);
+    }
+  }
+
+  GmsAgent& agent(uint32_t i) { return *cluster_->gms_agent(NodeId{i}); }
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(GmsAgentTest, DiskMissCostsFifteenMicrosecondsOfOverhead) {
+  Build({256, 1024});
+  const Uid uid = MakeAnonUid(NodeId{0}, 1, 1);
+  bool done = false;
+  SimTime t0 = cluster_->sim().now();
+  SimTime t1 = 0;
+  agent(0).GetPage(uid, [&](GetPageResult r) {
+    EXPECT_FALSE(r.hit);
+    done = true;
+    t1 = cluster_->sim().now();
+  });
+  while (!done) {
+    cluster_->sim().RunFor(Microseconds(5));
+  }
+  // The non-shared miss path: local POD+GCD lookup only (Table 1: 15 us).
+  EXPECT_EQ(ToMicroseconds(t1 - t0), 15.0);
+}
+
+TEST_F(GmsAgentTest, EvictionForwardsToIdleNodeAndGetPageRetrieves) {
+  Build({256, 1024});
+  const Uid uid = MakeAnonUid(NodeId{0}, 1, 42);
+  Access(0, uid);
+  // Evict it through the service: with an idle peer holding all the weight,
+  // the page must be forwarded, not dropped.
+  Frame* frame = cluster_->frames(NodeId{0}).Lookup(uid);
+  ASSERT_NE(frame, nullptr);
+  cluster_->service(NodeId{0}).EvictClean(frame);
+  cluster_->sim().RunFor(Milliseconds(10));
+  EXPECT_EQ(cluster_->frames(NodeId{0}).Lookup(uid), nullptr);
+  Frame* remote = cluster_->frames(NodeId{1}).Lookup(uid);
+  ASSERT_NE(remote, nullptr);
+  EXPECT_EQ(remote->location, PageLocation::kGlobal);
+
+  // Case 1/2: a fault on the page now hits the global cache.
+  const auto hits_before = cluster_->service(NodeId{0}).stats().getpage_hits;
+  Access(0, uid);
+  EXPECT_EQ(cluster_->service(NodeId{0}).stats().getpage_hits, hits_before + 1);
+  // Single-copy invariant: the global copy moved, the housing frame freed.
+  EXPECT_EQ(cluster_->frames(NodeId{1}).Lookup(uid), nullptr);
+  EXPECT_EQ(cluster_->frames(NodeId{0}).Lookup(uid)->location,
+            PageLocation::kLocal);
+}
+
+TEST_F(GmsAgentTest, SharedPageServedFromPeerKeepsBothCopies) {
+  Build({256, 1024});
+  // Node 1 reads a file page from its own disk.
+  const Uid uid = MakeFileUid(NodeId{1}, 9, 5);
+  Access(1, uid);
+  // Node 0 faults the same page: case 4 — copy, original stays.
+  Access(0, uid);
+  Frame* on0 = cluster_->frames(NodeId{0}).Lookup(uid);
+  Frame* on1 = cluster_->frames(NodeId{1}).Lookup(uid);
+  ASSERT_NE(on0, nullptr);
+  ASSERT_NE(on1, nullptr);
+  EXPECT_TRUE(on0->duplicated);
+  EXPECT_TRUE(on1->duplicated);
+  EXPECT_EQ(on0->location, PageLocation::kLocal);
+  EXPECT_EQ(on1->location, PageLocation::kLocal);
+}
+
+TEST_F(GmsAgentTest, DuplicateEvictionIsSilentDrop) {
+  Build({256, 1024});
+  const Uid uid = MakeFileUid(NodeId{1}, 9, 6);
+  Access(1, uid);
+  Access(0, uid);  // both nodes now hold duplicates
+  const uint64_t bytes_before = cluster_->net().total_traffic().bytes;
+  Frame* frame = cluster_->frames(NodeId{0}).Lookup(uid);
+  cluster_->service(NodeId{0}).EvictClean(frame);
+  cluster_->sim().RunFor(Milliseconds(5));
+  EXPECT_EQ(cluster_->service(NodeId{0}).stats().discards_duplicate, 1u);
+  // No page-sized transmission happened (at most a small GCD update).
+  EXPECT_LT(cluster_->net().total_traffic().bytes - bytes_before, 200u);
+  // The peer's copy survives.
+  EXPECT_NE(cluster_->frames(NodeId{1}).Lookup(uid), nullptr);
+}
+
+TEST_F(GmsAgentTest, PutPagePreservesPageAge) {
+  Build({256, 1024});
+  const Uid uid = MakeAnonUid(NodeId{0}, 1, 7);
+  Access(0, uid);
+  Frame* frame = cluster_->frames(NodeId{0}).Lookup(uid);
+  const SimTime accessed_at = frame->last_access;
+  cluster_->sim().RunFor(Seconds(2));  // let it age
+  cluster_->service(NodeId{0}).EvictClean(frame);
+  cluster_->sim().RunFor(Milliseconds(10));
+  Frame* remote = cluster_->frames(NodeId{1}).Lookup(uid);
+  ASSERT_NE(remote, nullptr);
+  // Age survived the transfer (within the transfer latency).
+  EXPECT_NEAR(static_cast<double>(remote->last_access),
+              static_cast<double>(accessed_at),
+              static_cast<double>(Milliseconds(10)));
+}
+
+TEST_F(GmsAgentTest, ZeroIdleClusterDiscardsEvictions) {
+  // Two busy nodes actively looping over their whole memories: no page in
+  // the cluster is idle, MinAge goes to 0, and evictions are dropped rather
+  // than forwarded.
+  Build({128, 128});
+  for (uint32_t n = 0; n < 2; n++) {
+    auto loop = std::make_unique<SequentialPattern>(
+        PageSet{MakeAnonUid(NodeId{n}, 800 + n, 0), 110}, UINT64_MAX / 2,
+        Microseconds(50));
+    cluster_->AddWorkload(NodeId{n}, std::move(loop), "busy").Start();
+  }
+  cluster_->sim().RunFor(Seconds(4));  // several epochs with busy summaries
+  EXPECT_EQ(agent(0).epoch_view().min_age, 0);
+
+  const Uid uid = MakeAnonUid(NodeId{0}, 900, 1);
+  Access(0, uid);
+  Frame* frame = cluster_->frames(NodeId{0}).Lookup(uid);
+  ASSERT_NE(frame, nullptr);
+  const auto& stats = cluster_->service(NodeId{0}).stats();
+  const uint64_t discards_before = stats.discards_old + stats.discards_no_budget;
+  const uint64_t putpages_before = stats.putpages_sent;
+  cluster_->service(NodeId{0}).EvictClean(frame);
+  cluster_->sim().RunFor(Milliseconds(5));
+  EXPECT_EQ(stats.discards_old + stats.discards_no_budget, discards_before + 1);
+  EXPECT_EQ(stats.putpages_sent, putpages_before);
+}
+
+TEST_F(GmsAgentTest, WeightsDirectEvictionsProportionally) {
+  // Node 1 has ~3x the idle memory of node 2; putpages should split roughly
+  // 3:1 between them.
+  Build({192, 1536, 512});
+  FillMemory(0, 4);
+  // Drive enough evictions to observe the split.
+  for (uint32_t i = 0; i < 400; i++) {
+    Access(0, MakeAnonUid(NodeId{0}, 901, i));
+  }
+  const uint32_t g1 = cluster_->frames(NodeId{1}).global_count();
+  const uint32_t g2 = cluster_->frames(NodeId{2}).global_count();
+  ASSERT_GT(g1, 0u);
+  ASSERT_GT(g2, 0u);
+  const double ratio = static_cast<double>(g1) / static_cast<double>(g2);
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST_F(GmsAgentTest, EpochRotatesInitiatorToIdleNode) {
+  Build({256, 1024});
+  FillMemory(0, 8);
+  cluster_->sim().RunFor(Seconds(3));
+  // The idle node (1) holds the most idle memory, so it becomes the next
+  // initiator in steady state.
+  EXPECT_EQ(agent(0).epoch_view().next_initiator, NodeId{1});
+  EXPECT_EQ(agent(1).epoch_view().next_initiator, NodeId{1});
+  EXPECT_EQ(agent(0).epoch_view().epoch, agent(1).epoch_view().epoch);
+}
+
+TEST_F(GmsAgentTest, GetPageTimesOutWhenHolderCrashes) {
+  Build({256, 1024});
+  const Uid uid = MakeAnonUid(NodeId{0}, 1, 3);
+  Access(0, uid);
+  cluster_->service(NodeId{0}).EvictClean(cluster_->frames(NodeId{0}).Lookup(uid));
+  cluster_->sim().RunFor(Milliseconds(10));
+  ASSERT_NE(cluster_->frames(NodeId{1}).Lookup(uid), nullptr);
+
+  cluster_->CrashNode(NodeId{1});
+  bool done = false;
+  bool hit = true;
+  agent(0).GetPage(uid, [&](GetPageResult r) {
+    done = true;
+    hit = r.hit;
+  });
+  cluster_->sim().RunFor(Seconds(1));
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(hit);
+  EXPECT_GE(cluster_->service(NodeId{0}).stats().getpage_timeouts, 1u);
+}
+
+TEST_F(GmsAgentTest, NoDataLossOnCrash) {
+  // Property: every page is recoverable after any single idle-node crash,
+  // because global memory only ever holds clean pages.
+  Build({128, 512, 512});
+  // Write pages (they reach swap via write-back, then global memory).
+  for (uint32_t i = 0; i < 300; i++) {
+    Access(0, MakeAnonUid(NodeId{0}, 2, i), /*write=*/true);
+  }
+  cluster_->sim().RunFor(Seconds(1));
+  cluster_->CrashNode(NodeId{1});
+  cluster_->CrashNode(NodeId{2});
+  // Every page must still be readable (from local memory, or swap).
+  for (uint32_t i = 0; i < 300; i++) {
+    Access(0, MakeAnonUid(NodeId{0}, 2, i), /*write=*/false);
+  }
+  EXPECT_EQ(cluster_->node_os(NodeId{0}).stats().nfs_timeouts, 0u);
+}
+
+TEST_F(GmsAgentTest, MasterRemovesDeadNodeViaHeartbeats) {
+  ClusterConfig config;
+  config.num_nodes = 3;
+  config.policy = PolicyKind::kGms;
+  config.frames = 256;
+  config.gms.enable_heartbeats = true;
+  config.gms.heartbeat_interval = Milliseconds(200);
+  config.gms.heartbeat_miss_limit = 3;
+  cluster_ = std::make_unique<Cluster>(config);
+  cluster_->Start();
+  cluster_->sim().RunFor(Seconds(1));
+  EXPECT_TRUE(agent(0).pod().IsLive(NodeId{2}));
+
+  cluster_->CrashNode(NodeId{2});
+  cluster_->sim().RunFor(Seconds(2));
+  EXPECT_FALSE(agent(0).pod().IsLive(NodeId{2}));
+  EXPECT_FALSE(agent(1).pod().IsLive(NodeId{2}));
+  EXPECT_GE(agent(0).pod().version(), 2u);
+  EXPECT_EQ(agent(0).pod().version(), agent(1).pod().version());
+}
+
+TEST_F(GmsAgentTest, JoinAddsNodeAndDistributesPod) {
+  ClusterConfig config;
+  config.num_nodes = 3;
+  config.policy = PolicyKind::kGms;
+  config.frames = 256;
+  cluster_ = std::make_unique<Cluster>(config);
+  cluster_->Start();
+  cluster_->sim().RunFor(Milliseconds(100));
+  // Take node 2 out, then have it rejoin.
+  cluster_->CrashNode(NodeId{2});
+  cluster_->sim().RunFor(Milliseconds(100));
+  cluster_->RestartNode(NodeId{2});
+  cluster_->sim().RunFor(Seconds(1));
+  EXPECT_TRUE(agent(2).pod().IsLive(NodeId{2}));
+  EXPECT_TRUE(agent(0).pod().IsLive(NodeId{2}));
+  EXPECT_EQ(agent(0).pod().version(), agent(2).pod().version());
+}
+
+TEST_F(GmsAgentTest, RepublishRestoresGcdAfterReconfiguration) {
+  Build({256, 1024, 1024});
+  // Put a shared page on node 1 whose GCD section lives on node 2.
+  Uid uid;
+  for (uint32_t off = 0;; off++) {
+    uid = MakeFileUid(NodeId{1}, 9, off);
+    if (agent(0).pod().GcdNodeFor(uid) == NodeId{2}) {
+      break;
+    }
+  }
+  Access(1, uid);
+  cluster_->sim().RunFor(Milliseconds(10));
+  ASSERT_NE(agent(2).gcd().Lookup(uid), nullptr);
+
+  // Crash the GCD owner; the master reconfigures; node 1 republishes and
+  // node 0 can still find the page in cluster memory.
+  cluster_->CrashNode(NodeId{2});
+  // Drive the master-side reconfiguration explicitly (heartbeats are off).
+  agent(0).MasterRemoveNode(NodeId{2});
+  cluster_->sim().RunFor(Seconds(1));
+
+  bool done = false;
+  bool hit = false;
+  agent(0).GetPage(uid, [&](GetPageResult r) {
+    done = true;
+    hit = r.hit;
+  });
+  cluster_->sim().RunFor(Seconds(1));
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(hit);
+}
+
+}  // namespace
+}  // namespace gms

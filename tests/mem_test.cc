@@ -1,0 +1,257 @@
+// Unit tests for the frame table: allocation, LRU ordering, location lists,
+// victim selection, age-preserving inserts, and reset semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/mem/frame_table.h"
+
+namespace gms {
+namespace {
+
+Uid U(uint32_t i) { return MakeUid(1, 0, 7, i); }
+
+TEST(FrameTableTest, StartsEmpty) {
+  FrameTable t(8);
+  EXPECT_EQ(t.num_frames(), 8u);
+  EXPECT_EQ(t.free_count(), 8u);
+  EXPECT_EQ(t.local_count(), 0u);
+  EXPECT_EQ(t.global_count(), 0u);
+  EXPECT_EQ(t.Lookup(U(1)), nullptr);
+}
+
+TEST(FrameTableTest, AllocateAndLookup) {
+  FrameTable t(4);
+  Frame* f = t.Allocate(U(1), PageLocation::kLocal, 100);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->uid, U(1));
+  EXPECT_EQ(f->last_access, 100);
+  EXPECT_EQ(t.Lookup(U(1)), f);
+  EXPECT_EQ(t.free_count(), 3u);
+  EXPECT_EQ(t.local_count(), 1u);
+}
+
+TEST(FrameTableTest, AllocateExhaustsToNull) {
+  FrameTable t(2);
+  EXPECT_NE(t.Allocate(U(1), PageLocation::kLocal, 1), nullptr);
+  EXPECT_NE(t.Allocate(U(2), PageLocation::kLocal, 2), nullptr);
+  EXPECT_EQ(t.Allocate(U(3), PageLocation::kLocal, 3), nullptr);
+}
+
+TEST(FrameTableTest, FreeReturnsFrame) {
+  FrameTable t(2);
+  Frame* f = t.Allocate(U(1), PageLocation::kGlobal, 1);
+  t.Free(f);
+  EXPECT_EQ(t.free_count(), 2u);
+  EXPECT_EQ(t.global_count(), 0u);
+  EXPECT_EQ(t.Lookup(U(1)), nullptr);
+  // The frame is reusable.
+  EXPECT_NE(t.Allocate(U(1), PageLocation::kLocal, 2), nullptr);
+}
+
+TEST(FrameTableTest, FreeClearsFlags) {
+  FrameTable t(2);
+  Frame* f = t.Allocate(U(1), PageLocation::kLocal, 1);
+  f->dirty = true;
+  f->duplicated = true;
+  f->pinned = true;
+  t.Free(f);
+  Frame* g = t.Allocate(U(2), PageLocation::kLocal, 2);
+  // Either frame may be handed out; both must be clean.
+  EXPECT_FALSE(g->dirty);
+  EXPECT_FALSE(g->duplicated);
+  EXPECT_FALSE(g->pinned);
+}
+
+TEST(FrameTableTest, OldestTracksLruTail) {
+  FrameTable t(4);
+  t.Allocate(U(1), PageLocation::kLocal, 10);
+  t.Allocate(U(2), PageLocation::kLocal, 20);
+  t.Allocate(U(3), PageLocation::kLocal, 30);
+  EXPECT_EQ(t.OldestLocal()->uid, U(1));
+  // Touching 1 moves it to MRU; oldest becomes 2.
+  t.Touch(t.Lookup(U(1)), 40);
+  EXPECT_EQ(t.OldestLocal()->uid, U(2));
+}
+
+TEST(FrameTableTest, OldestSkipsPinned) {
+  FrameTable t(4);
+  t.Allocate(U(1), PageLocation::kLocal, 10);
+  t.Allocate(U(2), PageLocation::kLocal, 20);
+  t.Lookup(U(1))->pinned = true;
+  EXPECT_EQ(t.OldestLocal()->uid, U(2));
+  t.Lookup(U(2))->pinned = true;
+  EXPECT_EQ(t.OldestLocal(), nullptr);
+}
+
+TEST(FrameTableTest, LocationListsAreSeparate) {
+  FrameTable t(4);
+  t.Allocate(U(1), PageLocation::kLocal, 10);
+  t.Allocate(U(2), PageLocation::kGlobal, 5);
+  EXPECT_EQ(t.local_count(), 1u);
+  EXPECT_EQ(t.global_count(), 1u);
+  EXPECT_EQ(t.OldestLocal()->uid, U(1));
+  EXPECT_EQ(t.OldestGlobal()->uid, U(2));
+}
+
+TEST(FrameTableTest, SetLocationMovesBetweenLists) {
+  FrameTable t(4);
+  Frame* f = t.Allocate(U(1), PageLocation::kGlobal, 10);
+  t.SetLocation(f, PageLocation::kLocal, 50);
+  EXPECT_EQ(t.global_count(), 0u);
+  EXPECT_EQ(t.local_count(), 1u);
+  EXPECT_EQ(f->last_access, 50);
+}
+
+TEST(FrameTableTest, MoveToListPreservesAge) {
+  FrameTable t(4);
+  Frame* f = t.Allocate(U(1), PageLocation::kLocal, 10);
+  t.Allocate(U(2), PageLocation::kGlobal, 5);
+  t.MoveToList(f, PageLocation::kGlobal);
+  EXPECT_EQ(f->last_access, 10);
+  EXPECT_EQ(t.global_count(), 2u);
+  // Ordering by age within the global list: U(2) (age 5) is older.
+  EXPECT_EQ(t.OldestGlobal()->uid, U(2));
+}
+
+TEST(FrameTableTest, PickVictimPrefersOldest) {
+  FrameTable t(4);
+  t.Allocate(U(1), PageLocation::kLocal, 10);
+  t.Allocate(U(2), PageLocation::kLocal, 100);
+  t.Touch(t.Lookup(U(1)), 150);  // U(2) is now the LRU page
+  EXPECT_EQ(t.PickVictim(200, 1.0)->uid, U(2));
+}
+
+TEST(FrameTableTest, PickVictimBoostsGlobalAges) {
+  FrameTable t(4);
+  // Local age 100, global age 80: with boost 1.5 the global page's effective
+  // age is 120 and it is chosen.
+  t.Allocate(U(1), PageLocation::kLocal, 100);   // age 100 at t=200
+  t.Allocate(U(2), PageLocation::kGlobal, 120);  // age 80 at t=200
+  EXPECT_EQ(t.PickVictim(200, 1.5)->uid, U(2));
+  EXPECT_EQ(t.PickVictim(200, 1.0)->uid, U(1));
+}
+
+TEST(FrameTableTest, PickVictimRequireCleanSkipsDirty) {
+  FrameTable t(4);
+  Frame* a = t.Allocate(U(1), PageLocation::kLocal, 10);
+  t.Allocate(U(2), PageLocation::kLocal, 50);
+  a->dirty = true;
+  EXPECT_EQ(t.PickVictim(100, 1.0, /*require_clean=*/true)->uid, U(2));
+  EXPECT_EQ(t.PickVictim(100, 1.0, /*require_clean=*/false)->uid, U(1));
+}
+
+TEST(FrameTableTest, AllocateWithAgeOrdersList) {
+  FrameTable t(8);
+  t.Allocate(U(1), PageLocation::kGlobal, 100);
+  t.Allocate(U(2), PageLocation::kGlobal, 300);
+  // Insert a page whose age falls between the two.
+  t.AllocateWithAge(U(3), PageLocation::kGlobal, 200);
+  EXPECT_EQ(t.OldestGlobal()->uid, U(1));
+  t.Free(t.Lookup(U(1)));
+  EXPECT_EQ(t.OldestGlobal()->uid, U(3));
+  t.Free(t.Lookup(U(3)));
+  EXPECT_EQ(t.OldestGlobal()->uid, U(2));
+}
+
+TEST(FrameTableTest, AllocateWithAgeOldestAndYoungest) {
+  FrameTable t(8);
+  t.Allocate(U(1), PageLocation::kLocal, 100);
+  t.AllocateWithAge(U(2), PageLocation::kLocal, 50);   // older than all
+  t.AllocateWithAge(U(3), PageLocation::kLocal, 500);  // younger than all
+  EXPECT_EQ(t.OldestLocal()->uid, U(2));
+  t.Free(t.Lookup(U(2)));
+  EXPECT_EQ(t.OldestLocal()->uid, U(1));
+}
+
+TEST(FrameTableTest, OldestMatchingFindsPredicate) {
+  FrameTable t(8);
+  Frame* a = t.Allocate(U(1), PageLocation::kLocal, 10);
+  Frame* b = t.Allocate(U(2), PageLocation::kLocal, 20);
+  t.Allocate(U(3), PageLocation::kGlobal, 5);
+  a->duplicated = false;
+  b->duplicated = true;
+  Frame* found = t.OldestMatching(
+      100, 1.0, [](const Frame& f) { return f.duplicated; });
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->uid, U(2));
+  EXPECT_EQ(t.OldestMatching(100, 1.0,
+                             [](const Frame& f) { return f.recirculation > 3; }),
+            nullptr);
+}
+
+TEST(FrameTableTest, ForEachVisitsAllInUse) {
+  FrameTable t(8);
+  for (uint32_t i = 0; i < 5; i++) {
+    t.Allocate(U(i + 1), PageLocation::kLocal, i);
+  }
+  t.Free(t.Lookup(U(2)));
+  int count = 0;
+  t.ForEach([&](const Frame& f) {
+    count++;
+    EXPECT_NE(f.uid, U(2));
+  });
+  EXPECT_EQ(count, 4);
+}
+
+TEST(FrameTableTest, ResetClearsEverything) {
+  FrameTable t(8);
+  for (uint32_t i = 0; i < 8; i++) {
+    t.Allocate(U(i + 1), PageLocation::kLocal, i);
+  }
+  t.Reset();
+  EXPECT_EQ(t.free_count(), 8u);
+  EXPECT_EQ(t.used_count(), 0u);
+  EXPECT_EQ(t.Lookup(U(1)), nullptr);
+  EXPECT_NE(t.Allocate(U(9), PageLocation::kLocal, 1), nullptr);
+}
+
+// Parameterized stress: random allocate/free/touch sequences preserve the
+// list invariants (counts sum to capacity; tail is the true minimum).
+class FrameTableStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FrameTableStressTest, InvariantsHoldUnderRandomOps) {
+  Rng rng(GetParam());
+  FrameTable t(64);
+  std::vector<Uid> resident;
+  SimTime now = 0;
+  for (int step = 0; step < 5000; step++) {
+    now += 1 + static_cast<SimTime>(rng.NextBelow(100));
+    const uint64_t action = rng.NextBelow(10);
+    if (action < 4 && t.free_count() > 0) {
+      const Uid uid = U(static_cast<uint32_t>(step) + 1000);
+      t.Allocate(uid,
+                 rng.NextBool(0.3) ? PageLocation::kGlobal
+                                   : PageLocation::kLocal,
+                 now);
+      resident.push_back(uid);
+    } else if (action < 7 && !resident.empty()) {
+      const size_t i = rng.NextBelow(resident.size());
+      t.Touch(t.Lookup(resident[i]), now);
+    } else if (!resident.empty()) {
+      const size_t i = rng.NextBelow(resident.size());
+      t.Free(t.Lookup(resident[i]));
+      resident[i] = resident.back();
+      resident.pop_back();
+    }
+    ASSERT_EQ(t.used_count() + t.free_count(), 64u);
+    ASSERT_EQ(t.used_count(), resident.size());
+    // The reported oldest local page really is the minimum last_access.
+    Frame* oldest = t.OldestLocal();
+    if (oldest != nullptr) {
+      SimTime min_access = oldest->last_access;
+      t.ForEach([&](const Frame& f) {
+        if (f.location == PageLocation::kLocal) {
+          ASSERT_GE(f.last_access, min_access);
+        }
+      });
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameTableStressTest,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+}  // namespace
+}  // namespace gms
