@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dirty.dir/ablation_dirty.cpp.o"
+  "CMakeFiles/ablation_dirty.dir/ablation_dirty.cpp.o.d"
+  "ablation_dirty"
+  "ablation_dirty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dirty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

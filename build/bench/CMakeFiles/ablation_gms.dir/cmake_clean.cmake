@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gms.dir/ablation_gms.cpp.o"
+  "CMakeFiles/ablation_gms.dir/ablation_gms.cpp.o.d"
+  "ablation_gms"
+  "ablation_gms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_interference.dir/fig10_interference.cpp.o"
+  "CMakeFiles/fig10_interference.dir/fig10_interference.cpp.o.d"
+  "fig10_interference"
+  "fig10_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_traffic.dir/fig11_traffic.cpp.o"
+  "CMakeFiles/fig11_traffic.dir/fig11_traffic.cpp.o.d"
+  "fig11_traffic"
+  "fig11_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

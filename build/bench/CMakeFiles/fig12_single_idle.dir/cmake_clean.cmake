@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_single_idle.dir/fig12_single_idle.cpp.o"
+  "CMakeFiles/fig12_single_idle.dir/fig12_single_idle.cpp.o.d"
+  "fig12_single_idle"
+  "fig12_single_idle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_single_idle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cpu_load.dir/fig13_cpu_load.cpp.o"
+  "CMakeFiles/fig13_cpu_load.dir/fig13_cpu_load.cpp.o.d"
+  "fig13_cpu_load"
+  "fig13_cpu_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cpu_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_load_changes.dir/fig8_load_changes.cpp.o"
+  "CMakeFiles/fig8_load_changes.dir/fig8_load_changes.cpp.o.d"
+  "fig8_load_changes"
+  "fig8_load_changes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_load_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_skew.dir/fig9_skew.cpp.o"
+  "CMakeFiles/fig9_skew.dir/fig9_skew.cpp.o.d"
+  "fig9_skew"
+  "fig9_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_getpage.dir/table1_getpage.cpp.o"
+  "CMakeFiles/table1_getpage.dir/table1_getpage.cpp.o.d"
+  "table1_getpage"
+  "table1_getpage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_getpage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_putpage.dir/table2_putpage.cpp.o"
+  "CMakeFiles/table2_putpage.dir/table2_putpage.cpp.o.d"
+  "table2_putpage"
+  "table2_putpage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_putpage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_nonshared.dir/table3_nonshared.cpp.o"
+  "CMakeFiles/table3_nonshared.dir/table3_nonshared.cpp.o.d"
+  "table3_nonshared"
+  "table3_nonshared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_nonshared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_shared.dir/table4_shared.cpp.o"
+  "CMakeFiles/table4_shared.dir/table4_shared.cpp.o.d"
+  "table4_shared"
+  "table4_shared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

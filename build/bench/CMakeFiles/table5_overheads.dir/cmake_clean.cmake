@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_overheads.dir/table5_overheads.cpp.o"
+  "CMakeFiles/table5_overheads.dir/table5_overheads.cpp.o.d"
+  "table5_overheads"
+  "table5_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooperative_caching.dir/cooperative_caching.cpp.o"
+  "CMakeFiles/cooperative_caching.dir/cooperative_caching.cpp.o.d"
+  "cooperative_caching"
+  "cooperative_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooperative_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membership_churn.dir/membership_churn.cpp.o"
+  "CMakeFiles/membership_churn.dir/membership_churn.cpp.o.d"
+  "membership_churn"
+  "membership_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membership_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

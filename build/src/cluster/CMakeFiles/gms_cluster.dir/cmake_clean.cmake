@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_cluster.dir/cluster.cc.o"
+  "CMakeFiles/gms_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/gms_cluster.dir/experiments.cc.o"
+  "CMakeFiles/gms_cluster.dir/experiments.cc.o.d"
+  "CMakeFiles/gms_cluster.dir/workload_driver.cc.o"
+  "CMakeFiles/gms_cluster.dir/workload_driver.cc.o.d"
+  "libgms_cluster.a"
+  "libgms_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

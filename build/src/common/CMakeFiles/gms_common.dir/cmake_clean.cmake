@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_common.dir/alias.cc.o"
+  "CMakeFiles/gms_common.dir/alias.cc.o.d"
+  "CMakeFiles/gms_common.dir/histogram.cc.o"
+  "CMakeFiles/gms_common.dir/histogram.cc.o.d"
+  "CMakeFiles/gms_common.dir/log.cc.o"
+  "CMakeFiles/gms_common.dir/log.cc.o.d"
+  "CMakeFiles/gms_common.dir/rng.cc.o"
+  "CMakeFiles/gms_common.dir/rng.cc.o.d"
+  "CMakeFiles/gms_common.dir/stats.cc.o"
+  "CMakeFiles/gms_common.dir/stats.cc.o.d"
+  "CMakeFiles/gms_common.dir/table.cc.o"
+  "CMakeFiles/gms_common.dir/table.cc.o.d"
+  "CMakeFiles/gms_common.dir/time.cc.o"
+  "CMakeFiles/gms_common.dir/time.cc.o.d"
+  "CMakeFiles/gms_common.dir/uid.cc.o"
+  "CMakeFiles/gms_common.dir/uid.cc.o.d"
+  "libgms_common.a"
+  "libgms_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_core.dir/directory.cc.o"
+  "CMakeFiles/gms_core.dir/directory.cc.o.d"
+  "CMakeFiles/gms_core.dir/epoch.cc.o"
+  "CMakeFiles/gms_core.dir/epoch.cc.o.d"
+  "CMakeFiles/gms_core.dir/gms_agent.cc.o"
+  "CMakeFiles/gms_core.dir/gms_agent.cc.o.d"
+  "libgms_core.a"
+  "libgms_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

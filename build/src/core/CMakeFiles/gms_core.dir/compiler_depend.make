@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gms_core.
+# This may be replaced when dependencies are built.

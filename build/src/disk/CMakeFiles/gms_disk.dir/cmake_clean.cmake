@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_disk.dir/disk.cc.o"
+  "CMakeFiles/gms_disk.dir/disk.cc.o.d"
+  "libgms_disk.a"
+  "libgms_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

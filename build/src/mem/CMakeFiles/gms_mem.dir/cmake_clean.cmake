@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_mem.dir/frame_table.cc.o"
+  "CMakeFiles/gms_mem.dir/frame_table.cc.o.d"
+  "libgms_mem.a"
+  "libgms_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

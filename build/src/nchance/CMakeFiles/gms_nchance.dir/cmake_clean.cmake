@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_nchance.dir/nchance_agent.cc.o"
+  "CMakeFiles/gms_nchance.dir/nchance_agent.cc.o.d"
+  "libgms_nchance.a"
+  "libgms_nchance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_nchance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

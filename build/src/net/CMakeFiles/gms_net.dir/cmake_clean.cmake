@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_net.dir/network.cc.o"
+  "CMakeFiles/gms_net.dir/network.cc.o.d"
+  "libgms_net.a"
+  "libgms_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_node.dir/node_os.cc.o"
+  "CMakeFiles/gms_node.dir/node_os.cc.o.d"
+  "libgms_node.a"
+  "libgms_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_sim.dir/cpu.cc.o"
+  "CMakeFiles/gms_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/gms_sim.dir/simulator.cc.o"
+  "CMakeFiles/gms_sim.dir/simulator.cc.o.d"
+  "libgms_sim.a"
+  "libgms_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_workload.dir/applications.cc.o"
+  "CMakeFiles/gms_workload.dir/applications.cc.o.d"
+  "CMakeFiles/gms_workload.dir/patterns.cc.o"
+  "CMakeFiles/gms_workload.dir/patterns.cc.o.d"
+  "CMakeFiles/gms_workload.dir/trace_io.cc.o"
+  "CMakeFiles/gms_workload.dir/trace_io.cc.o.d"
+  "libgms_workload.a"
+  "libgms_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

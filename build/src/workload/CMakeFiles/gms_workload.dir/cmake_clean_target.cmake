@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgms_workload.a"
+)

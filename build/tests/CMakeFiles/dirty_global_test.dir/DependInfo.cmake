@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dirty_global_test.cc" "tests/CMakeFiles/dirty_global_test.dir/dirty_global_test.cc.o" "gcc" "tests/CMakeFiles/dirty_global_test.dir/dirty_global_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/gms_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/nchance/CMakeFiles/gms_nchance.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/gms_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/gms_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gms_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gms_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

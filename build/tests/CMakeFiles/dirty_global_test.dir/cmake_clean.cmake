@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirty_global_test.dir/dirty_global_test.cc.o"
+  "CMakeFiles/dirty_global_test.dir/dirty_global_test.cc.o.d"
+  "dirty_global_test"
+  "dirty_global_test.pdb"
+  "dirty_global_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirty_global_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_agent_test.dir/gms_agent_test.cc.o"
+  "CMakeFiles/gms_agent_test.dir/gms_agent_test.cc.o.d"
+  "gms_agent_test"
+  "gms_agent_test.pdb"
+  "gms_agent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_agent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

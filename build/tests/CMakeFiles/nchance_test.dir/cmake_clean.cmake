@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nchance_test.dir/nchance_test.cc.o"
+  "CMakeFiles/nchance_test.dir/nchance_test.cc.o.d"
+  "nchance_test"
+  "nchance_test.pdb"
+  "nchance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nchance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
