@@ -148,6 +148,35 @@ bool Cluster::RunUntilWorkloadsDone(SimTime max_time) {
   return AllWorkloadsFinished();
 }
 
+bool Cluster::Quiescent() const {
+  if (net_->in_flight() != 0) {
+    return false;
+  }
+  for (const auto& rt : nodes_) {
+    if (rt->gms != nullptr && rt->gms->alive() && !rt->gms->Quiescent()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Cluster::RunUntilQuiescent(SimTime max_time) {
+  const SimTime deadline = sim_.now() + max_time;
+  bool was_quiet = false;
+  while (sim_.now() < deadline) {
+    sim_.RunFor(Milliseconds(10));
+    if (!Quiescent()) {
+      was_quiet = false;
+      continue;
+    }
+    if (was_quiet) {
+      return true;
+    }
+    was_quiet = true;
+  }
+  return false;
+}
+
 void Cluster::CrashNode(NodeId node) {
   NodeRuntime& rt = *nodes_.at(node.value);
   net_->SetNodeUp(node, false);

@@ -86,6 +86,15 @@ class Cluster {
   // Returns true when all finished.
   bool RunUntilWorkloadsDone(SimTime max_time = Seconds(36000));
 
+  // True when no datagram is in flight and no live GMS agent has protocol
+  // work outstanding (unacked control messages, pending getpages, summary
+  // collection). The precondition for the cluster invariant checker.
+  bool Quiescent() const;
+  // Runs until Quiescent() holds stably (two consecutive probes — protocol
+  // work can hide behind queued CPU kernels with nothing on the wire) or
+  // max_time elapses. Returns true on quiesce.
+  bool RunUntilQuiescent(SimTime max_time = Seconds(60));
+
   // --- faults/membership ---
   // Crashes a node: network down, agent stopped, memory contents lost.
   void CrashNode(NodeId node);

@@ -1,0 +1,74 @@
+// Cluster-wide consistency checking.
+//
+// After a quiesce (Cluster::RunUntilQuiescent) the distributed state of a
+// GMS cluster must satisfy a set of global invariants no single node can
+// verify alone. ClusterInvariantChecker walks every live node's frame table,
+// GCD partition, and POD replica, plus the network's conservation counters,
+// and reports:
+//
+//   violations — hard failures (a protocol bug or lost/duplicated page):
+//     * a page with more global copies than allowed (1, or the dirty-global
+//       replication factor),
+//     * a GCD entry whose holder is not a live node,
+//     * a dirty global frame no directory entry reaches (data-loss risk —
+//       clean pages are always recoverable from disk, dirty ones are not),
+//     * traffic counters that do not balance:
+//         tx + duplicates_injected == rx + drops_total  (events and bytes)
+//       with nothing in flight.
+//
+//   warnings — tolerated staleness the paper's design self-heals on the
+//   next touch (a bounded fraction is accepted, above it they escalate to
+//   violations):
+//     * a GCD entry pointing at a live node that no longer caches the page
+//       (stale hint: the requester falls back to disk),
+//     * a cached clean page with no directory entry (unreachable but
+//       recoverable: wasted memory, not lost data),
+//     * GCD entries parked on a node the POD no longer maps them to, and
+//       POD version disagreement between live nodes (both heal on the next
+//       membership change).
+#ifndef SRC_CLUSTER_INVARIANTS_H_
+#define SRC_CLUSTER_INVARIANTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+
+namespace gms {
+
+struct InvariantReport {
+  std::vector<std::string> violations;
+  std::vector<std::string> warnings;
+  uint64_t entries_checked = 0;  // GCD (uid, holder) pairs examined
+  uint64_t frames_checked = 0;   // in-use frames examined
+  uint64_t stale_hints = 0;      // holder listed but page not cached
+  uint64_t unlisted_frames = 0;  // page cached but no directory entry
+
+  bool ok() const { return violations.empty(); }
+  // Multi-line human-readable summary (empty string when fully clean).
+  std::string ToString() const;
+};
+
+struct InvariantOptions {
+  // Fraction of checked entries/frames allowed to be stale before staleness
+  // itself becomes a violation.
+  double stale_tolerance = 0.02;
+  // Maximum global copies per page; 1 for the paper's protocol, raised to
+  // dirty_replicas when the dirty-global extension is on.
+  uint32_t max_global_copies = 1;
+};
+
+class ClusterInvariantChecker {
+ public:
+  using Options = InvariantOptions;
+
+  // The cluster must be quiescent (Cluster::RunUntilQuiescent) and running
+  // the GMS policy; nodes whose agent is dead are skipped.
+  static InvariantReport Check(Cluster& cluster,
+                               const Options& opts = Options());
+};
+
+}  // namespace gms
+
+#endif  // SRC_CLUSTER_INVARIANTS_H_

@@ -103,6 +103,14 @@ class GcdTable {
   bool HasDuplicate(const Uid& uid) const;
   size_t size() const { return map_.size(); }
 
+  // Visits every entry (used by the cluster invariant checker).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [uid, entry] : map_) {
+      fn(uid, entry);
+    }
+  }
+
   // Drops entries whose GCD ownership moved away from `self` (after a POD
   // redistribution) or whose holders are all dead.
   void Prune(const Pod& pod, NodeId self);

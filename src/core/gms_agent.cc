@@ -26,6 +26,10 @@ void GmsAgent::Start(const PodTable& pod, NodeId master, NodeId first_initiator)
         StartEpochAsInitiator();
       }
     });
+  } else if (config_.retry.enabled && first_initiator.valid()) {
+    // Under loss the first EpochParams may never reach us; watchdog the
+    // initiator from the start.
+    ArmEpochWatchdog();
   }
   if (config_.enable_heartbeats && master_ == self_) {
     hb_timer_ = sim_->ScheduleTimer(config_.heartbeat_interval,
@@ -48,6 +52,19 @@ void GmsAgent::SetAlive(bool alive) {
     sim_->CancelTimer(hb_timer_);
     sim_->CancelTimer(master_watchdog_);
     epoch_timer_ = collect_timer_ = hb_timer_ = master_watchdog_ = 0;
+    sim_->CancelTimer(join_retry_timer_);
+    sim_->CancelTimer(epoch_watchdog_);
+    sim_->CancelTimer(stale_clear_timer_);
+    join_retry_timer_ = epoch_watchdog_ = stale_clear_timer_ = 0;
+    epoch_watchdog_fires_ = 0;
+    for (auto& [key, ctl] : unacked_) {
+      sim_->CancelTimer(ctl.timer);
+    }
+    unacked_.clear();
+    for (auto& [node, window] : seen_seqs_) {
+      sim_->CancelTimer(window.gap_timer);
+    }
+    seen_seqs_.clear();
     for (auto& [id, pending] : pending_gets_) {
       sim_->CancelTimer(pending.timer);
     }
@@ -61,6 +78,155 @@ void GmsAgent::Join(NodeId master) {
   alive_ = true;
   Send(master, kMsgJoinReq, config_.costs.small_message_bytes(),
        JoinReq{self_});
+  if (config_.retry.enabled) {
+    join_attempts_ = 1;
+    sim_->CancelTimer(join_retry_timer_);
+    join_retry_timer_ = sim_->ScheduleTimer(RetryTimeoutFor(join_attempts_),
+                                            [this] { RetryJoin(); });
+  }
+}
+
+void GmsAgent::RetryJoin() {
+  join_retry_timer_ = 0;
+  if (!alive_ || pod_.IsLive(self_)) {
+    return;
+  }
+  if (join_attempts_ >= config_.retry.max_attempts) {
+    stats_.control_give_ups++;
+    return;
+  }
+  join_attempts_++;
+  stats_.control_retries++;
+  Send(master_, kMsgJoinReq, config_.costs.small_message_bytes(),
+       JoinReq{self_});
+  join_retry_timer_ = sim_->ScheduleTimer(RetryTimeoutFor(join_attempts_),
+                                          [this] { RetryJoin(); });
+}
+
+SimTime GmsAgent::RetryTimeoutFor(int attempts) const {
+  double t = static_cast<double>(config_.retry.initial_timeout);
+  for (int i = 0; i < attempts; i++) {
+    t *= config_.retry.backoff;
+  }
+  const double cap = static_cast<double>(config_.retry.max_timeout);
+  return static_cast<SimTime>(t > cap ? cap : t);
+}
+
+void GmsAgent::SendReliable(NodeId dst, uint32_t type, uint32_t bytes,
+                            std::any payload, uint64_t seq, const Uid& uid,
+                            bool putpage_target) {
+  UnackedControl ctl;
+  ctl.dst = dst;
+  ctl.type = type;
+  ctl.bytes = bytes;
+  ctl.payload = payload;
+  ctl.uid = uid;
+  ctl.putpage_target = putpage_target;
+  const uint64_t key = AckKey(dst, seq);
+  ctl.timer = sim_->ScheduleTimer(RetryTimeoutFor(0),
+                                  [this, key] { RetryControl(key); });
+  unacked_.emplace(key, std::move(ctl));
+  Send(dst, type, bytes, std::move(payload));
+}
+
+void GmsAgent::RetryControl(uint64_t key) {
+  auto it = unacked_.find(key);
+  if (it == unacked_.end()) {
+    return;
+  }
+  UnackedControl& ctl = it->second;
+  ctl.timer = 0;
+  if (ctl.attempts >= config_.retry.max_attempts || !pod_.IsLive(ctl.dst)) {
+    stats_.control_give_ups++;
+    const bool cleanup = ctl.putpage_target;
+    const Uid uid = ctl.uid;
+    const NodeId dst = ctl.dst;
+    unacked_.erase(it);
+    if (cleanup) {
+      // The page transfer was never confirmed; de-register the target so the
+      // directory stops advertising a copy nobody may hold. The page itself
+      // is clean — disk still has it.
+      SendGcdUpdate(uid, GcdUpdate::kRemove, dst, true);
+    }
+    return;
+  }
+  ctl.attempts++;
+  stats_.control_retries++;
+  Send(ctl.dst, ctl.type, ctl.bytes, ctl.payload);
+  ctl.timer = sim_->ScheduleTimer(RetryTimeoutFor(ctl.attempts),
+                                  [this, key] { RetryControl(key); });
+}
+
+void GmsAgent::HandleProtoAck(const ProtoAck& msg) {
+  auto it = unacked_.find(AckKey(msg.from, msg.seq));
+  if (it == unacked_.end()) {
+    return;  // duplicate ack
+  }
+  sim_->CancelTimer(it->second.timer);
+  unacked_.erase(it);
+}
+
+SimTime GmsAgent::GapSkipTimeout() const {
+  SimTime t = config_.retry.max_timeout;
+  for (int i = 0; i < config_.retry.max_attempts; i++) {
+    t += RetryTimeoutFor(i);
+  }
+  return t;
+}
+
+void GmsAgent::ReceiveSequenced(NodeId from, uint64_t seq, Datagram dgram) {
+  // Ack even duplicates — the previous ack may be the copy that was lost.
+  Send(from, kMsgProtoAck, config_.costs.small_message_bytes(),
+       ProtoAck{seq, self_});
+  SeqWindow& w = seen_seqs_[from.value];
+  if (!w.initialized) {
+    w.initialized = true;
+    w.max_contig = seq;
+    Dispatch(dgram);
+    return;
+  }
+  if (seq <= w.max_contig || w.held.contains(seq)) {
+    stats_.duplicate_msgs_dropped++;
+    return;
+  }
+  w.held.emplace(seq, std::move(dgram));
+  DrainWindow(from);
+}
+
+void GmsAgent::DrainWindow(NodeId from) {
+  SeqWindow& w = seen_seqs_[from.value];
+  bool advanced = false;
+  while (!w.held.empty() && w.held.begin()->first == w.max_contig + 1) {
+    Datagram next = std::move(w.held.begin()->second);
+    w.held.erase(w.held.begin());
+    w.max_contig++;
+    advanced = true;
+    Dispatch(next);
+  }
+  if (w.held.empty()) {
+    sim_->CancelTimer(w.gap_timer);
+    w.gap_timer = 0;
+    return;
+  }
+  // A gap blocks delivery. The sender retries every sequenced message, so
+  // the gap fills on its own unless the sender gave up (or died); restart
+  // the clock whenever progress is made so each gap gets the full span.
+  if (w.gap_timer == 0 || advanced) {
+    sim_->CancelTimer(w.gap_timer);
+    w.gap_timer = sim_->ScheduleTimer(GapSkipTimeout(),
+                                      [this, from] { OnSeqGapTimeout(from); });
+  }
+}
+
+void GmsAgent::OnSeqGapTimeout(NodeId from) {
+  SeqWindow& w = seen_seqs_[from.value];
+  w.gap_timer = 0;
+  if (w.held.empty()) {
+    return;
+  }
+  stats_.seq_gaps_skipped++;
+  w.max_contig = w.held.begin()->first - 1;
+  DrainWindow(from);
 }
 
 void GmsAgent::Send(NodeId dst, uint32_t type, uint32_t bytes,
@@ -87,12 +253,39 @@ void GmsAgent::GetPage(const Uid& uid, GetPageCallback callback) {
   PendingGet pending;
   pending.uid = uid;
   pending.callback = std::move(callback);
-  pending.timer = sim_->ScheduleTimer(config_.getpage_timeout, [this, op_id] {
-    stats_.getpage_timeouts++;
-    ResolveGet(op_id, GetPageResult{});
-  });
+  // With retries enabled each attempt gets a short window and escalates;
+  // without, one long window covers the whole operation.
+  const SimTime window =
+      config_.retry.enabled ? RetryTimeoutFor(0) : config_.getpage_timeout;
+  pending.timer =
+      sim_->ScheduleTimer(window, [this, op_id] { OnGetPageTimeout(op_id); });
   pending_gets_.emplace(op_id, std::move(pending));
+  IssueGetPage(uid, op_id);
+}
 
+void GmsAgent::OnGetPageTimeout(uint64_t op_id) {
+  auto it = pending_gets_.find(op_id);
+  if (it == pending_gets_.end()) {
+    return;
+  }
+  PendingGet& pending = it->second;
+  if (config_.retry.enabled &&
+      pending.attempts + 1 < config_.retry.max_attempts) {
+    pending.attempts++;
+    stats_.getpage_retries++;
+    pending.timer = sim_->ScheduleTimer(
+        RetryTimeoutFor(pending.attempts),
+        [this, op_id] { OnGetPageTimeout(op_id); });
+    // Same op_id: a late reply to any attempt resolves the fault, and the
+    // duplicate-reply case is absorbed by pending_gets_ erasure.
+    IssueGetPage(pending.uid, op_id);
+    return;
+  }
+  stats_.getpage_timeouts++;
+  ResolveGet(op_id, GetPageResult{});
+}
+
+void GmsAgent::IssueGetPage(const Uid& uid, uint64_t op_id) {
   // Request generation: UID hash + POD lookup (Table 1, "Request
   // Generation"; 7 us when the GCD turns out to be local).
   cpu_->SubmitKernel(config_.costs.get_request_local, CpuCategory::kFault,
@@ -167,8 +360,19 @@ void GmsAgent::LookupInGcd(const Uid& uid, NodeId requester, uint64_t op_id) {
       if (!alive_) {
         return;
       }
-      Send(holder, kMsgGetPageFwd, config_.costs.small_message_bytes(),
-           GetPageFwd{uid, requester, op_id});
+      GetPageFwd fwd{uid, requester, op_id};
+      if (config_.retry.enabled) {
+        // The directory just de-registered the holder's copy; if this
+        // forward is lost the holder keeps a global page nothing points at
+        // (and a later re-eviction would make a second copy). Retry it past
+        // drops and partitions so the holder serves or frees the frame.
+        fwd.seq = NextCtlSeq(holder);
+        SendReliable(holder, kMsgGetPageFwd,
+                     config_.costs.small_message_bytes(), fwd, fwd.seq, uid,
+                     /*putpage_target=*/false);
+        return;
+      }
+      Send(holder, kMsgGetPageFwd, config_.costs.small_message_bytes(), fwd);
     });
   });
 }
@@ -205,6 +409,16 @@ void GmsAgent::HandleGetPageFwd(const GetPageFwd& msg) {
       reply.was_global = true;
       stats_.global_hits_served++;
       frames_->Free(frame);
+      if (config_.retry.enabled) {
+        // Normally redundant: the GCD already de-listed us optimistically
+        // before forwarding. But a forward can be stale — delayed behind a
+        // CPU backlog while the requester timed out, re-fetched the page
+        // from disk, and evicted it back to us. Serving that forward frees
+        // the *new* incarnation, whose registration post-dates the
+        // optimistic removal; without this corrective remove the directory
+        // would keep naming us as a holder forever.
+        SendGcdUpdate(msg.uid, GcdUpdate::kRemove, self_, true);
+      }
     } else {
       // Shared page served from our active local memory (case 4): we keep
       // our copy and both copies become duplicates.
@@ -330,12 +544,19 @@ bool GmsAgent::EvictDirty(Frame* frame) {
   frames_->Free(frame);
   const SimTime marshal =
       config_.costs.put_request * static_cast<SimTime>(targets.size());
-  cpu_->SubmitKernel(marshal, CpuCategory::kFault, [this, msg, targets] {
+  cpu_->SubmitKernel(marshal, CpuCategory::kFault, [this, msg, targets]() mutable {
     if (!alive_) {
       return;
     }
     for (size_t i = 0; i < targets.size(); i++) {
-      Send(targets[i], kMsgPutPage, config_.costs.page_message_bytes(), msg);
+      if (config_.retry.enabled) {
+        msg.seq = NextCtlSeq(targets[i]);
+        SendReliable(targets[i], kMsgPutPage,
+                     config_.costs.page_message_bytes(), msg, msg.seq, msg.uid,
+                     /*putpage_target=*/true);
+      } else {
+        Send(targets[i], kMsgPutPage, config_.costs.page_message_bytes(), msg);
+      }
       // The first target is the "primary" in the directory (kReplace); the
       // replicas are added alongside it.
       if (i == 0) {
@@ -371,11 +592,17 @@ void GmsAgent::SendPutPage(Frame* frame, NodeId target) {
       config_.costs.put_request + (gcd_node == self_
                                        ? config_.costs.put_gcd_processing
                                        : config_.costs.put_gcd_remote_extra);
-  cpu_->SubmitKernel(marshal, CpuCategory::kFault, [this, msg, target] {
+  cpu_->SubmitKernel(marshal, CpuCategory::kFault, [this, msg, target]() mutable {
     if (!alive_) {
       return;
     }
-    Send(target, kMsgPutPage, config_.costs.page_message_bytes(), msg);
+    if (config_.retry.enabled) {
+      msg.seq = NextCtlSeq(target);
+      SendReliable(target, kMsgPutPage, config_.costs.page_message_bytes(),
+                   msg, msg.seq, msg.uid, /*putpage_target=*/true);
+    } else {
+      Send(target, kMsgPutPage, config_.costs.page_message_bytes(), msg);
+    }
     SendGcdUpdate(msg.uid, GcdUpdate::kReplace, target, true, self_);
   });
 }
@@ -388,21 +615,108 @@ void GmsAgent::SendGcdUpdate(const Uid& uid, GcdUpdate::Op op, NodeId holder,
     ApplyGcdAsOwner(update);
     return;
   }
+  if (config_.retry.enabled) {
+    update.seq = NextCtlSeq(gcd_node);
+    SendReliable(gcd_node, kMsgGcdUpdate, config_.costs.small_message_bytes(),
+                 update, update.seq, uid, /*putpage_target=*/false);
+    return;
+  }
   Send(gcd_node, kMsgGcdUpdate, config_.costs.small_message_bytes(), update);
 }
 
 void GmsAgent::ApplyGcdAsOwner(const GcdUpdate& update) {
+  if (config_.retry.enabled &&
+      (update.op == GcdUpdate::kAdd || update.op == GcdUpdate::kReplace) &&
+      !pod_.IsLive(update.node)) {
+    // A late or retried registration from a node no longer in the
+    // membership must not resurrect it as a holder.
+    return;
+  }
+  if (config_.retry.enabled &&
+      (update.op == GcdUpdate::kAdd || update.op == GcdUpdate::kReplace) &&
+      update.node == self_ && update.global &&
+      frames_->Lookup(update.uid) == nullptr) {
+    // Remote registrations naming *this node* as a global holder apply
+    // behind the kService kernel queue, while this node's own directory
+    // updates (discard, optimistic getpage moves) apply instantly. A queued
+    // kReplace can therefore land after the page it announced has already
+    // been absorbed and re-evicted here, resurrecting a self-entry with no
+    // frame behind it. Unlike hints about other nodes, the owner can check
+    // its own cache: drop the registration if the page is not resident.
+    // (A kReplace still runs below with node swapped out so `prev` and
+    // superseded holders are cleaned up.)
+    if (update.op == GcdUpdate::kReplace) {
+      GcdUpdate scrubbed = update;
+      scrubbed.op = GcdUpdate::kRemove;
+      scrubbed.node = update.prev.valid() ? update.prev : self_;
+      scrubbed.global = false;
+      gcd_.Apply(scrubbed);
+      gcd_.Apply(GcdUpdate{update.uid, GcdUpdate::kRemove, self_, true});
+    }
+    return;
+  }
+  if (config_.retry.enabled && !config_.dirty_global &&
+      update.op == GcdUpdate::kAdd && update.global) {
+    // A global registration for a page that already has a *different*
+    // global holder means two putpages of the same page raced — e.g. a
+    // transfer delayed by a partition finally landed after the evictor
+    // timed out, re-fetched the page from disk, and re-evicted it to a
+    // different node. Both copies are clean, so either may be dropped;
+    // keep the incumbent (the later directory state) and tell the
+    // newcomer to free its copy. Without dirty_global there is never a
+    // legitimate second global copy.
+    if (const GcdTable::Entry* entry = gcd_.Lookup(update.uid)) {
+      for (const GcdTable::Holder& h : entry->holders) {
+        if (!h.global || h.node == update.node) {
+          continue;
+        }
+        if (update.node != self_) {
+          GcdInvalidate inv{update.uid, NextCtlSeq(update.node)};
+          SendReliable(update.node, kMsgGcdInvalidate,
+                       config_.costs.small_message_bytes(), inv, inv.seq,
+                       update.uid, /*putpage_target=*/false);
+          return;  // drop the registration; the incumbent stays
+        }
+        // The newcomer is this node itself (the owner absorbed a putpage):
+        // our frame is resident, so keep ours and invalidate the incumbent.
+        GcdInvalidate inv{update.uid, NextCtlSeq(h.node)};
+        SendReliable(h.node, kMsgGcdInvalidate,
+                     config_.costs.small_message_bytes(), inv, inv.seq,
+                     update.uid, /*putpage_target=*/false);
+        gcd_.Apply(GcdUpdate{update.uid, GcdUpdate::kRemove, h.node, true});
+        break;  // at most one global incumbent; fall through to register
+      }
+    }
+  }
   if (update.op == GcdUpdate::kReplace) {
     // A replace that supersedes a still-registered global copy elsewhere
     // means a race (e.g. a disk refetch forked the page while a putpage was
     // in flight); tell the stale holder to drop its clean copy so the
-    // single-copy invariant re-converges.
+    // single-copy invariant re-converges. Under loss the invalidation must
+    // be reliable, or the second copy survives forever.
     if (const GcdTable::Entry* entry = gcd_.Lookup(update.uid)) {
       for (const GcdTable::Holder& h : entry->holders) {
         if (h.global && h.node != update.node && h.node != update.prev &&
             h.node != self_) {
-          Send(h.node, kMsgGcdInvalidate, config_.costs.small_message_bytes(),
-               GcdInvalidate{update.uid});
+          GcdInvalidate inv{update.uid, 0};
+          if (config_.retry.enabled) {
+            inv.seq = NextCtlSeq(h.node);
+            SendReliable(h.node, kMsgGcdInvalidate,
+                         config_.costs.small_message_bytes(), inv, inv.seq,
+                         update.uid, /*putpage_target=*/false);
+          } else {
+            Send(h.node, kMsgGcdInvalidate,
+                 config_.costs.small_message_bytes(), inv);
+          }
+        } else if (config_.retry.enabled && h.global && h.node == self_ &&
+                   h.node != update.node && h.node != update.prev) {
+          // The superseded global copy is our own: no message needed, the
+          // owner drops the stale frame directly.
+          Frame* frame = frames_->Lookup(update.uid);
+          if (frame != nullptr && frame->location == PageLocation::kGlobal &&
+              !frame->pinned) {
+            frames_->Free(frame);
+          }
         }
       }
     }
@@ -462,6 +776,15 @@ void GmsAgent::ReportStaleWeights() {
     return;
   }
   stale_reported_ = true;
+  if (config_.retry.enabled && stale_clear_timer_ == 0) {
+    // The report itself may be lost; allow a fresh one if no new epoch has
+    // arrived by then.
+    stale_clear_timer_ =
+        sim_->ScheduleTimer(config_.epoch.summary_timeout * 2, [this] {
+          stale_clear_timer_ = 0;
+          stale_reported_ = false;
+        });
+  }
   if (view_.next_initiator == self_) {
     if (!collecting_) {
       StartEpochAsInitiator();
@@ -483,9 +806,13 @@ void GmsAgent::HandlePutPage(const PutPage& msg) {
     stats_.putpages_received++;
     putpages_this_epoch_++;
 
-    if (frames_->Lookup(msg.uid) != nullptr) {
-      // We already cache this (shared) page; keep ours, fix the directory.
-      SendGcdUpdate(msg.uid, GcdUpdate::kAdd, self_, false);
+    if (Frame* existing = frames_->Lookup(msg.uid); existing != nullptr) {
+      // We already cache this page; keep ours, fix the directory. Register
+      // with the frame's actual location — hardcoding `global = false` here
+      // would demote a global copy's directory entry when a putpage for a
+      // page we already absorbed is replayed.
+      SendGcdUpdate(msg.uid, GcdUpdate::kAdd, self_,
+                    existing->location == PageLocation::kGlobal);
     } else {
       const SimTime last_access = sim_->now() - msg.age;
       Frame* frame = frames_->AllocateWithAge(msg.uid, PageLocation::kGlobal,
@@ -552,9 +879,18 @@ void GmsAgent::StartEpochAsInitiator() {
   }
   sim_->CancelTimer(epoch_timer_);
   epoch_timer_ = 0;
+  sim_->CancelTimer(epoch_watchdog_);
+  epoch_watchdog_ = 0;
+  epoch_watchdog_fires_ = 0;
   stats_.epochs_started++;
   collecting_ = true;
   collecting_epoch_ = view_.epoch + 1;
+  if (config_.retry.enabled && highest_epoch_seen_ >= collecting_epoch_) {
+    // Our view trails the cluster (lost EpochParams); number past every
+    // epoch we have evidence of so our params are not rejected as stale.
+    collecting_epoch_ = highest_epoch_seen_ + 1;
+  }
+  summaries_rerequested_ = false;
   summaries_.clear();
 
   const size_t live = pod_.table().live.size();
@@ -621,6 +957,7 @@ void GmsAgent::BuildOwnSummary(uint64_t epoch, EpochSummary* out) const {
 }
 
 void GmsAgent::HandleEpochSummaryReq(const EpochSummaryReq& msg) {
+  highest_epoch_seen_ = std::max(highest_epoch_seen_, msg.epoch);
   const SimTime scan =
       config_.costs.epoch_scan_per_local_page * frames_->local_count() +
       config_.costs.epoch_scan_per_global_page * frames_->global_count() +
@@ -642,6 +979,11 @@ void GmsAgent::HandleEpochSummary(const EpochSummary& msg) {
   if (!collecting_ || msg.epoch != collecting_epoch_) {
     return;
   }
+  for (const EpochSummary& s : summaries_) {
+    if (s.node == msg.node) {
+      return;  // duplicate delivery (or a reply to a re-request)
+    }
+  }
   summaries_.push_back(msg);
   if (summaries_.size() >= pod_.table().live.size()) {
     FinishSummaryCollection();
@@ -650,6 +992,33 @@ void GmsAgent::HandleEpochSummary(const EpochSummary& msg) {
 
 void GmsAgent::FinishSummaryCollection() {
   if (!collecting_) {
+    return;
+  }
+  if (config_.retry.enabled && !summaries_rerequested_ &&
+      summaries_.size() < pod_.table().live.size()) {
+    // Timed out with summaries missing: ask the silent nodes once more
+    // before computing a plan from a partial view.
+    summaries_rerequested_ = true;
+    stats_.control_retries++;
+    for (NodeId node : pod_.table().live) {
+      if (node == self_) {
+        continue;
+      }
+      bool have = false;
+      for (const EpochSummary& s : summaries_) {
+        if (s.node == node) {
+          have = true;
+          break;
+        }
+      }
+      if (!have) {
+        Send(node, kMsgEpochSummaryReq, config_.costs.small_message_bytes(),
+             EpochSummaryReq{collecting_epoch_, self_});
+      }
+    }
+    sim_->CancelTimer(collect_timer_);
+    collect_timer_ = sim_->ScheduleTimer(config_.epoch.summary_timeout,
+                                         [this] { FinishSummaryCollection(); });
     return;
   }
   collecting_ = false;
@@ -706,6 +1075,7 @@ void GmsAgent::HandleEpochParams(const EpochParams& msg) {
 }
 
 void GmsAgent::AdoptEpochParams(const EpochParams& params) {
+  highest_epoch_seen_ = std::max(highest_epoch_seen_, params.epoch);
   if (params.epoch <= view_.epoch) {
     return;  // stale (reordered) parameters
   }
@@ -737,18 +1107,75 @@ void GmsAgent::AdoptEpochParams(const EpochParams& params) {
 
   sim_->CancelTimer(epoch_timer_);
   epoch_timer_ = 0;
+  epoch_watchdog_fires_ = 0;
   if (params.next_initiator == self_) {
     epoch_timer_ = sim_->ScheduleTimer(params.duration, [this] {
       if (alive_ && !collecting_) {
         StartEpochAsInitiator();
       }
     });
+    sim_->CancelTimer(epoch_watchdog_);
+    epoch_watchdog_ = 0;
+  } else if (config_.retry.enabled) {
+    ArmEpochWatchdog();
+  }
+}
+
+void GmsAgent::ArmEpochWatchdog() {
+  sim_->CancelTimer(epoch_watchdog_);
+  watchdog_epoch_ = view_.epoch;
+  const SimTime window = view_.duration > 0
+                             ? view_.duration * 3
+                             : config_.epoch.summary_timeout * 10;
+  epoch_watchdog_ = sim_->ScheduleTimer(window, [this] { OnEpochSilent(); });
+}
+
+void GmsAgent::OnEpochSilent() {
+  epoch_watchdog_ = 0;
+  if (!alive_ || !config_.retry.enabled || collecting_ ||
+      view_.epoch != watchdog_epoch_) {
+    return;  // the epoch progressed after all
+  }
+  epoch_watchdog_fires_++;
+  if (epoch_watchdog_fires_ == 1 && view_.next_initiator.valid() &&
+      pod_.IsLive(view_.next_initiator) && view_.next_initiator != self_) {
+    // First silence: nudge the initiator — our stale report or its params
+    // may simply have been lost.
+    Send(view_.next_initiator, kMsgEpochStale,
+         config_.costs.small_message_bytes(), EpochStale{view_.epoch, self_});
+    ArmEpochWatchdog();
+    return;
+  }
+  // Initiator presumed gone (or deaf). The lowest-id live node other than it
+  // takes over the epoch duty; everyone else keeps watching.
+  NodeId lowest = kInvalidNode;
+  for (NodeId node : pod_.table().live) {
+    if (node != view_.next_initiator &&
+        (!lowest.valid() || node.value < lowest.value)) {
+      lowest = node;
+    }
+  }
+  if (lowest == self_) {
+    StartEpochAsInitiator();
+  } else {
+    ArmEpochWatchdog();
   }
 }
 
 void GmsAgent::HandleEpochStale(const EpochStale& msg) {
-  if (msg.epoch == view_.epoch && view_.next_initiator == self_ &&
-      !collecting_) {
+  if (collecting_) {
+    return;
+  }
+  if (config_.retry.enabled) {
+    // Under loss the reporter's epoch view may trail ours or lead it; any
+    // report at or past our epoch justifies starting a fresh one, whether
+    // or not we believe we are the next initiator.
+    if (msg.epoch >= view_.epoch) {
+      StartEpochAsInitiator();
+    }
+    return;
+  }
+  if (msg.epoch == view_.epoch && view_.next_initiator == self_) {
     StartEpochAsInitiator();
   }
 }
@@ -765,7 +1192,11 @@ void GmsAgent::HandleJoinReq(const JoinReq& msg) {
   if (std::find(live.begin(), live.end(), msg.node) == live.end()) {
     live.push_back(msg.node);
   }
-  MasterReconfigure(std::move(live));
+  // A join from a node already in the membership (a rejoin after a crash we
+  // never detected, or a retried/duplicated JoinReq) still reconfigures:
+  // the version bump re-distributes the POD and triggers republishes, which
+  // refresh directory entries that went stale with the node's memory.
+  MasterReconfigure(std::move(live), msg.node);
 }
 
 void GmsAgent::MasterRemoveNode(NodeId node) {
@@ -781,9 +1212,9 @@ void GmsAgent::MasterRemoveNode(NodeId node) {
   MasterReconfigure(std::move(live));
 }
 
-void GmsAgent::MasterReconfigure(std::vector<NodeId> live) {
+void GmsAgent::MasterReconfigure(std::vector<NodeId> live, NodeId joined) {
   PodTable pod = Pod::Build(pod_.version() + 1, std::move(live));
-  MemberUpdate update{pod, self_};
+  MemberUpdate update{pod, self_, joined};
   for (NodeId node : pod.live) {
     if (node != self_) {
       Send(node, kMsgMemberUpdate,
@@ -799,8 +1230,22 @@ void GmsAgent::HandleMemberUpdate(const MemberUpdate& msg) {
   if (msg.pod.version <= pod_.version()) {
     return;
   }
+  if (msg.joined != kInvalidNode && msg.joined != self_) {
+    // A rejoined node is a fresh incarnation: its control-seq streams
+    // restart from 1. Drop the old receive window (buffered pre-crash
+    // messages included) so the new stream re-initializes on first contact.
+    auto it = seen_seqs_.find(msg.joined.value);
+    if (it != seen_seqs_.end()) {
+      sim_->CancelTimer(it->second.gap_timer);
+      seen_seqs_.erase(it);
+    }
+  }
   pod_.Adopt(msg.pod);
   master_ = msg.master;
+  if (pod_.IsLive(self_) && join_retry_timer_ != 0) {
+    sim_->CancelTimer(join_retry_timer_);
+    join_retry_timer_ = 0;
+  }
   if (config_.enable_heartbeats && config_.enable_master_election) {
     if (master_ != self_) {
       ArmMasterWatchdog();
@@ -851,14 +1296,20 @@ void GmsAgent::RepublishAfterPodChange() {
   });
   cpu_->SubmitKernel(per_entry * static_cast<SimTime>(entries),
                      CpuCategory::kEpoch,
-                     [this, batches = std::move(batches)] {
+                     [this, batches = std::move(batches)]() mutable {
     if (!alive_) {
       return;
     }
-    for (const auto& [node, batch] : batches) {
-      Send(NodeId{node}, kMsgRepublish,
-           RepublishBytes(config_.costs.header_size, batch.entries.size()),
-           batch);
+    for (auto& [node, batch] : batches) {
+      const uint32_t bytes =
+          RepublishBytes(config_.costs.header_size, batch.entries.size());
+      if (config_.retry.enabled) {
+        batch.seq = NextCtlSeq(NodeId{node});
+        SendReliable(NodeId{node}, kMsgRepublish, bytes, batch, batch.seq,
+                     Uid{}, /*putpage_target=*/false);
+      } else {
+        Send(NodeId{node}, kMsgRepublish, bytes, batch);
+      }
     }
   });
 }
@@ -871,7 +1322,7 @@ void GmsAgent::HandleRepublish(const Republish& msg) {
     }
     for (const GcdUpdate& update : msg.entries) {
       if (pod_.GcdNodeFor(update.uid) == self_) {
-        gcd_.Apply(update);
+        ApplyGcdAsOwner(update);
       }
     }
   });
@@ -895,7 +1346,7 @@ void GmsAgent::SendHeartbeats() {
       continue;
     }
     Send(node, kMsgHeartbeat, config_.costs.small_message_bytes(),
-         Heartbeat{hb_seq_});
+         Heartbeat{hb_seq_, pod_.version()});
   }
   if (!dead.empty()) {
     std::vector<NodeId> live;
@@ -919,7 +1370,7 @@ void GmsAgent::HandleHeartbeat(const Heartbeat& msg, NodeId from) {
     ArmMasterWatchdog();
   }
   Send(from, kMsgHeartbeatAck, config_.costs.small_message_bytes(),
-       HeartbeatAck{msg.seq, self_});
+       HeartbeatAck{msg.seq, self_, pod_.version()});
 }
 
 void GmsAgent::ArmMasterWatchdog() {
@@ -967,6 +1418,15 @@ void GmsAgent::OnMasterSilent() {
 void GmsAgent::HandleHeartbeatAck(const HeartbeatAck& msg) {
   uint64_t& acked = hb_acked_[msg.node.value];
   acked = std::max(acked, msg.seq);
+  if (msg.pod_version < pod_.version() && master_ == self_ &&
+      pod_.IsLive(msg.node)) {
+    // The node is answering heartbeats but runs an old POD — its
+    // MemberUpdate was lost. Catch it up.
+    Send(msg.node, kMsgMemberUpdate,
+         MemberUpdateBytes(config_.costs.header_size, pod_.table().live.size(),
+                           pod_.table().buckets.size()),
+         MemberUpdate{pod_.table(), self_});
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -983,63 +1443,96 @@ void GmsAgent::OnDatagram(Datagram dgram) {
     if (!alive_) {
       return;
     }
-    switch (dgram.type) {
-      case kMsgGetPageReq:
-        HandleGetPageReq(std::any_cast<const GetPageReq&>(dgram.payload));
-        break;
-      case kMsgGetPageFwd:
-        HandleGetPageFwd(std::any_cast<const GetPageFwd&>(dgram.payload));
-        break;
-      case kMsgGetPageReply:
-        HandleGetPageReply(std::any_cast<const GetPageReply&>(dgram.payload));
-        break;
-      case kMsgGetPageMiss:
-        HandleGetPageMiss(std::any_cast<const GetPageMiss&>(dgram.payload));
-        break;
-      case kMsgPutPage:
-        HandlePutPage(std::any_cast<const PutPage&>(dgram.payload));
-        break;
-      case kMsgGcdUpdate:
-        HandleGcdUpdate(std::any_cast<const GcdUpdate&>(dgram.payload));
-        break;
-      case kMsgGcdInvalidate:
-        HandleGcdInvalidate(std::any_cast<const GcdInvalidate&>(dgram.payload));
-        break;
-      case kMsgEpochSummaryReq:
-        HandleEpochSummaryReq(
-            std::any_cast<const EpochSummaryReq&>(dgram.payload));
-        break;
-      case kMsgEpochSummary:
-        HandleEpochSummary(std::any_cast<const EpochSummary&>(dgram.payload));
-        break;
-      case kMsgEpochParams:
-        HandleEpochParams(std::any_cast<const EpochParams&>(dgram.payload));
-        break;
-      case kMsgEpochStale:
-        HandleEpochStale(std::any_cast<const EpochStale&>(dgram.payload));
-        break;
-      case kMsgJoinReq:
-        HandleJoinReq(std::any_cast<const JoinReq&>(dgram.payload));
-        break;
-      case kMsgMemberUpdate:
-        HandleMemberUpdate(std::any_cast<const MemberUpdate&>(dgram.payload));
-        break;
-      case kMsgHeartbeat:
-        HandleHeartbeat(std::any_cast<const Heartbeat&>(dgram.payload),
-                        dgram.src);
-        break;
-      case kMsgHeartbeatAck:
-        HandleHeartbeatAck(std::any_cast<const HeartbeatAck&>(dgram.payload));
-        break;
-      case kMsgRepublish:
-        HandleRepublish(std::any_cast<const Republish&>(dgram.payload));
-        break;
-      default:
-        GMS_LOG_WARN("node %u: unknown message type %u", self_.value,
-                     dgram.type);
-        break;
+    if (config_.retry.enabled && dgram.src != self_) {
+      uint64_t seq = 0;
+      switch (dgram.type) {
+        case kMsgPutPage:
+          seq = std::any_cast<const PutPage&>(dgram.payload).seq;
+          break;
+        case kMsgGcdUpdate:
+          seq = std::any_cast<const GcdUpdate&>(dgram.payload).seq;
+          break;
+        case kMsgGcdInvalidate:
+          seq = std::any_cast<const GcdInvalidate&>(dgram.payload).seq;
+          break;
+        case kMsgGetPageFwd:
+          seq = std::any_cast<const GetPageFwd&>(dgram.payload).seq;
+          break;
+        case kMsgRepublish:
+          seq = std::any_cast<const Republish&>(dgram.payload).seq;
+          break;
+        default:
+          break;
+      }
+      if (seq != 0) {
+        ReceiveSequenced(dgram.src, seq, std::move(dgram));
+        return;
+      }
     }
+    Dispatch(dgram);
   });
+}
+
+void GmsAgent::Dispatch(const Datagram& dgram) {
+  switch (dgram.type) {
+    case kMsgGetPageReq:
+      HandleGetPageReq(std::any_cast<const GetPageReq&>(dgram.payload));
+      break;
+    case kMsgGetPageFwd:
+      HandleGetPageFwd(std::any_cast<const GetPageFwd&>(dgram.payload));
+      break;
+    case kMsgGetPageReply:
+      HandleGetPageReply(std::any_cast<const GetPageReply&>(dgram.payload));
+      break;
+    case kMsgGetPageMiss:
+      HandleGetPageMiss(std::any_cast<const GetPageMiss&>(dgram.payload));
+      break;
+    case kMsgPutPage:
+      HandlePutPage(std::any_cast<const PutPage&>(dgram.payload));
+      break;
+    case kMsgGcdUpdate:
+      HandleGcdUpdate(std::any_cast<const GcdUpdate&>(dgram.payload));
+      break;
+    case kMsgGcdInvalidate:
+      HandleGcdInvalidate(std::any_cast<const GcdInvalidate&>(dgram.payload));
+      break;
+    case kMsgEpochSummaryReq:
+      HandleEpochSummaryReq(
+          std::any_cast<const EpochSummaryReq&>(dgram.payload));
+      break;
+    case kMsgEpochSummary:
+      HandleEpochSummary(std::any_cast<const EpochSummary&>(dgram.payload));
+      break;
+    case kMsgEpochParams:
+      HandleEpochParams(std::any_cast<const EpochParams&>(dgram.payload));
+      break;
+    case kMsgEpochStale:
+      HandleEpochStale(std::any_cast<const EpochStale&>(dgram.payload));
+      break;
+    case kMsgJoinReq:
+      HandleJoinReq(std::any_cast<const JoinReq&>(dgram.payload));
+      break;
+    case kMsgMemberUpdate:
+      HandleMemberUpdate(std::any_cast<const MemberUpdate&>(dgram.payload));
+      break;
+    case kMsgHeartbeat:
+      HandleHeartbeat(std::any_cast<const Heartbeat&>(dgram.payload),
+                      dgram.src);
+      break;
+    case kMsgHeartbeatAck:
+      HandleHeartbeatAck(std::any_cast<const HeartbeatAck&>(dgram.payload));
+      break;
+    case kMsgRepublish:
+      HandleRepublish(std::any_cast<const Republish&>(dgram.payload));
+      break;
+    case kMsgProtoAck:
+      HandleProtoAck(std::any_cast<const ProtoAck&>(dgram.payload));
+      break;
+    default:
+      GMS_LOG_WARN("node %u: unknown message type %u", self_.value,
+                   dgram.type);
+      break;
+  }
 }
 
 }  // namespace gms

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "src/common/alias.h"
@@ -42,6 +43,25 @@ struct GmsConfig {
   // A getpage with no reply within this window is treated as a miss (the
   // housing node crashed); the faulting node falls back to disk.
   SimTime getpage_timeout = Milliseconds(100);
+  // Bounded-retry reliability layer, for running over a lossy network
+  // (src/net fault injection). Off by default — the paper assumes a
+  // reliable fabric, and with `enabled == false` the protocol is
+  // bit-identical to the unhardened one. When enabled:
+  //   * GcdUpdate / PutPage / GcdInvalidate / Republish carry sequence
+  //     numbers and are retransmitted with exponential backoff until acked
+  //     (receivers ack and dedup, so every handler runs exactly once);
+  //   * getpage uses shorter per-attempt timeouts and re-issues the request
+  //     up to max_attempts times before declaring a miss;
+  //   * epoch collection re-requests missing summaries, participants
+  //     watchdog a silent initiator, and join requests are re-sent.
+  struct RetryPolicy {
+    bool enabled = false;
+    int max_attempts = 6;
+    SimTime initial_timeout = Milliseconds(5);
+    double backoff = 2.0;
+    SimTime max_timeout = Milliseconds(200);
+  };
+  RetryPolicy retry;
   // Master liveness checking. Off by default: the experiment harness manages
   // membership explicitly; the membership tests and the churn example turn
   // it on.
@@ -114,6 +134,21 @@ class GmsAgent final : public MemoryService {
   void ApplyGcdLocal(const GcdUpdate& update) { gcd_.Apply(update); }
   const Pod& pod() const { return pod_; }
   const GcdTable& gcd() const { return gcd_; }
+  // True when the agent has no protocol work outstanding: no unacked
+  // control messages, no pending getpages, no summary collection. Together
+  // with Network::in_flight() == 0 this defines a cluster quiesce (the
+  // precondition for the invariant checker).
+  bool Quiescent() const {
+    if (!unacked_.empty() || !pending_gets_.empty() || collecting_) {
+      return false;
+    }
+    for (const auto& [node, window] : seen_seqs_) {
+      if (!window.held.empty()) {
+        return false;  // sequenced messages buffered behind a gap
+      }
+    }
+    return true;
+  }
   const EpochView& epoch_view() const { return view_; }
   FrameTable& frames() { return *frames_; }
   NodeId self() const { return self_; }
@@ -125,6 +160,38 @@ class GmsAgent final : public MemoryService {
     Uid uid;
     GetPageCallback callback;
     TimerId timer = 0;
+    int attempts = 0;
+  };
+
+  // One sequence-numbered control message awaiting a ProtoAck.
+  struct UnackedControl {
+    NodeId dst;
+    uint32_t type = 0;
+    uint32_t bytes = 0;
+    std::any payload;
+    int attempts = 1;
+    TimerId timer = 0;
+    Uid uid;  // page involved, for give-up directory cleanup
+    // The message is a putpage and `dst` must be de-registered if the
+    // transfer is never confirmed (vs. an update where giving up is final).
+    bool putpage_target = false;
+  };
+
+  // Per-sender receive window: sequence-number dedup plus in-order delivery.
+  // Sequenced messages dispatch in per-sender seq order; out-of-order
+  // arrivals are buffered in `held` until the gap fills (the sender retries
+  // every sequenced message) or the gap timer concedes the sender gave up
+  // and skips past it. Ordering matters: a partition backlog of directory
+  // updates for the same page, replayed scrambled, would leave the GCD in
+  // whatever state the last-timer-to-fire happened to carry.
+  struct SeqWindow {
+    uint64_t max_contig = 0;  // every seq <= this was seen and dispatched
+    std::map<uint64_t, Datagram> held;  // out-of-order arrivals, by seq
+    TimerId gap_timer = 0;
+    // First message from a sender fixes the stream base: a fresh receiver
+    // (or a sender's fresh incarnation) cannot know how much history came
+    // before it.
+    bool initialized = false;
   };
 
   // Message dispatch.
@@ -149,8 +216,40 @@ class GmsAgent final : public MemoryService {
   void HandleRepublish(const Republish& msg);
 
   // Getpage plumbing.
+  void IssueGetPage(const Uid& uid, uint64_t op_id);
+  void OnGetPageTimeout(uint64_t op_id);
   void ResolveGet(uint64_t op_id, GetPageResult result);
   void LookupInGcd(const Uid& uid, NodeId requester, uint64_t op_id);
+
+  // Reliable-control plumbing (active only when config_.retry.enabled).
+  SimTime RetryTimeoutFor(int attempts) const;
+  // Per-destination sequence counter: streams are FIFO per (sender, dst)
+  // pair, so a receiver can tell a delivery gap from traffic that simply
+  // went to another node.
+  uint64_t NextCtlSeq(NodeId dst) { return ++next_ctl_seq_[dst.value]; }
+  // Key for the unacked map and ProtoAck matching: (peer, seq) is unique
+  // because seqs are per destination.
+  static uint64_t AckKey(NodeId peer, uint64_t seq) {
+    return (static_cast<uint64_t>(peer.value) << 40) | seq;
+  }
+  void SendReliable(NodeId dst, uint32_t type, uint32_t bytes,
+                    std::any payload, uint64_t seq, const Uid& uid,
+                    bool putpage_target);
+  void RetryControl(uint64_t key);
+  void HandleProtoAck(const ProtoAck& msg);
+  // Receive side of sequenced delivery: ack (even duplicates), dedup, and
+  // dispatch in per-sender order, buffering past gaps.
+  void ReceiveSequenced(NodeId from, uint64_t seq, Datagram dgram);
+  void DrainWindow(NodeId from);
+  void OnSeqGapTimeout(NodeId from);
+  // Worst-case span of a sender's full retry schedule: after this long a
+  // missing seq is never coming (the sender gave up or died).
+  SimTime GapSkipTimeout() const;
+  // Routes one datagram to its protocol handler (post dedup/ordering).
+  void Dispatch(const Datagram& dgram);
+  void RetryJoin();
+  void ArmEpochWatchdog();
+  void OnEpochSilent();
 
   // Putpage plumbing.
   void SendPutPage(Frame* frame, NodeId target);
@@ -168,7 +267,8 @@ class GmsAgent final : public MemoryService {
   void AdoptEpochParams(const EpochParams& params);
 
   // Membership machinery (master side).
-  void MasterReconfigure(std::vector<NodeId> live);
+  void MasterReconfigure(std::vector<NodeId> live,
+                         NodeId joined = kInvalidNode);
   void SendHeartbeats();
   void RepublishAfterPodChange();
   void ArmMasterWatchdog();
@@ -213,6 +313,19 @@ class GmsAgent final : public MemoryService {
   // Getpage state.
   uint64_t next_op_id_ = 1;
   std::unordered_map<uint64_t, PendingGet> pending_gets_;
+
+  // Reliable-control state (idle unless config_.retry.enabled).
+  std::unordered_map<uint32_t, uint64_t> next_ctl_seq_;  // by destination id
+  std::unordered_map<uint64_t, UnackedControl> unacked_;  // by AckKey
+  std::unordered_map<uint32_t, SeqWindow> seen_seqs_;  // by sender node id
+  TimerId join_retry_timer_ = 0;
+  int join_attempts_ = 0;
+  TimerId epoch_watchdog_ = 0;
+  uint64_t watchdog_epoch_ = 0;
+  int epoch_watchdog_fires_ = 0;
+  bool summaries_rerequested_ = false;
+  uint64_t highest_epoch_seen_ = 0;
+  TimerId stale_clear_timer_ = 0;
 
   // Heartbeat state (master side).
   uint64_t hb_seq_ = 0;

@@ -49,6 +49,12 @@ struct MemoryServiceStats {
   // Dirty-global extension counters.
   uint64_t dirty_putpages_sent = 0;   // dirty pages replicated to peers
   uint64_t dirty_writebacks_sent = 0; // dirty globals returned for write-back
+  // Retry machinery counters (all zero unless GmsConfig::retry.enabled).
+  uint64_t getpage_retries = 0;       // getpage requests re-issued
+  uint64_t control_retries = 0;       // unacked control messages resent
+  uint64_t control_give_ups = 0;      // control messages abandoned after max
+  uint64_t duplicate_msgs_dropped = 0;  // seq-dedup discarded a duplicate
+  uint64_t seq_gaps_skipped = 0;        // ordered delivery gave up on a gap
 };
 
 class MemoryService {

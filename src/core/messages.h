@@ -39,6 +39,7 @@ enum MsgType : uint32_t {
   kMsgNchanceForward = 18,
   kMsgGcdInvalidate = 19,  // GCD node -> stale global holder: drop your copy
   kMsgWriteBack = 20,      // dirty-global holder -> backing node: write to disk
+  kMsgProtoAck = 21,       // receipt ack for sequence-numbered control msgs
 };
 
 struct GetPageReq {
@@ -51,6 +52,10 @@ struct GetPageFwd {
   Uid uid;
   NodeId requester;
   uint64_t op_id = 0;
+  // Reliable-delivery sequence number (0 = unsequenced). The forward must
+  // reach the holder: the directory already de-registered its copy, so a
+  // lost forward would orphan a global page on the holder forever.
+  uint64_t seq = 0;
 };
 
 struct GetPageReply {
@@ -80,6 +85,9 @@ struct PutPage {
   // Dirty-global extension (paper section 6 future work): the page has not
   // been written to disk; the receiver must hold it as a dirty global page.
   bool dirty = false;
+  // Nonzero when the sender's retry machinery is active: the receiver acks
+  // the seq and discards duplicates (at-least-once -> exactly-once effect).
+  uint64_t seq = 0;
 };
 
 // GCD mutations. kAdd registers a holder, kRemove drops one, kReplace moves
@@ -92,6 +100,7 @@ struct GcdUpdate {
   NodeId node;
   bool global = false;  // holder caches the page as a global page
   NodeId prev = kInvalidNode;
+  uint64_t seq = 0;  // see PutPage::seq
 };
 
 struct EpochSummaryReq {
@@ -145,15 +154,23 @@ struct PodTable {
 struct MemberUpdate {
   PodTable pod;
   NodeId master;
+  // Node that (re)joined in this reconfiguration, if any. A rejoined node is
+  // a fresh incarnation whose control-sequence streams restart from 1;
+  // receivers drop their old receive window for it on this signal.
+  NodeId joined = kInvalidNode;
 };
 
 struct Heartbeat {
   uint64_t seq = 0;
+  // The master's current POD version, piggybacked so a node whose
+  // MemberUpdate was lost can be caught up (see HandleHeartbeatAck).
+  uint64_t pod_version = 0;
 };
 
 struct HeartbeatAck {
   uint64_t seq = 0;
   NodeId node;
+  uint64_t pod_version = 0;  // the acking node's POD version
 };
 
 struct NfsReadReq {
@@ -173,6 +190,7 @@ struct NfsReadReply {
 struct Republish {
   NodeId from;
   std::vector<GcdUpdate> entries;
+  uint64_t seq = 0;  // see PutPage::seq
 };
 
 // Sent by a GCD node to a node holding a superseded global copy (a race
@@ -181,6 +199,15 @@ struct Republish {
 // invariant.
 struct GcdInvalidate {
   Uid uid;
+  uint64_t seq = 0;  // see PutPage::seq
+};
+
+// Acknowledges receipt of one sequence-numbered control message (GcdUpdate,
+// PutPage, GcdInvalidate, Republish). Sent even for duplicates, since the
+// original ack may itself have been lost.
+struct ProtoAck {
+  uint64_t seq = 0;
+  NodeId from;
 };
 
 // Dirty-global extension: a holder evicting a dirty global page returns it

@@ -8,6 +8,14 @@
 
 namespace gms {
 
+namespace {
+
+constexpr uint64_t LinkKey(NodeId src, NodeId dst) {
+  return (static_cast<uint64_t>(src.value) << 32) | dst.value;
+}
+
+}  // namespace
+
 Network::Network(Simulator* sim, uint32_t num_nodes, NetworkParams params)
     : sim_(sim), params_(params), endpoints_(num_nodes),
       type_traffic_(kMaxTypes) {}
@@ -20,6 +28,64 @@ SimTime Network::TransferLatency(uint32_t bytes) const {
   return params_.fixed_latency + params_.per_byte * bytes;
 }
 
+void Network::EnableFaultInjection(uint64_t seed) {
+  faults_enabled_ = true;
+  fault_rng_.Seed(seed);
+}
+
+void Network::SetLinkFaults(NodeId src, NodeId dst, const FaultSpec& spec) {
+  link_faults_[LinkKey(src, dst)] = spec;
+}
+
+const FaultSpec& Network::FaultsFor(NodeId src, NodeId dst) const {
+  if (!link_faults_.empty()) {
+    auto it = link_faults_.find(LinkKey(src, dst));
+    if (it != link_faults_.end()) {
+      return it->second;
+    }
+  }
+  return default_faults_;
+}
+
+void Network::SchedulePartition(SimTime start, SimTime duration,
+                                std::vector<NodeId> island) {
+  // Each partition claims one bit; island members toggle it while the
+  // partition is active, so membership of *different* sides shows up as a
+  // bit mismatch. 32 concurrent partitions is far beyond any schedule.
+  const uint32_t bit = 1u << (next_partition_bit_++ % 32);
+  sim_->At(start, [this, island, bit] {
+    for (NodeId node : island) {
+      endpoints_.at(node.value).partition_bits ^= bit;
+    }
+  });
+  sim_->At(start + duration, [this, island = std::move(island), bit] {
+    for (NodeId node : island) {
+      endpoints_.at(node.value).partition_bits ^= bit;
+    }
+  });
+}
+
+bool Network::Partitioned(NodeId src, NodeId dst) const {
+  return endpoints_.at(src.value).partition_bits !=
+         endpoints_.at(dst.value).partition_bits;
+}
+
+void Network::ScheduleDelivery(Datagram dgram, SimTime arrival) {
+  in_flight_++;
+  sim_->At(arrival, [this, dgram = std::move(dgram)]() mutable {
+    in_flight_--;
+    Endpoint& dst = endpoints_.at(dgram.dst.value);
+    if (!dst.up || !dst.handler) {
+      // Went down (or was never attached) while the message was on the
+      // wire; sender-side timeouts recover.
+      fault_stats_.drops_dst_down.Add(dgram.bytes);
+      return;
+    }
+    dst.rx.Add(dgram.bytes);
+    dst.handler(std::move(dgram));
+  });
+}
+
 void Network::Send(Datagram dgram) {
   assert(dgram.src.valid() && dgram.dst.valid());
   if (dgram.dst.value >= endpoints_.size()) {
@@ -29,6 +95,7 @@ void Network::Send(Datagram dgram) {
   }
   Endpoint& src = endpoints_.at(dgram.src.value);
   if (!src.up) {
+    fault_stats_.sends_blocked_src_down.Add(dgram.bytes);
     return;
   }
   // The switch drops traffic for a down port immediately; a node that comes
@@ -37,14 +104,17 @@ void Network::Send(Datagram dgram) {
     if (dgram.src != dgram.dst) {
       src.tx.Add(dgram.bytes);
       total_traffic_.Add(dgram.bytes);
+      fault_stats_.drops_dst_down.Add(dgram.bytes);
     }
     return;
   }
 
   if (dgram.src == dgram.dst) {
-    // Loopback: no wire, no latency, but still delivered asynchronously so
-    // handlers never re-enter their caller.
+    // Loopback: no wire, no latency, immune to fault injection, but still
+    // delivered asynchronously so handlers never re-enter their caller.
+    in_flight_++;
     sim_->After(0, [this, dgram = std::move(dgram)]() mutable {
+      in_flight_--;
       Endpoint& dst = endpoints_.at(dgram.dst.value);
       if (dst.up && dst.handler) {
         dst.handler(std::move(dgram));
@@ -59,6 +129,15 @@ void Network::Send(Datagram dgram) {
     type_traffic_[dgram.type].Add(dgram.bytes);
   }
 
+  // An active partition discards the message in the switch, after it
+  // consumed the sender's egress link.
+  if (Partitioned(dgram.src, dgram.dst)) {
+    const SimTime serialize = params_.egress_per_byte * dgram.bytes;
+    src.egress_free_at = std::max(sim_->now(), src.egress_free_at) + serialize;
+    fault_stats_.drops_partition.Add(dgram.bytes);
+    return;
+  }
+
   // Egress serialization: the message occupies the sender's link for
   // bytes * egress_per_byte starting when the link is free.
   // Wire-rate serialization occupies the egress link; the remaining
@@ -69,16 +148,42 @@ void Network::Send(Datagram dgram) {
   const SimTime start = std::max(sim_->now(), src.egress_free_at);
   src.egress_free_at = start + serialize;
   const SimTime pipeline = TransferLatency(dgram.bytes) - serialize;
-  const SimTime arrival = src.egress_free_at + (pipeline > 0 ? pipeline : 0);
+  SimTime arrival = src.egress_free_at + (pipeline > 0 ? pipeline : 0);
 
-  sim_->At(arrival, [this, dgram = std::move(dgram)]() mutable {
-    Endpoint& dst = endpoints_.at(dgram.dst.value);
-    if (!dst.up || !dst.handler) {
-      return;  // dropped on the floor; sender-side timeouts recover
+  if (faults_enabled_) {
+    const FaultSpec& spec = FaultsFor(dgram.src, dgram.dst);
+    if (spec.active()) {
+      // Fixed draw order keeps runs reproducible regardless of which
+      // probabilities are zero.
+      if (fault_rng_.NextBool(spec.drop)) {
+        fault_stats_.drops_injected.Add(dgram.bytes);
+        return;
+      }
+      if (spec.delay_jitter > 0) {
+        const SimTime extra = static_cast<SimTime>(
+            fault_rng_.NextBelow(static_cast<uint64_t>(spec.delay_jitter) + 1));
+        if (extra > 0) {
+          fault_stats_.delays_injected.Add(dgram.bytes);
+          arrival += extra;
+        }
+      }
+      if (fault_rng_.NextBool(spec.reorder)) {
+        // Hold the message back long enough that back-to-back traffic on the
+        // same link overtakes it.
+        fault_stats_.reorders_injected.Add(dgram.bytes);
+        arrival += TransferLatency(dgram.bytes) *
+                   static_cast<SimTime>(1 + fault_rng_.NextBelow(3));
+      }
+      if (fault_rng_.NextBool(spec.duplicate)) {
+        fault_stats_.duplicates_injected.Add(dgram.bytes);
+        const SimTime skew = static_cast<SimTime>(
+            fault_rng_.NextBelow(static_cast<uint64_t>(params_.fixed_latency) + 1));
+        ScheduleDelivery(dgram, arrival + skew);
+      }
     }
-    dst.rx.Add(dgram.bytes);
-    dst.handler(std::move(dgram));
-  });
+  }
+
+  ScheduleDelivery(std::move(dgram), arrival);
 }
 
 void Network::SetNodeUp(NodeId node, bool up) {
@@ -110,6 +215,7 @@ void Network::ResetStats() {
     e.tx = Counter{};
     e.rx = Counter{};
   }
+  fault_stats_ = NetworkFaultStats{};
 }
 
 }  // namespace gms

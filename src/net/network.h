@@ -1,17 +1,29 @@
 // Cluster network model.
 //
-// Models the paper's environment: a reliable, switched, 155 Mb/s DEC AN2 ATM
-// LAN. Reliability is assumed (paper section 4.3: "we assume that the network
-// is reliable ... flow control eliminates cell loss"), so there is no
-// retransmission machinery; what the model does capture is
+// Models the paper's environment: a switched, 155 Mb/s DEC AN2 ATM LAN. The
+// paper assumes reliability (section 4.3: "we assume that the network is
+// reliable ... flow control eliminates cell loss"), and that remains the
+// default: with fault injection disabled the model is loss-free and FIFO per
+// sender/receiver pair. What the model captures is
 //
 //   * per-message latency = fixed controller/switch overhead + serialization
 //     at the sender's link rate (the paper notes controller latency is
 //     comparable to fiber transmission time for large packets),
 //   * sender-side link contention (messages serialize on the egress link),
 //   * byte- and message-level traffic accounting (Figure 11, Table 5), and
-//   * node up/down state: packets to or from a down node vanish, which is
-//     what forces getpage timeouts and the disk fallback after a crash.
+//   * node up/down state: packets to or from a down node are dropped (and
+//     counted), which is what forces getpage timeouts and the disk fallback
+//     after a crash.
+//
+// Beyond the paper, a deterministic fault-injection layer can be enabled to
+// model an imperfect interconnect: per-link or global drop / duplicate /
+// reorder probabilities and delay jitter, plus scripted network partitions.
+// All randomness comes from a dedicated seeded Rng, so a faulty run is as
+// bit-reproducible as a clean one. Every discarded datagram is counted in
+// NetworkFaultStats — nothing vanishes untraced — which gives the cluster
+// invariant checker an exact conservation law:
+//
+//   tx + duplicates_injected == rx + drops_total
 //
 // Payloads are std::any; the GMS protocol definitions live in src/core.
 #ifndef SRC_NET_NETWORK_H_
@@ -20,9 +32,11 @@
 #include <any>
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/node_id.h"
+#include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/time.h"
 #include "src/sim/simulator.h"
@@ -51,6 +65,41 @@ struct NetworkParams {
   SimTime egress_per_byte = Nanoseconds(52);
 };
 
+// Fault probabilities for one link (or the whole fabric). A message can be
+// independently dropped, duplicated, delayed, and reordered; drop wins (a
+// dropped message consumes egress but is never delivered).
+struct FaultSpec {
+  double drop = 0;       // P(message discarded in the switch)
+  double duplicate = 0;  // P(a second copy is delivered)
+  double reorder = 0;    // P(message held back so later traffic overtakes it)
+  // Extra delivery latency drawn uniformly from [0, delay_jitter].
+  SimTime delay_jitter = 0;
+
+  bool active() const {
+    return drop > 0 || duplicate > 0 || reorder > 0 || delay_jitter > 0;
+  }
+};
+
+// Visible accounting for every datagram the network did NOT deliver exactly
+// once. drops_total() is the sum of everything transmitted but never
+// delivered; sends_blocked_src_down never reached the wire at all.
+struct NetworkFaultStats {
+  Counter sends_blocked_src_down;  // sender was down: never transmitted
+  Counter drops_dst_down;          // destination down (at send or delivery)
+  Counter drops_partition;         // discarded by an active partition
+  Counter drops_injected;          // discarded by the fault layer
+  Counter duplicates_injected;     // extra copies delivered
+  Counter reorders_injected;       // held back past later traffic
+  Counter delays_injected;         // jittered (still delivered)
+
+  Counter drops_total() const {
+    Counter c = drops_dst_down;
+    c.Merge(drops_partition);
+    c.Merge(drops_injected);
+    return c;
+  }
+};
+
 class Network {
  public:
   Network(Simulator* sim, uint32_t num_nodes, NetworkParams params = {});
@@ -61,8 +110,9 @@ class Network {
   void Attach(NodeId node, DatagramHandler handler);
 
   // Sends one datagram. Self-sends are delivered through the queue with no
-  // wire cost or latency (loopback). Packets involving a down endpoint are
-  // silently dropped, like a LAN with an unplugged station.
+  // wire cost or latency (loopback) and are immune to fault injection.
+  // Packets involving a down endpoint are dropped and counted in
+  // fault_stats(), like a LAN with an unplugged station.
   void Send(Datagram dgram);
 
   // Marks a node down/up. Down nodes neither send nor receive.
@@ -74,6 +124,31 @@ class Network {
   // End-to-end latency for a message of the given size, ignoring contention.
   SimTime TransferLatency(uint32_t bytes) const;
 
+  // --- fault injection ---
+  // Arms the fault layer with its own deterministic random stream. Faults
+  // apply only after this is called; with it never called the network is the
+  // paper's reliable fabric and behaves bit-identically to before the fault
+  // layer existed.
+  void EnableFaultInjection(uint64_t seed);
+  bool fault_injection_enabled() const { return faults_enabled_; }
+  // Fabric-wide fault probabilities (used when no link override matches).
+  void SetDefaultFaults(const FaultSpec& spec) { default_faults_ = spec; }
+  // Directional per-link override, keyed by (src, dst).
+  void SetLinkFaults(NodeId src, NodeId dst, const FaultSpec& spec);
+  void ClearLinkFaults() { link_faults_.clear(); }
+  // Scripted partition: from `start` for `duration`, nodes in `island` are
+  // cut off from every node outside it (traffic inside the island, and
+  // entirely outside it, still flows). Overlapping partitions compose.
+  void SchedulePartition(SimTime start, SimTime duration,
+                         std::vector<NodeId> island);
+  // True while src and dst are currently on different sides of a partition.
+  bool Partitioned(NodeId src, NodeId dst) const;
+
+  // Datagrams handed to delivery events that have not yet fired (or been
+  // dropped). Zero means no message is in flight — the network half of a
+  // cluster quiesce.
+  uint64_t in_flight() const { return in_flight_; }
+
   // --- accounting ---
   const Counter& total_traffic() const { return total_traffic_; }
   const Counter& node_tx(NodeId node) const;
@@ -81,6 +156,7 @@ class Network {
   // Per-type counters (indexed by Datagram::type, up to kMaxTypes).
   static constexpr uint32_t kMaxTypes = 32;
   const Counter& type_traffic(uint32_t type) const;
+  const NetworkFaultStats& fault_stats() const { return fault_stats_; }
   void ResetStats();
 
  private:
@@ -88,15 +164,27 @@ class Network {
     DatagramHandler handler;
     bool up = true;
     SimTime egress_free_at = 0;
+    uint32_t partition_bits = 0;  // side markers of active partitions
     Counter tx;
     Counter rx;
   };
+
+  const FaultSpec& FaultsFor(NodeId src, NodeId dst) const;
+  void ScheduleDelivery(Datagram dgram, SimTime arrival);
 
   Simulator* sim_;
   NetworkParams params_;
   std::vector<Endpoint> endpoints_;
   Counter total_traffic_;
   std::vector<Counter> type_traffic_;
+
+  bool faults_enabled_ = false;
+  Rng fault_rng_{0};
+  FaultSpec default_faults_;
+  std::unordered_map<uint64_t, FaultSpec> link_faults_;  // (src<<32)|dst
+  uint32_t next_partition_bit_ = 0;
+  uint64_t in_flight_ = 0;
+  NetworkFaultStats fault_stats_;
 };
 
 }  // namespace gms

@@ -1,0 +1,291 @@
+// Chaos soak: randomized fault-injection sweeps over seeds x loss rates x a
+// partition schedule, driving getpage/putpage/epoch/membership traffic with
+// the protocol retry layer enabled, then quiescing and running the cluster
+// invariant checker. The contract under test: an imperfect interconnect may
+// cost performance, but never pages — no page ends up duplicated in global
+// memory, no dirty page becomes unreachable, every workload op completes,
+// and the network's conservation law holds exactly.
+//
+// Also here: the golden determinism test (two runs of the same chaos
+// scenario with the same seed produce byte-identical stats dumps) and a
+// membership-churn scenario (crash + rejoin under loss with heartbeats on).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/invariants.h"
+#include "src/workload/patterns.h"
+
+namespace gms {
+namespace {
+
+struct ChaosCase {
+  uint64_t seed = 1;
+  double loss = 0;  // injected drop probability; duplicates/reorders scale off it
+};
+
+std::string CaseName(const ::testing::TestParamInfo<ChaosCase>& info) {
+  std::ostringstream out;
+  // 0.001 -> "Loss0p1pct" style (permille avoids '.' in test names).
+  out << "Seed" << info.param.seed << "Loss"
+      << static_cast<int>(info.param.loss * 1000 + 0.5) << "permille";
+  return out.str();
+}
+
+// Builds the standard chaos cluster: 4 nodes (two busy, two idle), retries
+// enabled, fault injection armed from the scenario, and a 250 ms partition
+// that cuts the biggest idle-memory donor (node 3) off mid-run. Workloads
+// use only node-local backing files, so every wire message is GMS protocol
+// traffic — exactly the surface the retry layer hardens.
+std::unique_ptr<Cluster> BuildChaosCluster(const ChaosCase& chaos,
+                                           bool with_partition = true) {
+  ClusterConfig config;
+  config.num_nodes = 4;
+  config.policy = PolicyKind::kGms;
+  config.frames_per_node = {256, 320, 1024, 768};
+  config.frames = 256;
+  config.seed = chaos.seed;
+  config.gms.epoch.t_min = Milliseconds(200);
+  config.gms.epoch.t_max = Seconds(2);
+  config.gms.epoch.m_min = 16;
+  config.gms.epoch.summary_timeout = Milliseconds(100);
+  config.gms.retry.enabled = true;
+  // Every reliable send must be able to out-wait the partition: 10 attempts
+  // at 5/10/20/.../200 ms spacing put several retries past the heal point.
+  config.gms.retry.max_attempts = 10;
+  auto cluster = std::make_unique<Cluster>(config);
+
+  Network& net = cluster->net();
+  net.EnableFaultInjection(chaos.seed * 0x9e3779b97f4a7c15ULL + 0x5eed);
+  FaultSpec faults;
+  faults.drop = chaos.loss;
+  faults.duplicate = chaos.loss / 2;
+  faults.reorder = chaos.loss / 2;
+  faults.delay_jitter = chaos.loss > 0 ? Microseconds(500) : 0;
+  net.SetDefaultFaults(faults);
+  if (with_partition) {
+    net.SchedulePartition(Milliseconds(300), Milliseconds(250), {NodeId{3}});
+  }
+
+  cluster->Start();
+  cluster->AddWorkload(
+      NodeId{0},
+      std::make_unique<UniformRandomPattern>(
+          PageSet{MakeFileUid(NodeId{0}, 1, 0), 700}, 6000, Microseconds(40),
+          /*write_fraction=*/0.1),
+      "w0");
+  cluster->AddWorkload(
+      NodeId{1},
+      std::make_unique<InterleavePattern>(
+          std::make_unique<SequentialPattern>(
+              PageSet{MakeAnonUid(NodeId{1}, 2, 0), 500}, 5000,
+              Microseconds(40), 0.3),
+          std::make_unique<ZipfPattern>(
+              PageSet{MakeFileUid(NodeId{1}, 9, 0), 400}, 5000,
+              Microseconds(40), 0.6),
+          0.5),
+      "w1");
+  return cluster;
+}
+
+// Deterministic multi-line stats dump: simulation clock, per-node service
+// counters, and network/fault accounting. Used by the golden test — any
+// nondeterminism anywhere in a faulty run shows up as a diff here.
+std::string StatsDump(Cluster& cluster) {
+  std::ostringstream out;
+  out << "now=" << cluster.sim().now() << "\n";
+  const Cluster::Totals t = cluster.totals();
+  out << "accesses=" << t.accesses << " local_hits=" << t.local_hits
+      << " faults=" << t.faults << " getpage_hits=" << t.getpage_hits
+      << " disk_reads=" << t.disk_reads << " disk_writes=" << t.disk_writes
+      << " putpages=" << t.putpages_sent << "\n";
+  out << "net events=" << t.net_messages << " bytes=" << t.net_bytes << "\n";
+  for (uint32_t i = 0; i < cluster.num_nodes(); i++) {
+    const MemoryServiceStats& s = cluster.service(NodeId{i}).stats();
+    out << "node" << i << " attempts=" << s.getpage_attempts
+        << " hits=" << s.getpage_hits << " misses=" << s.getpage_misses
+        << " timeouts=" << s.getpage_timeouts
+        << " getpage_retries=" << s.getpage_retries
+        << " ctl_retries=" << s.control_retries
+        << " give_ups=" << s.control_give_ups
+        << " dups_dropped=" << s.duplicate_msgs_dropped
+        << " putpages=" << s.putpages_sent
+        << " received=" << s.putpages_received
+        << " bounced=" << s.putpages_bounced
+        << " epochs=" << s.epochs_started << "\n";
+  }
+  const NetworkFaultStats& fs = cluster.net().fault_stats();
+  out << "faults dropped=" << fs.drops_injected.events << "/"
+      << fs.drops_injected.bytes << " partition=" << fs.drops_partition.events
+      << "/" << fs.drops_partition.bytes
+      << " dup=" << fs.duplicates_injected.events << "/"
+      << fs.duplicates_injected.bytes
+      << " reorder=" << fs.reorders_injected.events
+      << " delay=" << fs.delays_injected.events
+      << " dst_down=" << fs.drops_dst_down.events << "\n";
+  return out.str();
+}
+
+class ChaosSoakTest : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(ChaosSoakTest, InvariantsHoldAfterFaultyRun) {
+  auto cluster = BuildChaosCluster(GetParam());
+  cluster->StartWorkloads();
+  ASSERT_TRUE(cluster->RunUntilWorkloadsDone(Seconds(600)))
+      << "workloads hung: an op was lost under faults";
+  ASSERT_TRUE(cluster->RunUntilQuiescent(Seconds(30)))
+      << "protocol never quiesced (stuck retry loop?)";
+
+  InvariantReport report = ClusterInvariantChecker::Check(*cluster);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.frames_checked, 0u);
+  EXPECT_GT(report.entries_checked, 0u);
+
+  // Every issued access completed exactly once: nothing lost, nothing run
+  // twice (the workload driver counts completions against issues).
+  EXPECT_EQ(cluster->totals().accesses, 6000u + 5000u + 5000u);
+
+  // The fault layer actually did something in lossy runs — the soak is not
+  // vacuously passing on a clean network.
+  const NetworkFaultStats& fs = cluster->net().fault_stats();
+  if (GetParam().loss > 0) {
+    EXPECT_GT(fs.drops_injected.events, 0u);
+    const MemoryServiceStats& s0 = cluster->service(NodeId{0}).stats();
+    const MemoryServiceStats& s1 = cluster->service(NodeId{1}).stats();
+    EXPECT_GT(s0.control_retries + s1.control_retries + s0.getpage_retries +
+                  s1.getpage_retries,
+              0u);
+  }
+  // The partition cut real traffic in every run.
+  EXPECT_GT(fs.drops_partition.events, 0u);
+}
+
+std::vector<ChaosCase> MakeSweep() {
+  std::vector<ChaosCase> cases;
+  for (uint64_t seed = 1; seed <= 20; seed++) {
+    for (double loss : {0.0, 0.001, 0.01, 0.05}) {
+      cases.push_back(ChaosCase{seed, loss});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ChaosSoakTest,
+                         ::testing::ValuesIn(MakeSweep()), CaseName);
+
+// Control: the same cluster and workloads with no faults and no partition
+// must be near-perfectly consistent after quiesce. If this accumulates
+// staleness, the protocol (not the fault layer) is leaking.
+TEST(ChaosBaselineTest, FaultFreeRunIsClean) {
+  auto cluster = BuildChaosCluster(ChaosCase{18, 0.0}, /*with_partition=*/false);
+  cluster->StartWorkloads();
+  ASSERT_TRUE(cluster->RunUntilWorkloadsDone(Seconds(600)));
+  ASSERT_TRUE(cluster->RunUntilQuiescent(Seconds(30)));
+  InvariantReport report = ClusterInvariantChecker::Check(*cluster);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  std::cout << "baseline: " << report.stale_hints << " hints, "
+            << report.unlisted_frames << " unlisted, "
+            << report.entries_checked << " entries\n";
+}
+
+// Two runs of the same chaos scenario with the same seed must be
+// bit-identical — fault injection draws from its own seeded stream, so a
+// faulty universe is as reproducible as a clean one.
+TEST(ChaosDeterminismTest, SameSeedSameUniverse) {
+  const ChaosCase chaos{7, 0.01};
+  std::string dumps[2];
+  for (int run = 0; run < 2; run++) {
+    auto cluster = BuildChaosCluster(chaos);
+    cluster->StartWorkloads();
+    ASSERT_TRUE(cluster->RunUntilWorkloadsDone(Seconds(600)));
+    ASSERT_TRUE(cluster->RunUntilQuiescent(Seconds(30)));
+    dumps[run] = StatsDump(*cluster);
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+  EXPECT_FALSE(dumps[0].empty());
+}
+
+TEST(ChaosDeterminismTest, DifferentSeedsDiverge) {
+  std::string dumps[2];
+  uint64_t seeds[2] = {11, 12};
+  for (int run = 0; run < 2; run++) {
+    auto cluster = BuildChaosCluster(ChaosCase{seeds[run], 0.01});
+    cluster->StartWorkloads();
+    ASSERT_TRUE(cluster->RunUntilWorkloadsDone(Seconds(600)));
+    ASSERT_TRUE(cluster->RunUntilQuiescent(Seconds(30)));
+    dumps[run] = StatsDump(*cluster);
+  }
+  // Sanity: the dump is sensitive enough to distinguish universes.
+  EXPECT_NE(dumps[0], dumps[1]);
+}
+
+// Membership churn under loss: a node crashes mid-run (its global pages and
+// GCD section vanish), the master removes it via heartbeats, it reboots and
+// rejoins — all while workloads run over a lossy network. Afterwards the
+// cluster must agree on membership and pass the full invariant check.
+TEST(ChaosMembershipTest, CrashAndRejoinUnderLoss) {
+  ClusterConfig config;
+  config.num_nodes = 4;
+  config.policy = PolicyKind::kGms;
+  config.frames_per_node = {256, 320, 1024, 768};
+  config.frames = 256;
+  config.seed = 42;
+  config.gms.epoch.t_min = Milliseconds(200);
+  config.gms.epoch.t_max = Seconds(2);
+  config.gms.epoch.m_min = 16;
+  config.gms.epoch.summary_timeout = Milliseconds(100);
+  config.gms.retry.enabled = true;
+  config.gms.enable_heartbeats = true;
+  config.gms.heartbeat_interval = Milliseconds(200);
+  // Heartbeats are fire-and-forget; a higher miss limit keeps 0.1% loss from
+  // producing false deaths (P ~ loss^limit).
+  config.gms.heartbeat_miss_limit = 4;
+  auto cluster = std::make_unique<Cluster>(config);
+
+  cluster->net().EnableFaultInjection(0xc4a05);
+  FaultSpec faults;
+  faults.drop = 0.001;
+  faults.duplicate = 0.0005;
+  faults.delay_jitter = Microseconds(200);
+  cluster->net().SetDefaultFaults(faults);
+
+  cluster->Start();
+  cluster->AddWorkload(
+      NodeId{0},
+      std::make_unique<UniformRandomPattern>(
+          PageSet{MakeFileUid(NodeId{0}, 1, 0), 700}, 9000, Microseconds(60),
+          0.1),
+      "w0");
+  cluster->AddWorkload(
+      NodeId{1},
+      std::make_unique<ZipfPattern>(PageSet{MakeAnonUid(NodeId{1}, 2, 0), 600},
+                                    7000, Microseconds(60), 0.6, 0.2),
+      "w1");
+  cluster->StartWorkloads();
+
+  // Let global memory fill, then kill the big idle donor mid-traffic.
+  cluster->sim().RunFor(Milliseconds(250));
+  cluster->CrashNode(NodeId{2});
+  // Heartbeats detect the death and reconfigure; survivors republish.
+  cluster->sim().RunFor(Seconds(2));
+  EXPECT_FALSE(cluster->gms_agent(NodeId{0})->pod().IsLive(NodeId{2}));
+  // Reboot: the node rejoins with empty memory through the master.
+  cluster->RestartNode(NodeId{2});
+
+  ASSERT_TRUE(cluster->RunUntilWorkloadsDone(Seconds(600)));
+  ASSERT_TRUE(cluster->RunUntilQuiescent(Seconds(30)));
+
+  for (uint32_t i = 0; i < 4; i++) {
+    EXPECT_TRUE(cluster->gms_agent(NodeId{i})->pod().IsLive(NodeId{2}))
+        << "node " << i << " never saw the rejoin";
+  }
+  InvariantReport report = ClusterInvariantChecker::Check(*cluster);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(cluster->totals().accesses, 9000u + 7000u);
+}
+
+}  // namespace
+}  // namespace gms

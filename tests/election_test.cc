@@ -93,5 +93,70 @@ TEST_F(ElectionTest, ClusterRemainsUsableAfterFailover) {
   EXPECT_EQ(agent(1).epoch_view().epoch, agent(3).epoch_view().epoch);
 }
 
+TEST_F(ElectionTest, MasterFailoverDuringInflightRepublish) {
+  // A GCD owner dies; the old master reconfigures and every node starts
+  // republishing its page registrations — and the master dies while those
+  // republishes are still in flight. The elected successor must finish the
+  // job: one master, a consistent POD, and the page still findable.
+  ClusterConfig config;
+  config.num_nodes = 4;
+  config.policy = PolicyKind::kGms;
+  config.frames = 256;
+  config.gms.enable_heartbeats = true;
+  config.gms.enable_master_election = true;
+  config.gms.heartbeat_interval = Milliseconds(200);
+  config.gms.heartbeat_miss_limit = 2;
+  config.gms.retry.enabled = true;
+  cluster_ = std::make_unique<Cluster>(config);
+  cluster_->Start();
+  cluster_->sim().RunFor(Seconds(1));
+
+  // A shared page cached on node 1 whose GCD section lives on node 2.
+  Uid uid;
+  for (uint32_t off = 0;; off++) {
+    uid = MakeFileUid(NodeId{1}, 9, off);
+    if (agent(0).pod().GcdNodeFor(uid) == NodeId{2}) {
+      break;
+    }
+  }
+  bool loaded = false;
+  cluster_->node_os(NodeId{1}).Access(uid, /*write=*/false,
+                                      [&] { loaded = true; });
+  while (!loaded) {
+    cluster_->sim().RunFor(Milliseconds(1));
+  }
+  cluster_->sim().RunFor(Milliseconds(50));
+  ASSERT_NE(agent(2).gcd().Lookup(uid), nullptr);
+
+  // Crash the GCD owner, wait for the master to evict it from the
+  // membership — the survivors' republishes launch right here — and kill
+  // the master on the spot, mid-republish.
+  cluster_->CrashNode(NodeId{2});
+  while (agent(0).pod().IsLive(NodeId{2})) {
+    cluster_->sim().RunFor(Milliseconds(1));
+  }
+  cluster_->CrashNode(NodeId{0});
+  cluster_->sim().RunFor(Seconds(3));
+
+  for (uint32_t i : {1u, 3u}) {
+    EXPECT_EQ(agent(i).master(), NodeId{1}) << "node " << i;
+    EXPECT_FALSE(agent(i).pod().IsLive(NodeId{0})) << "node " << i;
+    EXPECT_FALSE(agent(i).pod().IsLive(NodeId{2})) << "node " << i;
+  }
+  EXPECT_EQ(agent(1).pod().version(), agent(3).pod().version());
+
+  // The re-registration survived the failover: node 3 finds the page in
+  // node 1's memory instead of going to disk.
+  bool done = false;
+  bool hit = false;
+  agent(3).GetPage(uid, [&](GetPageResult r) {
+    done = true;
+    hit = r.hit;
+  });
+  cluster_->sim().RunFor(Seconds(1));
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(hit);
+}
+
 }  // namespace
 }  // namespace gms

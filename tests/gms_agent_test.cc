@@ -277,6 +277,89 @@ TEST_F(GmsAgentTest, JoinAddsNodeAndDistributesPod) {
   EXPECT_EQ(agent(0).pod().version(), agent(2).pod().version());
 }
 
+TEST_F(GmsAgentTest, GetPageRetriesThenFallsBackToDiskWhenHolderCrashes) {
+  // With the retry machinery on, a getpage whose housing node crashed is
+  // re-issued a bounded number of times and then resolved as a miss; the
+  // page is still recoverable from disk because global memory only ever
+  // holds clean pages.
+  ClusterConfig config;
+  config.num_nodes = 2;
+  config.policy = PolicyKind::kGms;
+  config.frames_per_node = {256, 1024};
+  config.frames = 256;
+  config.gms.epoch.t_min = Milliseconds(200);
+  config.gms.epoch.t_max = Seconds(2);
+  config.gms.epoch.m_min = 16;
+  config.gms.retry.enabled = true;
+  config.gms.retry.max_attempts = 3;
+  cluster_ = std::make_unique<Cluster>(config);
+  cluster_->Start();
+  cluster_->sim().RunFor(Milliseconds(500));
+
+  const Uid uid = MakeAnonUid(NodeId{0}, 1, 3);
+  Access(0, uid);
+  Frame* frame = cluster_->frames(NodeId{0}).Lookup(uid);
+  ASSERT_NE(frame, nullptr);
+  cluster_->service(NodeId{0}).EvictClean(frame);
+  cluster_->sim().RunFor(Milliseconds(10));
+  ASSERT_NE(cluster_->frames(NodeId{1}).Lookup(uid), nullptr);
+
+  cluster_->CrashNode(NodeId{1});
+  bool done = false;
+  bool hit = true;
+  agent(0).GetPage(uid, [&](GetPageResult r) {
+    done = true;
+    hit = r.hit;
+  });
+  cluster_->sim().RunFor(Seconds(2));
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(hit);
+
+  // The page survives: the next access reads it back from local swap.
+  Access(0, uid);
+  EXPECT_NE(cluster_->frames(NodeId{0}).Lookup(uid), nullptr);
+  EXPECT_EQ(cluster_->node_os(NodeId{0}).stats().nfs_timeouts, 0u);
+}
+
+TEST_F(GmsAgentTest, EpochsContinueAfterInitiatorCrashesMidCollection) {
+  ClusterConfig config;
+  config.num_nodes = 3;
+  config.policy = PolicyKind::kGms;
+  config.frames_per_node = {256, 1024, 512};
+  config.frames = 256;
+  config.gms.epoch.t_min = Milliseconds(200);
+  // Short T cap so the survivors' initiator watchdog (armed at 3x the
+  // epoch duration, nudge first, take over second) fires within the test.
+  config.gms.epoch.t_max = Milliseconds(500);
+  config.gms.epoch.m_min = 16;
+  config.gms.retry.enabled = true;
+  cluster_ = std::make_unique<Cluster>(config);
+  cluster_->Start();
+  cluster_->sim().RunFor(Milliseconds(500));
+
+  // The idle node (1) holds most of the weight, so it is the designated
+  // next initiator in steady state.
+  ASSERT_EQ(agent(0).epoch_view().next_initiator, NodeId{1});
+
+  // Wait for node 1 to actually begin a collection, then kill it on the
+  // spot — its summary requests are now in flight and will never be
+  // answered to anyone.
+  const uint64_t started = agent(1).stats().epochs_started;
+  while (agent(1).stats().epochs_started == started) {
+    cluster_->sim().RunFor(Milliseconds(1));
+  }
+  cluster_->CrashNode(NodeId{1});
+  const uint64_t epoch_at_crash = agent(0).epoch_view().epoch;
+
+  // The survivors' initiator watchdog must route around the silent
+  // initiator: epochs keep advancing, and the dead node (which no longer
+  // reports a summary) stops being chosen as next initiator.
+  cluster_->sim().RunFor(Seconds(8));
+  EXPECT_GT(agent(0).epoch_view().epoch, epoch_at_crash);
+  EXPECT_NE(agent(0).epoch_view().next_initiator, NodeId{1});
+  EXPECT_EQ(agent(0).epoch_view().epoch, agent(2).epoch_view().epoch);
+}
+
 TEST_F(GmsAgentTest, RepublishRestoresGcdAfterReconfiguration) {
   Build({256, 1024, 1024});
   // Put a shared page on node 1 whose GCD section lives on node 2.

@@ -150,5 +150,164 @@ TEST_F(NetTest, FifoPerSenderReceiverPair) {
   }
 }
 
+// --------------------------------------------------------------------------
+// Fault injection
+// --------------------------------------------------------------------------
+
+TEST_F(NetTest, FaultInjectionOffByDefault) {
+  FaultSpec spec;
+  spec.drop = 1.0;
+  net_.SetDefaultFaults(spec);  // ignored until EnableFaultInjection
+  Send(0, 1, 64);
+  sim_.Run();
+  EXPECT_EQ(received_[1].size(), 1u);
+  EXPECT_EQ(net_.fault_stats().drops_injected.events, 0u);
+}
+
+TEST_F(NetTest, DropProbabilityOneDropsEverythingVisibly) {
+  net_.EnableFaultInjection(1);
+  FaultSpec spec;
+  spec.drop = 1.0;
+  net_.SetDefaultFaults(spec);
+  for (int i = 0; i < 20; i++) {
+    Send(0, 1, 64);
+  }
+  sim_.Run();
+  EXPECT_EQ(received_[1].size(), 0u);
+  // Every loss is visible in the drop counters, never silent.
+  EXPECT_EQ(net_.fault_stats().drops_injected.events, 20u);
+  EXPECT_EQ(net_.fault_stats().drops_injected.bytes, 20u * 64u);
+}
+
+TEST_F(NetTest, DuplicateProbabilityOneDeliversTwice) {
+  net_.EnableFaultInjection(1);
+  FaultSpec spec;
+  spec.duplicate = 1.0;
+  net_.SetDefaultFaults(spec);
+  Send(0, 1, 64);
+  sim_.Run();
+  EXPECT_EQ(received_[1].size(), 2u);
+  EXPECT_EQ(net_.fault_stats().duplicates_injected.events, 1u);
+}
+
+TEST_F(NetTest, JitterDelaysButDelivers) {
+  net_.EnableFaultInjection(1);
+  FaultSpec spec;
+  spec.delay_jitter = Milliseconds(5);
+  net_.SetDefaultFaults(spec);
+  for (int i = 0; i < 10; i++) {
+    Send(0, 1, 64);
+  }
+  sim_.Run();
+  EXPECT_EQ(received_[1].size(), 10u);
+  EXPECT_EQ(net_.fault_stats().delays_injected.events, 10u);
+  EXPECT_EQ(net_.fault_stats().drops_total().events, 0u);
+}
+
+TEST_F(NetTest, ReorderLetsLaterTrafficOvertake) {
+  net_.EnableFaultInjection(7);
+  FaultSpec spec;
+  spec.reorder = 0.5;
+  net_.SetDefaultFaults(spec);
+  for (uint32_t i = 0; i < 50; i++) {
+    Send(0, 1, 64, i);
+  }
+  sim_.Run();
+  ASSERT_EQ(received_[1].size(), 50u);
+  EXPECT_GT(net_.fault_stats().reorders_injected.events, 0u);
+  bool out_of_order = false;
+  for (size_t i = 1; i < received_[1].size(); i++) {
+    if (received_[1][i].type < received_[1][i - 1].type) {
+      out_of_order = true;
+    }
+  }
+  EXPECT_TRUE(out_of_order);
+}
+
+TEST_F(NetTest, PerLinkFaultsOverrideDefault) {
+  net_.EnableFaultInjection(1);
+  FaultSpec lossy;
+  lossy.drop = 1.0;
+  net_.SetLinkFaults(NodeId{0}, NodeId{1}, lossy);
+  Send(0, 1, 64);  // dropped: link override
+  Send(0, 2, 64);  // delivered: default spec is clean
+  sim_.Run();
+  EXPECT_EQ(received_[1].size(), 0u);
+  EXPECT_EQ(received_[2].size(), 1u);
+}
+
+TEST_F(NetTest, SameSeedSameFaultPattern) {
+  auto run = [](uint64_t seed) {
+    Simulator sim;
+    Network net(&sim, 2);
+    std::vector<uint32_t> delivered;
+    net.Attach(NodeId{0}, [](Datagram) {});
+    net.Attach(NodeId{1},
+               [&](Datagram d) { delivered.push_back(d.type); });
+    net.EnableFaultInjection(seed);
+    FaultSpec spec;
+    spec.drop = 0.3;
+    spec.reorder = 0.2;
+    net.SetDefaultFaults(spec);
+    for (uint32_t i = 0; i < 100; i++) {
+      net.Send(Datagram{NodeId{0}, NodeId{1}, 64, i, {}});
+    }
+    sim.Run();
+    return delivered;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST_F(NetTest, ScheduledPartitionIsolatesIslandThenHeals) {
+  net_.EnableFaultInjection(1);
+  net_.SchedulePartition(Milliseconds(10), Milliseconds(10), {NodeId{3}});
+  // Before the partition: reachable.
+  Send(0, 3, 64);
+  sim_.RunFor(Milliseconds(5));
+  EXPECT_EQ(received_[3].size(), 1u);
+  // During: traffic into and out of the island is discarded (and counted).
+  sim_.RunFor(Milliseconds(10));  // now inside [10ms, 20ms)
+  Send(0, 3, 64);
+  Send(3, 0, 64);
+  Send(0, 1, 64);  // mainland traffic unaffected
+  sim_.RunFor(Milliseconds(2));
+  EXPECT_EQ(received_[3].size(), 1u);
+  EXPECT_EQ(received_[0].size(), 0u);
+  EXPECT_EQ(received_[1].size(), 1u);
+  EXPECT_EQ(net_.fault_stats().drops_partition.events, 2u);
+  // After: healed.
+  sim_.RunFor(Milliseconds(10));
+  Send(0, 3, 64);
+  sim_.Run();
+  EXPECT_EQ(received_[3].size(), 2u);
+}
+
+TEST_F(NetTest, ConservationUnderFaults) {
+  net_.EnableFaultInjection(99);
+  FaultSpec spec;
+  spec.drop = 0.2;
+  spec.duplicate = 0.1;
+  spec.reorder = 0.1;
+  spec.delay_jitter = Microseconds(200);
+  net_.SetDefaultFaults(spec);
+  uint64_t rx = 0;
+  for (uint32_t i = 0; i < 4; i++) {
+    net_.Attach(NodeId{i}, [&rx](Datagram) { rx++; });
+  }
+  uint64_t tx = 0;
+  for (uint32_t i = 0; i < 400; i++) {
+    Send(i % 4, (i + 1 + i / 7) % 4, 64);
+    tx++;
+  }
+  sim_.Run();
+  const NetworkFaultStats& fs = net_.fault_stats();
+  // Nothing vanishes untraced: every transmitted datagram is either
+  // delivered or counted in a drop bucket; duplicates add to both sides.
+  EXPECT_EQ(tx + fs.duplicates_injected.events,
+            rx + fs.drops_total().events);
+  EXPECT_EQ(net_.in_flight(), 0u);
+}
+
 }  // namespace
 }  // namespace gms
