@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "src/cluster/sweep.h"
 #include "src/common/table.h"
 
 int main(int argc, char** argv) {
@@ -16,8 +17,13 @@ int main(int argc, char** argv) {
 
   TablePrinter table({"Clients", "Idle-node CPU %", "Page-transfer ops/s",
                       "us per op"});
+  // Each client count is an independent universe: sweep them in parallel.
+  auto runs = RunSweepParallel(7, SweepThreads(argc, argv), [&s](size_t i) {
+    return RunSingleIdleProvider(static_cast<uint32_t>(i + 1),
+                                 PolicyKind::kGms, s);
+  });
   for (uint32_t clients = 1; clients <= 7; clients++) {
-    const SingleIdleResult r = RunSingleIdleProvider(clients, PolicyKind::kGms, s);
+    const SingleIdleResult& r = runs[clients - 1];
     const double us_per_op = r.idle_ops_per_sec > 0
                                  ? r.idle_cpu_utilization * 1e6 / r.idle_ops_per_sec
                                  : 0;
@@ -25,7 +31,6 @@ int main(int argc, char** argv) {
                         {r.idle_cpu_utilization * 100.0, r.idle_ops_per_sec,
                          us_per_op},
                         1);
-    std::fflush(stdout);
   }
   table.Print(std::cout);
   std::printf("\nPaper: ~2880 ops/s and ~56%% CPU at seven clients\n"

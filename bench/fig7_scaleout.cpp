@@ -10,7 +10,7 @@
 
 #include "bench/bench_util.h"
 #include "src/cluster/cluster.h"
-#include "src/common/table.h"
+#include "src/cluster/sweep.h"
 #include "src/common/table.h"
 #include "src/workload/applications.h"
 
@@ -81,14 +81,20 @@ int main(int argc, char** argv) {
                             AppKind::kRender};
   TablePrinter table({"Workload", "5 nodes", "10 nodes", "15 nodes",
                       "20 nodes"});
+  // All 8 cluster sizes x policies are independent universes: sweep them
+  // across the thread pool. Point i = (groups i/2+1, policy i%2).
+  auto runs = RunSweepParallel(8, SweepThreads(argc, argv), [&s](size_t i) {
+    const auto groups = static_cast<uint32_t>(i / 2 + 1);
+    const PolicyKind policy = i % 2 == 0 ? PolicyKind::kNone : PolicyKind::kGms;
+    return RunGroups(groups, policy, s);
+  });
   std::map<AppKind, std::vector<double>> series;
   for (uint32_t groups = 1; groups <= 4; groups++) {
-    auto base = RunGroups(groups, PolicyKind::kNone, s);
-    auto gms_run = RunGroups(groups, PolicyKind::kGms, s);
+    auto& base = runs[(groups - 1) * 2];
+    auto& gms_run = runs[(groups - 1) * 2 + 1];
     for (AppKind app : kApps) {
       series[app].push_back(gms_run[app] > 0 ? base[app] / gms_run[app] : 0);
     }
-    std::fflush(stdout);
   }
   for (AppKind app : kApps) {
     table.AddNumericRow(AppName(app), series[app], 2);

@@ -1,0 +1,36 @@
+// The standard chaos scenario: a 4-node cluster under fault injection and a
+// mid-run partition, with two busy nodes driving GMS traffic into two idle
+// donors. Shared by the chaos soak test, the sweep determinism test, and the
+// bench/sweep soak driver so they all exercise the exact same universe.
+#ifndef SRC_CLUSTER_CHAOS_SCENARIO_H_
+#define SRC_CLUSTER_CHAOS_SCENARIO_H_
+
+#include <memory>
+#include <string>
+
+#include "src/cluster/cluster.h"
+
+namespace gms {
+
+struct ChaosCase {
+  uint64_t seed = 1;
+  double loss = 0;  // injected drop probability; duplicates/reorders scale off it
+};
+
+// Builds the standard chaos cluster: 4 nodes (two busy, two idle), retries
+// enabled, fault injection armed from the scenario, and a 250 ms partition
+// that cuts the biggest idle-memory donor (node 3) off mid-run. Workloads
+// use only node-local backing files, so every wire message is GMS protocol
+// traffic — exactly the surface the retry layer hardens.
+std::unique_ptr<Cluster> BuildChaosCluster(const ChaosCase& chaos,
+                                           bool with_partition = true);
+
+// Deterministic multi-line stats dump: simulation clock, per-node service
+// counters, and network/fault accounting. Used by the golden determinism
+// tests — any nondeterminism anywhere in a faulty run shows up as a diff
+// here.
+std::string ChaosStatsDump(Cluster& cluster);
+
+}  // namespace gms
+
+#endif  // SRC_CLUSTER_CHAOS_SCENARIO_H_

@@ -69,7 +69,7 @@ std::unique_ptr<MemoryService> Cluster::MakeService(NodeId id,
 }
 
 void Cluster::AttachDispatcher(NodeId id) {
-  net_->Attach(id, [this, id](Datagram dgram) {
+  net_->Attach(id, [this, id](Datagram&& dgram) {
     NodeRuntime& rt = *nodes_[id.value];
     if (dgram.type == kMsgNfsReadReq || dgram.type == kMsgNfsReadReply ||
         dgram.type == kMsgWriteBack) {

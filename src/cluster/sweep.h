@@ -1,0 +1,73 @@
+// Parallel multi-point sweep driver.
+//
+// A sweep runs the same experiment at many independent points (seeds, loss
+// rates, cluster sizes, client counts). Each point builds its own Simulator
+// universe — cluster, nodes, network, RNGs — with nothing shared, so points
+// can run on a std::thread pool with one cluster per thread and the per-point
+// results are byte-identical to a serial loop. Results are stored by point
+// index, never by completion order, so output ordering is deterministic too.
+#ifndef SRC_CLUSTER_SWEEP_H_
+#define SRC_CLUSTER_SWEEP_H_
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/cluster/experiments.h"
+
+namespace gms {
+
+// Worker count for a sweep: --threads=N if present on the command line,
+// otherwise the hardware concurrency (at least 1). --threads=1 forces the
+// serial path.
+inline unsigned SweepThreads(int argc, char** argv) {
+  const double flag = FlagValue(argc, argv, "threads", 0);
+  if (flag >= 1) {
+    return static_cast<unsigned>(flag);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+// Runs fn(i) for every i in [0, n) and returns the results in index order.
+// fn must be callable concurrently from multiple threads and must not touch
+// state shared across points (build the whole simulation inside the call).
+// Work is handed out via an atomic counter so long points do not stall the
+// pool. threads <= 1 (or n <= 1) degenerates to a plain serial loop.
+template <typename Fn>
+auto RunSweepParallel(size_t n, unsigned threads, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, size_t>> {
+  using Result = std::invoke_result_t<Fn&, size_t>;
+  std::vector<Result> results(n);
+  if (threads > n) {
+    threads = static_cast<unsigned>(n);
+  }
+  if (threads <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      results[i] = fn(i);
+    }
+    return results;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        results[i] = fn(i);
+      }
+    });
+  }
+  for (std::thread& th : pool) {
+    th.join();
+  }
+  return results;
+}
+
+}  // namespace gms
+
+#endif  // SRC_CLUSTER_SWEEP_H_

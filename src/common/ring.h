@@ -1,0 +1,62 @@
+// Growable circular FIFO of move-only elements.
+//
+// Replaces std::deque in per-node task queues: libstdc++'s deque allocates
+// and frees a ~512-byte chunk every few push/pop cycles for large elements,
+// which puts the allocator on the CPU-scheduler hot path. RingBuffer keeps
+// one power-of-two array and only reallocates when the population grows past
+// it, so a steady-state push/pop cycle is allocation-free.
+#ifndef SRC_COMMON_RING_H_
+#define SRC_COMMON_RING_H_
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace gms {
+
+template <typename T>
+class RingBuffer {
+ public:
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  void push_back(T value) {
+    if (size_ == slots_.size()) {
+      Grow();
+    }
+    slots_[(head_ + size_) & (slots_.size() - 1)] = std::move(value);
+    size_++;
+  }
+
+  T& front() {
+    assert(size_ > 0);
+    return slots_[head_];
+  }
+
+  void pop_front() {
+    assert(size_ > 0);
+    slots_[head_] = T{};  // release resources held by the departed element
+    head_ = (head_ + 1) & (slots_.size() - 1);
+    size_--;
+  }
+
+ private:
+  void Grow() {
+    const size_t new_cap = slots_.empty() ? 8 : slots_.size() * 2;
+    std::vector<T> fresh(new_cap);
+    for (size_t i = 0; i < size_; ++i) {
+      fresh[i] = std::move(slots_[(head_ + i) & (slots_.size() - 1)]);
+    }
+    slots_ = std::move(fresh);
+    head_ = 0;
+  }
+
+  std::vector<T> slots_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace gms
+
+#endif  // SRC_COMMON_RING_H_

@@ -1,0 +1,163 @@
+// A closed tagged union tuned for hot-path relocation — a std::variant
+// replacement for values that ride simulator events, where one delivered
+// message implies several moves and destructions of its payload. libstdc++'s
+// variant dispatches every move, copy, and destroy through a per-operation
+// function-pointer table (profiling the message round-trip showed ~15 such
+// dispatches per delivery, none inlinable). TaggedUnion instead requires
+// every alternative to be TRIVIALLY RELOCATABLE — movable by memcpy provided
+// the source is then abandoned without running its destructor — which makes
+// the move constructor one memcpy plus a tag swap, and the destructor a
+// single tag test per non-trivially-destructible alternative (one compare
+// total when only one alternative owns memory).
+//
+// Requirements on the alternatives:
+//  * the first alternative is the default/empty state and is trivially
+//    default-constructible and trivially destructible;
+//  * every alternative is trivially copyable, OR copy-constructible +
+//    destructible and trivially relocatable (owning exactly a raw pointer
+//    qualifies; anything holding interior self-pointers does not).
+#ifndef SRC_COMMON_TAGGED_UNION_H_
+#define SRC_COMMON_TAGGED_UNION_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gms {
+
+template <typename... Ts>
+class TaggedUnion {
+  template <typename T>
+  static constexpr size_t IndexOfImpl() {
+    constexpr bool matches[] = {std::is_same_v<T, Ts>...};
+    for (size_t i = 0; i < sizeof...(Ts); ++i) {
+      if (matches[i]) {
+        return i;
+      }
+    }
+    return sizeof...(Ts);
+  }
+
+ public:
+  template <typename T>
+  static constexpr size_t kIndexOf = IndexOfImpl<std::decay_t<T>>();
+  template <typename T>
+  static constexpr bool kIsAlternative = kIndexOf<T> != sizeof...(Ts);
+
+  // Default state: the first alternative (empty, trivially constructible,
+  // so the storage needs no initialization).
+  TaggedUnion() = default;
+
+  template <typename T,
+            typename = std::enable_if_t<
+                kIsAlternative<T> &&
+                !std::is_same_v<std::decay_t<T>, TaggedUnion>>>
+  TaggedUnion(T&& v)  // NOLINT(google-explicit-constructor)
+      : tag_(static_cast<uint32_t>(kIndexOf<T>)) {
+    ::new (static_cast<void*>(storage_)) std::decay_t<T>(std::forward<T>(v));
+  }
+
+  TaggedUnion(TaggedUnion&& o) noexcept { Steal(o); }
+  TaggedUnion(const TaggedUnion& o) { CopyFrom(o); }
+  TaggedUnion& operator=(TaggedUnion&& o) noexcept {
+    if (this != &o) {
+      Destroy();
+      Steal(o);
+    }
+    return *this;
+  }
+  TaggedUnion& operator=(const TaggedUnion& o) {
+    if (this != &o) {
+      Destroy();
+      CopyFrom(o);
+    }
+    return *this;
+  }
+  ~TaggedUnion() { Destroy(); }
+
+  size_t index() const { return tag_; }
+
+  template <typename T>
+  bool holds() const {
+    static_assert(kIsAlternative<T>);
+    return tag_ == kIndexOf<T>;
+  }
+
+  template <typename T>
+  T& get() {
+    assert(holds<T>());
+    return *std::launder(reinterpret_cast<T*>(storage_));
+  }
+  template <typename T>
+  const T& get() const {
+    assert(holds<T>());
+    return *std::launder(reinterpret_cast<const T*>(storage_));
+  }
+
+ private:
+  template <typename T0, typename...>
+  struct FirstOf {
+    using type = T0;
+  };
+  using First = typename FirstOf<Ts...>::type;
+  static_assert(std::is_trivially_default_constructible_v<First> &&
+                    std::is_trivially_destructible_v<First>,
+                "the first alternative is the abandoned/default state");
+
+  static constexpr size_t kSize = std::max({sizeof(Ts)...});
+  static constexpr size_t kAlign = std::max({alignof(Ts)...});
+
+  // Trivial relocation: the bytes move, the source abandons ownership by
+  // reverting to the (trivially destructible) empty state.
+  void Steal(TaggedUnion& o) noexcept {
+    std::memcpy(storage_, o.storage_, kSize);
+    tag_ = o.tag_;
+    o.tag_ = 0;
+  }
+
+  void CopyFrom(const TaggedUnion& o) {
+    tag_ = o.tag_;
+    if (!(CopyNonTrivial<Ts>(o) || ...)) {
+      std::memcpy(storage_, o.storage_, kSize);
+    }
+  }
+
+  // Returns true iff o holds a non-trivially-copyable T and it was deep
+  // copied; the fold in CopyFrom compiles to one tag test per such T.
+  template <typename T>
+  bool CopyNonTrivial(const TaggedUnion& o) {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      return false;
+    } else {
+      if (o.tag_ != kIndexOf<T>) {
+        return false;
+      }
+      ::new (static_cast<void*>(storage_))
+          T(*std::launder(reinterpret_cast<const T*>(o.storage_)));
+      return true;
+    }
+  }
+
+  void Destroy() noexcept { (DestroyIf<Ts>(), ...); }
+
+  template <typename T>
+  void DestroyIf() noexcept {
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      if (tag_ == kIndexOf<T>) {
+        std::launder(reinterpret_cast<T*>(storage_))->~T();
+      }
+    }
+  }
+
+  uint32_t tag_ = 0;
+  alignas(kAlign) unsigned char storage_[kSize];
+};
+
+}  // namespace gms
+
+#endif  // SRC_COMMON_TAGGED_UNION_H_

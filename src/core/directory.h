@@ -103,6 +103,10 @@ class GcdTable {
   bool HasDuplicate(const Uid& uid) const;
   size_t size() const { return map_.size(); }
 
+  // Pre-sizes the hash table from the configured memory size so warm-up
+  // (every frame in the cluster registering a page) never rehashes.
+  void Reserve(size_t expected_entries) { map_.reserve(expected_entries); }
+
   // Visits every entry (used by the cluster invariant checker).
   template <typename Fn>
   void ForEach(Fn&& fn) const {

@@ -11,7 +11,12 @@ namespace gms {
 GmsAgent::GmsAgent(Simulator* sim, Network* net, Cpu* cpu, FrameTable* frames,
                    NodeId self, uint64_t seed, GmsConfig config)
     : sim_(sim), net_(net), cpu_(cpu), frames_(frames), self_(self),
-      config_(config), rng_(seed) {}
+      config_(config), rng_(seed) {
+  // In a balanced cluster this node's GCD partition tracks about as many
+  // pages as it has frames; pre-sizing eliminates rehashing while the
+  // cluster warms up.
+  gcd_.Reserve(frames->num_frames() * 2);
+}
 
 void GmsAgent::Start(const PodTable& pod, NodeId master, NodeId first_initiator) {
   assert(!alive_);
@@ -113,7 +118,7 @@ SimTime GmsAgent::RetryTimeoutFor(int attempts) const {
 }
 
 void GmsAgent::SendReliable(NodeId dst, uint32_t type, uint32_t bytes,
-                            std::any payload, uint64_t seq, const Uid& uid,
+                            MessagePayload payload, uint64_t seq, const Uid& uid,
                             bool putpage_target) {
   UnackedControl ctl;
   ctl.dst = dst;
@@ -185,20 +190,19 @@ void GmsAgent::ReceiveSequenced(NodeId from, uint64_t seq, Datagram dgram) {
     Dispatch(dgram);
     return;
   }
-  if (seq <= w.max_contig || w.held.contains(seq)) {
+  if (seq <= w.max_contig || w.Holds(seq)) {
     stats_.duplicate_msgs_dropped++;
     return;
   }
-  w.held.emplace(seq, std::move(dgram));
+  w.Hold(seq, std::move(dgram));
   DrainWindow(from);
 }
 
 void GmsAgent::DrainWindow(NodeId from) {
   SeqWindow& w = seen_seqs_[from.value];
   bool advanced = false;
-  while (!w.held.empty() && w.held.begin()->first == w.max_contig + 1) {
-    Datagram next = std::move(w.held.begin()->second);
-    w.held.erase(w.held.begin());
+  while (!w.held.empty() && w.MinSeq() == w.max_contig + 1) {
+    Datagram next = w.TakeMin();
     w.max_contig++;
     advanced = true;
     Dispatch(next);
@@ -225,12 +229,12 @@ void GmsAgent::OnSeqGapTimeout(NodeId from) {
     return;
   }
   stats_.seq_gaps_skipped++;
-  w.max_contig = w.held.begin()->first - 1;
+  w.max_contig = w.MinSeq() - 1;
   DrainWindow(from);
 }
 
 void GmsAgent::Send(NodeId dst, uint32_t type, uint32_t bytes,
-                    std::any payload) {
+                    MessagePayload payload) {
   net_->Send(Datagram{self_, dst, bytes, type, std::move(payload)});
 }
 
@@ -971,7 +975,8 @@ void GmsAgent::HandleEpochSummaryReq(const EpochSummaryReq& msg) {
     summary.evictions = evictions_since_summary_;
     evictions_since_summary_ = 0;
     Send(msg.initiator, kMsgEpochSummary,
-         EpochSummaryBytes(config_.costs.header_size), std::move(summary));
+         EpochSummaryBytes(config_.costs.header_size),
+         Boxed<EpochSummary>(std::move(summary)));
   });
 }
 
@@ -1438,8 +1443,7 @@ void GmsAgent::OnDatagram(Datagram dgram) {
     return;
   }
   // Interrupt + protocol-stack cost for every received datagram.
-  cpu_->SubmitKernel(config_.costs.receive_isr, CpuCategory::kService,
-                     [this, dgram = std::move(dgram)] {
+  auto receive = [this, dgram = std::move(dgram)] {
     if (!alive_) {
       return;
     }
@@ -1447,19 +1451,19 @@ void GmsAgent::OnDatagram(Datagram dgram) {
       uint64_t seq = 0;
       switch (dgram.type) {
         case kMsgPutPage:
-          seq = std::any_cast<const PutPage&>(dgram.payload).seq;
+          seq = dgram.payload.get<PutPage>().seq;
           break;
         case kMsgGcdUpdate:
-          seq = std::any_cast<const GcdUpdate&>(dgram.payload).seq;
+          seq = dgram.payload.get<GcdUpdate>().seq;
           break;
         case kMsgGcdInvalidate:
-          seq = std::any_cast<const GcdInvalidate&>(dgram.payload).seq;
+          seq = dgram.payload.get<GcdInvalidate>().seq;
           break;
         case kMsgGetPageFwd:
-          seq = std::any_cast<const GetPageFwd&>(dgram.payload).seq;
+          seq = dgram.payload.get<GetPageFwd>().seq;
           break;
         case kMsgRepublish:
-          seq = std::any_cast<const Republish&>(dgram.payload).seq;
+          seq = dgram.payload.get<Republish>().seq;
           break;
         default:
           break;
@@ -1470,63 +1474,67 @@ void GmsAgent::OnDatagram(Datagram dgram) {
       }
     }
     Dispatch(dgram);
-  });
+  };
+  // Per-message hot path: the receive closure must stay inline.
+  static_assert(EventFn::kFitsInline<decltype(receive)>);
+  cpu_->SubmitKernel(config_.costs.receive_isr, CpuCategory::kService,
+                     std::move(receive));
 }
 
 void GmsAgent::Dispatch(const Datagram& dgram) {
   switch (dgram.type) {
     case kMsgGetPageReq:
-      HandleGetPageReq(std::any_cast<const GetPageReq&>(dgram.payload));
+      HandleGetPageReq(dgram.payload.get<GetPageReq>());
       break;
     case kMsgGetPageFwd:
-      HandleGetPageFwd(std::any_cast<const GetPageFwd&>(dgram.payload));
+      HandleGetPageFwd(dgram.payload.get<GetPageFwd>());
       break;
     case kMsgGetPageReply:
-      HandleGetPageReply(std::any_cast<const GetPageReply&>(dgram.payload));
+      HandleGetPageReply(dgram.payload.get<GetPageReply>());
       break;
     case kMsgGetPageMiss:
-      HandleGetPageMiss(std::any_cast<const GetPageMiss&>(dgram.payload));
+      HandleGetPageMiss(dgram.payload.get<GetPageMiss>());
       break;
     case kMsgPutPage:
-      HandlePutPage(std::any_cast<const PutPage&>(dgram.payload));
+      HandlePutPage(dgram.payload.get<PutPage>());
       break;
     case kMsgGcdUpdate:
-      HandleGcdUpdate(std::any_cast<const GcdUpdate&>(dgram.payload));
+      HandleGcdUpdate(dgram.payload.get<GcdUpdate>());
       break;
     case kMsgGcdInvalidate:
-      HandleGcdInvalidate(std::any_cast<const GcdInvalidate&>(dgram.payload));
+      HandleGcdInvalidate(dgram.payload.get<GcdInvalidate>());
       break;
     case kMsgEpochSummaryReq:
       HandleEpochSummaryReq(
-          std::any_cast<const EpochSummaryReq&>(dgram.payload));
+          dgram.payload.get<EpochSummaryReq>());
       break;
     case kMsgEpochSummary:
-      HandleEpochSummary(std::any_cast<const EpochSummary&>(dgram.payload));
+      HandleEpochSummary(*dgram.payload.get<Boxed<EpochSummary>>());
       break;
     case kMsgEpochParams:
-      HandleEpochParams(std::any_cast<const EpochParams&>(dgram.payload));
+      HandleEpochParams(dgram.payload.get<EpochParams>());
       break;
     case kMsgEpochStale:
-      HandleEpochStale(std::any_cast<const EpochStale&>(dgram.payload));
+      HandleEpochStale(dgram.payload.get<EpochStale>());
       break;
     case kMsgJoinReq:
-      HandleJoinReq(std::any_cast<const JoinReq&>(dgram.payload));
+      HandleJoinReq(dgram.payload.get<JoinReq>());
       break;
     case kMsgMemberUpdate:
-      HandleMemberUpdate(std::any_cast<const MemberUpdate&>(dgram.payload));
+      HandleMemberUpdate(dgram.payload.get<MemberUpdate>());
       break;
     case kMsgHeartbeat:
-      HandleHeartbeat(std::any_cast<const Heartbeat&>(dgram.payload),
+      HandleHeartbeat(dgram.payload.get<Heartbeat>(),
                       dgram.src);
       break;
     case kMsgHeartbeatAck:
-      HandleHeartbeatAck(std::any_cast<const HeartbeatAck&>(dgram.payload));
+      HandleHeartbeatAck(dgram.payload.get<HeartbeatAck>());
       break;
     case kMsgRepublish:
-      HandleRepublish(std::any_cast<const Republish&>(dgram.payload));
+      HandleRepublish(dgram.payload.get<Republish>());
       break;
     case kMsgProtoAck:
-      HandleProtoAck(std::any_cast<const ProtoAck&>(dgram.payload));
+      HandleProtoAck(dgram.payload.get<ProtoAck>());
       break;
     default:
       GMS_LOG_WARN("node %u: unknown message type %u", self_.value,

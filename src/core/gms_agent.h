@@ -15,10 +15,11 @@
 #ifndef SRC_CORE_GMS_AGENT_H_
 #define SRC_CORE_GMS_AGENT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "src/common/alias.h"
@@ -168,7 +169,7 @@ class GmsAgent final : public MemoryService {
     NodeId dst;
     uint32_t type = 0;
     uint32_t bytes = 0;
-    std::any payload;
+    MessagePayload payload;
     int attempts = 1;
     TimerId timer = 0;
     Uid uid;  // page involved, for give-up directory cleanup
@@ -186,12 +187,35 @@ class GmsAgent final : public MemoryService {
   // whatever state the last-timer-to-fire happened to carry.
   struct SeqWindow {
     uint64_t max_contig = 0;  // every seq <= this was seen and dispatched
-    std::map<uint64_t, Datagram> held;  // out-of-order arrivals, by seq
+    // Out-of-order arrivals, sorted by seq. A flat sorted vector: the buffer
+    // holds at most a handful of datagrams behind a loss gap, and it is hot
+    // under loss — a node-based std::map paid an allocation per buffered
+    // message.
+    std::vector<std::pair<uint64_t, Datagram>> held;
     TimerId gap_timer = 0;
     // First message from a sender fixes the stream base: a fresh receiver
     // (or a sender's fresh incarnation) cannot know how much history came
     // before it.
     bool initialized = false;
+
+    bool Holds(uint64_t seq) const {
+      auto it = std::lower_bound(
+          held.begin(), held.end(), seq,
+          [](const auto& entry, uint64_t s) { return entry.first < s; });
+      return it != held.end() && it->first == seq;
+    }
+    void Hold(uint64_t seq, Datagram dgram) {
+      auto it = std::lower_bound(
+          held.begin(), held.end(), seq,
+          [](const auto& entry, uint64_t s) { return entry.first < s; });
+      held.emplace(it, seq, std::move(dgram));
+    }
+    uint64_t MinSeq() const { return held.front().first; }
+    Datagram TakeMin() {
+      Datagram d = std::move(held.front().second);
+      held.erase(held.begin());
+      return d;
+    }
   };
 
   // Message dispatch.
@@ -233,7 +257,7 @@ class GmsAgent final : public MemoryService {
     return (static_cast<uint64_t>(peer.value) << 40) | seq;
   }
   void SendReliable(NodeId dst, uint32_t type, uint32_t bytes,
-                    std::any payload, uint64_t seq, const Uid& uid,
+                    MessagePayload payload, uint64_t seq, const Uid& uid,
                     bool putpage_target);
   void RetryControl(uint64_t key);
   void HandleProtoAck(const ProtoAck& msg);
@@ -275,7 +299,7 @@ class GmsAgent final : public MemoryService {
   void OnMasterSilent();
 
   // Helpers.
-  void Send(NodeId dst, uint32_t type, uint32_t bytes, std::any payload);
+  void Send(NodeId dst, uint32_t type, uint32_t bytes, MessagePayload payload);
   SimTime EffectiveAge(const Frame& frame) const;
 
   Simulator* sim_;

@@ -10,10 +10,10 @@
 #define SRC_CORE_MEMORY_SERVICE_H_
 
 #include <cstdint>
-#include <functional>
 
 #include "src/common/uid.h"
 #include "src/mem/frame_table.h"
+#include "src/sim/inline_fn.h"
 #include "src/sim/simulator.h"
 
 namespace gms {
@@ -29,7 +29,9 @@ struct GetPageResult {
   bool dirty = false;
 };
 
-using GetPageCallback = std::function<void(GetPageResult)>;
+// Move-only so it can carry the faulting access's continuation (itself a
+// move-only InlineFn) without a heap-allocating copyable wrapper.
+using GetPageCallback = InlineCallable<void(GetPageResult)>;
 
 struct MemoryServiceStats {
   uint64_t getpage_attempts = 0;
@@ -105,7 +107,7 @@ class NullMemoryService final : public MemoryService {
     stats_.getpage_attempts++;
     stats_.getpage_misses++;
     // Asynchronous like the real services, so callers never re-enter.
-    sim_->After(0, [cb = std::move(callback)]() { cb(GetPageResult{}); });
+    sim_->After(0, [cb = std::move(callback)]() mutable { cb(GetPageResult{}); });
   }
 
   void EvictClean(Frame* frame) override { frames_->Free(frame); }

@@ -1,14 +1,21 @@
 // GMS wire protocol.
 //
-// Message structs are carried as std::any payloads on src/net datagrams. The
-// wire size reported to the network is computed per message so that traffic
-// accounting (Figure 11, Table 5) reflects what a real implementation would
-// put on the wire, even though the simulation passes structs by value.
+// Message structs are carried on src/net datagrams as a closed MessagePayload
+// variant (defined at the bottom of this header), so a datagram is one
+// contiguous value: no per-message heap allocation and no RTTI on receive.
+// The wire size reported to the network is computed per message so that
+// traffic accounting (Figure 11, Table 5) reflects what a real implementation
+// would put on the wire, even though the simulation passes structs by value.
 #ifndef SRC_CORE_MESSAGES_H_
 #define SRC_CORE_MESSAGES_H_
 
 #include <cstdint>
+#include <memory>
+#include <utility>
+#include <variant>  // std::monostate
 #include <vector>
+
+#include "src/common/tagged_union.h"
 
 #include "src/common/histogram.h"
 #include "src/common/node_id.h"
@@ -244,6 +251,67 @@ inline uint32_t MemberUpdateBytes(uint32_t header, size_t num_live,
 inline uint32_t RepublishBytes(uint32_t header, size_t num_entries) {
   return header + static_cast<uint32_t>(num_entries) * 24;
 }
+
+// Deep-copying heap box. EpochSummary carries a 1.5 KB LogHistogram; boxing
+// it keeps sizeof(MessagePayload) — and with it every Datagram, every
+// delivery closure, every SeqWindow slot — under a cache line. Epoch
+// summaries are per-epoch control traffic, so the box's allocation is far
+// off the per-page hot path.
+template <typename T>
+class Boxed {
+ public:
+  Boxed() : ptr_(new T()) {}
+  Boxed(T value)  // NOLINT(google-explicit-constructor)
+      : ptr_(new T(std::move(value))) {}
+  Boxed(const Boxed& o) : ptr_(new T(*o.ptr_)) {}
+  Boxed(Boxed&& o) noexcept : ptr_(o.ptr_) { o.ptr_ = nullptr; }
+  Boxed& operator=(const Boxed& o) {
+    if (this != &o) {
+      delete ptr_;
+      ptr_ = new T(*o.ptr_);
+    }
+    return *this;
+  }
+  Boxed& operator=(Boxed&& o) noexcept {
+    if (this != &o) {
+      delete ptr_;
+      ptr_ = o.ptr_;
+      o.ptr_ = nullptr;
+    }
+    return *this;
+  }
+  ~Boxed() { delete ptr_; }
+
+  T& operator*() { return *ptr_; }
+  const T& operator*() const { return *ptr_; }
+  T* operator->() { return ptr_; }
+  const T* operator->() const { return ptr_; }
+
+ private:
+  // A bare owning pointer (not unique_ptr) so that Boxed is trivially
+  // relocatable by construction — TaggedUnion moves it with memcpy and
+  // abandons the source without running this destructor.
+  T* ptr_;
+};
+
+// The closed set of datagram payloads. std::monostate covers raw traffic
+// with no protocol body (tests, synthetic load). Alternatives must stay
+// small — see the static_assert — so that a Datagram is one contiguous
+// value; anything bigger goes through Boxed<T>. TaggedUnion rather than
+// std::variant: payload relocation is the per-message hot path (a delivered
+// message moves its payload several times through the event queue), and
+// TaggedUnion relocates with a memcpy instead of variant's per-move
+// function-table dispatch. Access is payload.get<T>() / payload.holds<T>().
+using MessagePayload =
+    TaggedUnion<std::monostate, GetPageReq, GetPageFwd, GetPageReply,
+                GetPageMiss, PutPage, GcdUpdate, EpochSummaryReq,
+                Boxed<EpochSummary>, EpochParams, EpochStale, JoinReq,
+                MemberUpdate, Heartbeat, HeartbeatAck, NfsReadReq,
+                NfsReadReply, Republish, GcdInvalidate, ProtoAck, WriteBack,
+                NchanceForward>;
+
+static_assert(sizeof(MessagePayload) <= 80,
+              "keep Datagram contiguous and small: box oversized messages");
 
 }  // namespace gms
 

@@ -29,7 +29,7 @@ void NchanceAgent::SetAlive(bool alive) {
 }
 
 void NchanceAgent::Send(NodeId dst, uint32_t type, uint32_t bytes,
-                        std::any payload) {
+                        MessagePayload payload) {
   net_->Send(Datagram{self_, dst, bytes, type, std::move(payload)});
 }
 
@@ -363,22 +363,22 @@ void NchanceAgent::OnDatagram(Datagram dgram) {
     }
     switch (dgram.type) {
       case kMsgGetPageReq:
-        HandleGetPageReq(std::any_cast<const GetPageReq&>(dgram.payload));
+        HandleGetPageReq(dgram.payload.get<GetPageReq>());
         break;
       case kMsgGetPageFwd:
-        HandleGetPageFwd(std::any_cast<const GetPageFwd&>(dgram.payload));
+        HandleGetPageFwd(dgram.payload.get<GetPageFwd>());
         break;
       case kMsgGetPageReply:
-        HandleGetPageReply(std::any_cast<const GetPageReply&>(dgram.payload));
+        HandleGetPageReply(dgram.payload.get<GetPageReply>());
         break;
       case kMsgGetPageMiss:
-        HandleGetPageMiss(std::any_cast<const GetPageMiss&>(dgram.payload));
+        HandleGetPageMiss(dgram.payload.get<GetPageMiss>());
         break;
       case kMsgNchanceForward:
-        HandleForward(std::any_cast<const NchanceForward&>(dgram.payload));
+        HandleForward(dgram.payload.get<NchanceForward>());
         break;
       case kMsgGcdUpdate:
-        HandleGcdUpdate(std::any_cast<const GcdUpdate&>(dgram.payload));
+        HandleGcdUpdate(dgram.payload.get<GcdUpdate>());
         break;
       default:
         GMS_LOG_WARN("nchance node %u: unknown message type %u", self_.value,

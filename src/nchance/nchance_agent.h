@@ -100,7 +100,7 @@ class NchanceAgent final : public MemoryService {
   void SendGcdUpdate(const Uid& uid, GcdUpdate::Op op, NodeId holder,
                      bool global, NodeId prev = kInvalidNode);
   std::optional<NodeId> RandomTarget();
-  void Send(NodeId dst, uint32_t type, uint32_t bytes, std::any payload);
+  void Send(NodeId dst, uint32_t type, uint32_t bytes, MessagePayload payload);
 
   Simulator* sim_;
   Network* net_;

@@ -70,11 +70,11 @@ bool Network::Partitioned(NodeId src, NodeId dst) const {
          endpoints_.at(dst.value).partition_bits;
 }
 
-void Network::ScheduleDelivery(Datagram dgram, SimTime arrival) {
+void Network::ScheduleDelivery(Datagram&& dgram, SimTime arrival) {
   in_flight_++;
-  sim_->At(arrival, [this, dgram = std::move(dgram)]() mutable {
+  auto deliver = [this, dgram = std::move(dgram)]() mutable {
     in_flight_--;
-    Endpoint& dst = endpoints_.at(dgram.dst.value);
+    Endpoint& dst = endpoints_[dgram.dst.value];
     if (!dst.up || !dst.handler) {
       // Went down (or was never attached) while the message was on the
       // wire; sender-side timeouts recover.
@@ -83,7 +83,11 @@ void Network::ScheduleDelivery(Datagram dgram, SimTime arrival) {
     }
     dst.rx.Add(dgram.bytes);
     dst.handler(std::move(dgram));
-  });
+  };
+  // A delivery closure must stay inline in the event queue: this is the
+  // per-message hot path.
+  static_assert(EventFn::kFitsInline<decltype(deliver)>);
+  sim_->At(arrival, std::move(deliver));
 }
 
 void Network::Send(Datagram dgram) {
@@ -93,14 +97,14 @@ void Network::Send(Datagram dgram) {
                  dgram.dst.value, dgram.type);
     std::abort();
   }
-  Endpoint& src = endpoints_.at(dgram.src.value);
+  Endpoint& src = endpoints_[dgram.src.value];
   if (!src.up) {
     fault_stats_.sends_blocked_src_down.Add(dgram.bytes);
     return;
   }
   // The switch drops traffic for a down port immediately; a node that comes
   // back up does not receive packets addressed to it while it was down.
-  if (!endpoints_.at(dgram.dst.value).up) {
+  if (!endpoints_[dgram.dst.value].up) {
     if (dgram.src != dgram.dst) {
       src.tx.Add(dgram.bytes);
       total_traffic_.Add(dgram.bytes);
@@ -113,13 +117,15 @@ void Network::Send(Datagram dgram) {
     // Loopback: no wire, no latency, immune to fault injection, but still
     // delivered asynchronously so handlers never re-enter their caller.
     in_flight_++;
-    sim_->After(0, [this, dgram = std::move(dgram)]() mutable {
+    auto loopback = [this, dgram = std::move(dgram)]() mutable {
       in_flight_--;
-      Endpoint& dst = endpoints_.at(dgram.dst.value);
+      Endpoint& dst = endpoints_[dgram.dst.value];
       if (dst.up && dst.handler) {
         dst.handler(std::move(dgram));
       }
-    });
+    };
+    static_assert(EventFn::kFitsInline<decltype(loopback)>);
+    sim_->After(0, std::move(loopback));
     return;
   }
 
@@ -178,7 +184,7 @@ void Network::Send(Datagram dgram) {
         fault_stats_.duplicates_injected.Add(dgram.bytes);
         const SimTime skew = static_cast<SimTime>(
             fault_rng_.NextBelow(static_cast<uint64_t>(params_.fixed_latency) + 1));
-        ScheduleDelivery(dgram, arrival + skew);
+        ScheduleDelivery(Datagram(dgram), arrival + skew);
       }
     }
   }

@@ -25,11 +25,13 @@
 //
 //   tx + duplicates_injected == rx + drops_total
 //
-// Payloads are std::any; the GMS protocol definitions live in src/core.
+// Payloads are the closed MessagePayload variant from src/core/messages.h
+// (a header-only dependency: the protocol's struct definitions, no protocol
+// logic), so a Datagram is one contiguous value with no per-message heap
+// allocation.
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
 
-#include <any>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -39,6 +41,7 @@
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/time.h"
+#include "src/core/messages.h"
 #include "src/sim/simulator.h"
 
 namespace gms {
@@ -48,10 +51,13 @@ struct Datagram {
   NodeId dst;
   uint32_t bytes = 0;  // wire size including headers
   uint32_t type = 0;   // protocol-defined tag, used for per-type accounting
-  std::any payload;
+  MessagePayload payload;
 };
 
-using DatagramHandler = std::function<void(Datagram)>;
+// Receive handlers take an rvalue reference so delivery does not move the
+// datagram across the std::function boundary; the handler moves from it (or
+// binds it to a by-value parameter) as it sees fit.
+using DatagramHandler = std::function<void(Datagram&&)>;
 
 struct NetworkParams {
   // Fixed per-message overhead: send/receive controllers plus switch.
@@ -170,7 +176,7 @@ class Network {
   };
 
   const FaultSpec& FaultsFor(NodeId src, NodeId dst) const;
-  void ScheduleDelivery(Datagram dgram, SimTime arrival);
+  void ScheduleDelivery(Datagram&& dgram, SimTime arrival);
 
   Simulator* sim_;
   NetworkParams params_;

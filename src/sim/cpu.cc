@@ -22,21 +22,26 @@ void Cpu::StartNext() {
     if (queue.empty()) {
       continue;
     }
-    Task task = std::move(queue.front());
+    running_ = std::move(queue.front());
     queue.pop_front();
-    sim_->After(task.duration, [this, task = std::move(task)]() mutable {
-      busy_time_[static_cast<size_t>(task.category)] += task.duration;
-      completed_[static_cast<size_t>(task.category)]++;
-      // Run the completion before starting the next task so that any work it
-      // submits competes in priority order with what is already queued.
-      if (task.done) {
-        task.done();
-      }
-      StartNext();
-    });
+    auto complete = [this] { FinishRunning(); };
+    static_assert(EventFn::kFitsInline<decltype(complete)>);
+    sim_->After(running_.duration, std::move(complete));
     return;
   }
   busy_ = false;
+}
+
+void Cpu::FinishRunning() {
+  busy_time_[static_cast<size_t>(running_.category)] += running_.duration;
+  completed_[static_cast<size_t>(running_.category)]++;
+  // Run the completion before starting the next task so that any work it
+  // submits competes in priority order with what is already queued.
+  EventFn done = std::move(running_.done);
+  if (done) {
+    done();
+  }
+  StartNext();
 }
 
 SimTime Cpu::total_busy_time() const {

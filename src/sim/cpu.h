@@ -14,8 +14,8 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 
+#include "src/common/ring.h"
 #include "src/common/time.h"
 #include "src/sim/simulator.h"
 
@@ -66,16 +66,21 @@ class Cpu {
 
  private:
   struct Task {
-    SimTime duration;
-    CpuCategory category;
+    SimTime duration = 0;
+    CpuCategory category = CpuCategory::kWorkload;
     EventFn done;
   };
 
   void StartNext();
+  void FinishRunning();
 
   Simulator* sim_;
   bool busy_ = false;
-  std::array<std::deque<Task>, kNumPriorities> queues_;
+  // The non-preemptive model runs one task at a time; keeping it in a member
+  // lets the completion event capture only `this` (it must stay inline in
+  // the event queue — see InlineFn).
+  Task running_;
+  std::array<RingBuffer<Task>, kNumPriorities> queues_;
   std::array<SimTime, static_cast<size_t>(CpuCategory::kCategoryCount)>
       busy_time_ = {};
   std::array<uint64_t, static_cast<size_t>(CpuCategory::kCategoryCount)>

@@ -1,0 +1,136 @@
+// Small-buffer-optimized move-only callables for simulator events.
+//
+// Every step of the simulation is a `void()` closure pushed through the
+// event queue; with std::function (16-byte SSO in libstdc++) nearly every
+// capture of more than two words heap-allocates. InlineCallable stores
+// closures up to kInlineSize bytes in place, so steady-state event
+// scheduling performs zero allocations. Oversized captures fall back to one
+// heap box (same cost as std::function); hot-path call sites pin themselves
+// to the inline representation with
+// `static_assert(InlineFn::kFitsInline<F>)` so a capture growing past the
+// buffer is a compile error, not a silent regression.
+#ifndef SRC_SIM_INLINE_FN_H_
+#define SRC_SIM_INLINE_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gms {
+
+template <typename Signature>
+class InlineCallable;
+
+template <typename R, typename... Args>
+class InlineCallable<R(Args...)> {
+ public:
+  // Sized so that a delivery closure capturing a full Datagram (the largest
+  // hot-path capture, 96 bytes) stays inline with no slack: 16 bytes of
+  // dispatch pointers + 96 of storage = 112, keeping the simulator's
+  // per-event footprint small (the event queue is memory-bound at large
+  // populations). Storage is 8-byte aligned; the rare over-aligned closure
+  // takes the heap-box path like an oversized one.
+  static constexpr size_t kInlineSize = 96;
+
+  template <typename F>
+  static constexpr bool kFitsInline =
+      sizeof(std::decay_t<F>) <= kInlineSize &&
+      alignof(std::decay_t<F>) <= 8 &&
+      std::is_nothrow_move_constructible_v<std::decay_t<F>>;
+
+  InlineCallable() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallable> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineCallable(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (kFitsInline<F>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* s, Args... args) -> R {
+        return (*std::launder(reinterpret_cast<Fn*>(s)))(
+            std::forward<Args>(args)...);
+      };
+      relocate_ = [](void* s, void* dst) {
+        Fn* self = std::launder(reinterpret_cast<Fn*>(s));
+        if (dst != nullptr) {
+          ::new (dst) Fn(std::move(*self));
+        }
+        self->~Fn();
+      };
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      invoke_ = [](void* s, Args... args) -> R {
+        return (**std::launder(reinterpret_cast<Fn**>(s)))(
+            std::forward<Args>(args)...);
+      };
+      relocate_ = [](void* s, void* dst) {
+        Fn** self = std::launder(reinterpret_cast<Fn**>(s));
+        if (dst != nullptr) {
+          ::new (dst) Fn*(*self);
+        } else {
+          delete *self;
+        }
+      };
+    }
+  }
+
+  InlineCallable(InlineCallable&& other) noexcept { MoveFrom(other); }
+
+  InlineCallable& operator=(InlineCallable&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineCallable(const InlineCallable&) = delete;
+  InlineCallable& operator=(const InlineCallable&) = delete;
+
+  ~InlineCallable() { Reset(); }
+
+  R operator()(Args... args) {
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  // dst == nullptr: destroy in place. Otherwise: move-construct into dst and
+  // destroy the source (one pass keeps the dispatch table to two pointers).
+  using Invoke = R (*)(void*, Args...);
+  using Relocate = void (*)(void* self, void* dst);
+
+  void MoveFrom(InlineCallable& other) noexcept {
+    if (other.invoke_ != nullptr) {
+      other.relocate_(other.storage_, storage_);
+      invoke_ = other.invoke_;
+      relocate_ = other.relocate_;
+      other.invoke_ = nullptr;
+      other.relocate_ = nullptr;
+    }
+  }
+
+  void Reset() noexcept {
+    if (invoke_ != nullptr) {
+      relocate_(storage_, nullptr);
+      invoke_ = nullptr;
+      relocate_ = nullptr;
+    }
+  }
+
+  Invoke invoke_ = nullptr;
+  Relocate relocate_ = nullptr;
+  alignas(8) unsigned char storage_[kInlineSize];
+};
+
+// The event-queue closure type: every scheduled simulation step is one of
+// these.
+using InlineFn = InlineCallable<void()>;
+
+}  // namespace gms
+
+#endif  // SRC_SIM_INLINE_FN_H_

@@ -7,7 +7,7 @@ namespace gms {
 
 void Simulator::At(SimTime t, EventFn fn) {
   assert(t >= now_);
-  queue_.push(Event{t, next_seq_++, 0, std::move(fn)});
+  queue_.Push(t, next_seq_++, 0, std::move(fn));
 }
 
 void Simulator::After(SimTime delay, EventFn fn) {
@@ -18,30 +18,22 @@ void Simulator::After(SimTime delay, EventFn fn) {
 TimerId Simulator::ScheduleTimer(SimTime delay, EventFn fn) {
   assert(delay >= 0);
   const TimerId id = next_timer_++;
-  queue_.push(Event{now_ + delay, next_seq_++, id, std::move(fn)});
+  queue_.Push(now_ + delay, next_seq_++, id, std::move(fn));
   return id;
 }
 
 void Simulator::CancelTimer(TimerId id) {
   if (id != 0) {
-    cancelled_.insert(id);
+    cancelled_.Insert(id);
   }
 }
 
 bool Simulator::Dispatch() {
-  // priority_queue exposes only const top(); the event's fn is mutable so we
-  // can move it out before popping.
-  const Event& top = queue_.top();
-  now_ = top.time;
-  const TimerId timer = top.timer;
-  EventFn fn = std::move(top.fn);
-  queue_.pop();
-  if (timer != 0) {
-    auto it = cancelled_.find(timer);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      return false;
-    }
+  EventFn fn;
+  const auto [time, timer] = queue_.PopMin(fn);
+  now_ = time;
+  if (timer != 0 && cancelled_.Erase(timer)) {
+    return false;
   }
   fn();
   events_processed_++;
@@ -60,7 +52,7 @@ uint64_t Simulator::Run() {
 uint64_t Simulator::RunUntil(SimTime t) {
   stopped_ = false;
   const uint64_t start = events_processed_;
-  while (!queue_.empty() && !stopped_ && queue_.top().time <= t) {
+  while (!queue_.empty() && !stopped_ && queue_.MinTime() <= t) {
     Dispatch();
   }
   if (!stopped_ && now_ < t) {

@@ -4,20 +4,24 @@
 // timers, CPU task completion) is an event on a single global queue ordered
 // by (time, sequence number). Ties are broken by insertion order, so a run is
 // a pure function of the configuration and RNG seeds.
+//
+// The hot path is allocation-free: events are InlineFn closures (inline
+// small-buffer storage, src/sim/inline_fn.h) stored in a calendar queue
+// (src/sim/event_queue.h), and timer cancellation uses a flat open-addressing
+// set. After warm-up, scheduling + dispatching an event touches no allocator.
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
 
+#include "src/common/flat_set.h"
 #include "src/common/time.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/inline_fn.h"
 
 namespace gms {
 
-using EventFn = std::function<void()>;
+using EventFn = InlineFn;
 
 // Identifies a cancellable timer. Zero is never a valid id.
 using TimerId = uint64_t;
@@ -61,20 +65,6 @@ class Simulator {
   uint64_t events_processed() const { return events_processed_; }
 
  private:
-  struct Event {
-    SimTime time;
-    uint64_t seq;
-    TimerId timer;  // 0 when not cancellable
-    mutable EventFn fn;
-
-    bool operator>(const Event& o) const {
-      if (time != o.time) {
-        return time > o.time;
-      }
-      return seq > o.seq;
-    }
-  };
-
   // Pops and runs the front event. Returns false if it was a cancelled timer
   // (in which case nothing user-visible happened).
   bool Dispatch();
@@ -84,8 +74,8 @@ class Simulator {
   TimerId next_timer_ = 1;
   bool stopped_ = false;
   uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::unordered_set<TimerId> cancelled_;
+  CalendarQueue queue_;
+  FlatSet64 cancelled_;
 };
 
 }  // namespace gms

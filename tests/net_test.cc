@@ -130,11 +130,14 @@ TEST_F(NetTest, ResetStatsClears) {
 }
 
 TEST_F(NetTest, PayloadRoundTrips) {
+  const Uid uid = MakeUid(0x0a000001, 1, 42, 7);
   net_.Attach(NodeId{1}, [&](Datagram d) {
-    EXPECT_EQ(std::any_cast<int>(d.payload), 12345);
+    const auto& miss = d.payload.get<GetPageMiss>();
+    EXPECT_EQ(miss.uid, uid);
+    EXPECT_EQ(miss.op_id, 12345u);
     received_[1].push_back(Received{d.src, d.type, sim_.now()});
   });
-  net_.Send(Datagram{NodeId{0}, NodeId{1}, 64, 1, std::any(12345)});
+  net_.Send(Datagram{NodeId{0}, NodeId{1}, 64, 1, GetPageMiss{uid, 12345}});
   sim_.Run();
   EXPECT_EQ(received_[1].size(), 1u);
 }

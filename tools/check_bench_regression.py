@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_core.json against the committed baseline.
+
+Usage:
+    tools/check_bench_regression.py CURRENT.json [BASELINE.json]
+                                    [--max-regression 0.25]
+
+Exits nonzero if the headline events/sec figure regressed by more than
+--max-regression, or any per-bench items_per_sec by more than the looser
+--max-bench-regression. Improvements and small wobbles are reported but
+never fail.
+
+The committed baseline (bench/BENCH_core.json) is recorded on a quiet
+machine at --scale=1; CI runs at --scale=0.1 on shared runners, so the
+thresholds are deliberately loose — they exist to catch "we reintroduced a
+per-event allocation" (2-3x), not 5% noise. Per-bench figures come from
+shorter windows than the headline, hence their wider band.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != 1:
+        sys.exit(f"{path}: unsupported or missing schema (want 1)")
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly generated BENCH_core.json")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default="bench/BENCH_core.json",
+        help="committed baseline (default: bench/BENCH_core.json)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional drop in headline events/sec (default 0.25)",
+    )
+    parser.add_argument(
+        "--max-bench-regression",
+        type=float,
+        default=0.5,
+        help="allowed fractional drop per individual bench (default 0.5)",
+    )
+    args = parser.parse_args()
+
+    cur = load(args.current)
+    base = load(args.baseline)
+
+    failures = []
+    rows = [("events_per_sec", cur["events_per_sec"], base["events_per_sec"],
+             args.max_regression)]
+    for name, b in sorted(base.get("benches", {}).items()):
+        c = cur.get("benches", {}).get(name)
+        if c is None:
+            failures.append(f"bench '{name}' missing from {args.current}")
+            continue
+        rows.append((name, c["items_per_sec"], b["items_per_sec"],
+                     args.max_bench_regression))
+
+    for name, cur_v, base_v, limit in rows:
+        ratio = cur_v / base_v if base_v else float("inf")
+        status = "ok"
+        if ratio < 1.0 - limit:
+            status = "REGRESSED"
+            failures.append(
+                f"{name}: {cur_v:.0f}/s vs baseline {base_v:.0f}/s "
+                f"({ratio:.2f}x, limit {1.0 - limit:.2f}x)"
+            )
+        print(f"{name:24s} {cur_v:15.0f}/s  baseline {base_v:15.0f}/s  "
+              f"{ratio:5.2f}x  {status}")
+
+    if failures:
+        print("\nFAIL: throughput regression beyond limit:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nOK: no bench regressed beyond its limit")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
