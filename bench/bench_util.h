@@ -3,12 +3,25 @@
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "src/cluster/experiments.h"
 
 namespace gms {
+
+// Parses "--name=value" string flags (paths, mode names) from argv.
+inline std::string FlagString(int argc, char** argv, const std::string& name,
+                              const std::string& fallback = "") {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
 
 // Every bench accepts --scale= and --seed=. The default scale of 0.25 keeps
 // a full bench run to seconds while preserving every memory-pressure ratio;

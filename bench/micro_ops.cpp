@@ -21,6 +21,7 @@
 
 #include "src/cluster/cluster.h"
 #include "src/cluster/experiments.h"
+#include "src/obs/trace.h"
 #include "src/common/alias.h"
 #include "src/common/histogram.h"
 #include "src/common/rng.h"
@@ -349,6 +350,11 @@ int EmitBenchJson(const std::string& path, double scale) {
     return 1;
   }
   std::fprintf(f, "{\n  \"schema\": 1,\n  \"scale\": %g,\n", scale);
+  // Whether TraceEvent call sites exist in this build (GMS_TRACE). The
+  // regression gate uses this to verify the tracing-disabled configuration
+  // really was compiled out before holding it to the tight headline limit.
+  std::fprintf(f, "  \"trace_compiled_in\": %s,\n",
+               kTraceCompiledIn ? "true" : "false");
   std::fprintf(f, "  \"benches\": {\n");
   WriteBench(f, "event_loop", ev, false);
   WriteBench(f, "message_round_trip", rt, false);

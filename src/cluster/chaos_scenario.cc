@@ -7,8 +7,10 @@
 namespace gms {
 
 std::unique_ptr<Cluster> BuildChaosCluster(const ChaosCase& chaos,
-                                           bool with_partition) {
+                                           bool with_partition,
+                                           const ObsConfig& obs) {
   ClusterConfig config;
+  config.obs = obs;
   config.num_nodes = 4;
   config.policy = PolicyKind::kGms;
   config.frames_per_node = {256, 320, 1024, 768};

@@ -22,8 +22,11 @@ struct ChaosCase {
 // that cuts the biggest idle-memory donor (node 3) off mid-run. Workloads
 // use only node-local backing files, so every wire message is GMS protocol
 // traffic — exactly the surface the retry layer hardens.
+// `obs` lets the observability tests run this exact universe with tracing
+// or metric snapshots enabled; the default keeps it dark.
 std::unique_ptr<Cluster> BuildChaosCluster(const ChaosCase& chaos,
-                                           bool with_partition = true);
+                                           bool with_partition = true,
+                                           const ObsConfig& obs = {});
 
 // Deterministic multi-line stats dump: simulation clock, per-node service
 // counters, and network/fault accounting. Used by the golden determinism

@@ -21,13 +21,23 @@ uint64_t MixSeed(uint64_t seed, uint64_t salt) {
 
 Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   assert(config_.num_nodes >= 1);
+  if (config_.obs.trace && kTraceCompiledIn) {
+    tracer_ = std::make_unique<Tracer>(config_.num_nodes,
+                                       config_.obs.trace_ring_capacity);
+    if (!config_.obs.trace_path.empty()) {
+      tracer_->OpenFile(config_.obs.trace_path);
+    }
+    tracer_->set_enabled(true);
+  }
   net_ = std::make_unique<Network>(&sim_, config_.num_nodes, config_.net);
+  net_->set_tracer(tracer_.get());
   nodes_.reserve(config_.num_nodes);
   for (uint32_t i = 0; i < config_.num_nodes; i++) {
     const NodeId id{i};
     auto rt = std::make_unique<NodeRuntime>();
     rt->cpu = std::make_unique<Cpu>(&sim_);
     rt->disk = std::make_unique<Disk>(&sim_, config_.disk);
+    rt->disk->set_tracer(tracer_.get(), id);
     const uint32_t frames = i < config_.frames_per_node.size()
                                 ? config_.frames_per_node[i]
                                 : config_.frames;
@@ -37,9 +47,12 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
                                       rt->disk.get(), rt->frames.get(),
                                       rt->service.get(), id,
                                       config_.gms.costs, config_.node);
+    rt->os->set_tracer(tracer_.get());
     nodes_.push_back(std::move(rt));
     AttachDispatcher(id);
+    RegisterNodeMetrics(i);
   }
+  metrics_.RegisterCounter("net/total", [this] { return &net_->total_traffic(); });
 }
 
 Cluster::~Cluster() = default;
@@ -52,6 +65,7 @@ std::unique_ptr<MemoryService> Cluster::MakeService(NodeId id,
       auto agent = std::make_unique<GmsAgent>(&sim_, net_.get(), rt.cpu.get(),
                                               rt.frames.get(), id, seed,
                                               config_.gms);
+      agent->set_tracer(tracer_.get());
       rt.gms = agent.get();
       return agent;
     }
@@ -66,6 +80,59 @@ std::unique_ptr<MemoryService> Cluster::MakeService(NodeId id,
       return std::make_unique<NullMemoryService>(&sim_, rt.frames.get());
   }
   return nullptr;
+}
+
+void Cluster::RegisterNodeMetrics(uint32_t i) {
+  // Getter-based registration: lambdas re-read through nodes_[i] on every
+  // snapshot, so a rebooted node's fresh service is picked up transparently
+  // and ResetStats() shows through as a value drop.
+  const std::string p = "node" + std::to_string(i) + "/";
+  const NodeRuntime* rt = nodes_[i].get();
+  auto os = [rt]() { return &rt->os->stats(); };
+  metrics_.RegisterValue(p + "os/accesses", [os] { return os()->accesses; });
+  metrics_.RegisterValue(p + "os/local_hits", [os] { return os()->local_hits; });
+  metrics_.RegisterValue(p + "os/faults", [os] { return os()->faults; });
+  metrics_.RegisterValue(p + "os/disk_reads", [os] { return os()->disk_reads; });
+  metrics_.RegisterValue(p + "os/disk_writes", [os] { return os()->disk_writes; });
+  metrics_.RegisterValue(p + "os/nfs_reads", [os] { return os()->nfs_reads; });
+  metrics_.RegisterValue(p + "os/nfs_served", [os] { return os()->nfs_served; });
+  metrics_.RegisterStat(p + "os/access_us", [os] { return &os()->access_us; });
+  metrics_.RegisterStat(p + "os/fault_us", [os] { return &os()->fault_us; });
+  metrics_.RegisterLatency(p + "os/access_ns", [os] { return &os()->access_ns; });
+  metrics_.RegisterLatency(p + "os/fault_ns", [os] { return &os()->fault_ns; });
+
+  auto svc = [rt]() { return &rt->service->stats(); };
+  metrics_.RegisterValue(p + "svc/getpage_attempts",
+                         [svc] { return svc()->getpage_attempts; });
+  metrics_.RegisterValue(p + "svc/getpage_hits",
+                         [svc] { return svc()->getpage_hits; });
+  metrics_.RegisterValue(p + "svc/getpage_misses",
+                         [svc] { return svc()->getpage_misses; });
+  metrics_.RegisterValue(p + "svc/getpage_timeouts",
+                         [svc] { return svc()->getpage_timeouts; });
+  metrics_.RegisterValue(p + "svc/putpages_sent",
+                         [svc] { return svc()->putpages_sent; });
+  metrics_.RegisterValue(p + "svc/putpages_received",
+                         [svc] { return svc()->putpages_received; });
+  metrics_.RegisterValue(p + "svc/discards_old",
+                         [svc] { return svc()->discards_old; });
+  metrics_.RegisterValue(p + "svc/epochs_started",
+                         [svc] { return svc()->epochs_started; });
+  metrics_.RegisterLatency(p + "svc/getpage_hit_ns",
+                           [svc] { return &svc()->getpage_hit_ns; });
+  metrics_.RegisterLatency(p + "svc/getpage_miss_ns",
+                           [svc] { return &svc()->getpage_miss_ns; });
+
+  auto disk = [rt]() { return &rt->disk->stats(); };
+  metrics_.RegisterValue(p + "disk/reads", [disk] { return disk()->reads; });
+  metrics_.RegisterValue(p + "disk/writes", [disk] { return disk()->writes; });
+  metrics_.RegisterStat(p + "disk/read_latency_us",
+                        [disk] { return &disk()->read_latency; });
+
+  Network* net = net_.get();
+  const NodeId id{i};
+  metrics_.RegisterCounter(p + "net/tx", [net, id] { return &net->node_tx(id); });
+  metrics_.RegisterCounter(p + "net/rx", [net, id] { return &net->node_rx(id); });
 }
 
 void Cluster::AttachDispatcher(NodeId id) {
@@ -101,6 +168,19 @@ void Cluster::Start() {
       rt->nchance->Start(pod);
     }
   }
+  if (config_.obs.snapshot_interval > 0) {
+    ArmSnapshotTimer();
+  }
+}
+
+void Cluster::ArmSnapshotTimer() {
+  // Snapshot events only read stats, so arming them cannot change simulated
+  // behaviour: one extra event shifts later sequence numbers uniformly,
+  // leaving the relative order of all other events intact.
+  sim_.After(config_.obs.snapshot_interval, [this] {
+    metrics_.SnapshotEpoch(sim_.now());
+    ArmSnapshotTimer();
+  });
 }
 
 GmsAgent* Cluster::gms_agent(NodeId node) { return nodes_.at(node.value)->gms; }
@@ -196,6 +276,7 @@ void Cluster::RestartNode(NodeId node) {
     auto agent = std::make_unique<GmsAgent>(
         &sim_, net_.get(), rt.cpu.get(), rt.frames.get(), node,
         MixSeed(config_.seed, 0x20000 + node.value), config_.gms);
+    agent->set_tracer(tracer_.get());
     rt.gms = agent.get();
     rt.service = std::move(agent);
     rt.os->set_service(rt.service.get());

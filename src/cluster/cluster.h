@@ -18,6 +18,8 @@
 #include "src/nchance/nchance_agent.h"
 #include "src/net/network.h"
 #include "src/node/node_os.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/cpu.h"
 #include "src/sim/simulator.h"
 #include "src/workload/access_pattern.h"
@@ -30,10 +32,24 @@ enum class PolicyKind {
   kNchance,  // N-chance forwarding baseline
 };
 
+// Observability wiring (src/obs). Off by default: with `trace == false` no
+// Tracer exists and every call site degrades to a null-pointer test (or to
+// nothing at all under -DGMS_TRACE=OFF).
+struct ObsConfig {
+  bool trace = false;
+  // Binary trace file; empty = digest-only tracing (golden tests).
+  std::string trace_path;
+  uint32_t trace_ring_capacity = 16384;  // records per node, preallocated
+  // >0: append a cumulative MetricsRegistry snapshot every interval (the
+  // per-epoch time series behind Figure 8/11-style curves).
+  SimTime snapshot_interval = 0;
+};
+
 struct ClusterConfig {
   uint32_t num_nodes = 2;
   PolicyKind policy = PolicyKind::kGms;
   uint64_t seed = 1;
+  ObsConfig obs;
 
   // Frames per node; 8192 = the paper's 64 MB workstations. Override single
   // nodes via frames_per_node.
@@ -117,6 +133,16 @@ class Cluster {
   Totals totals() const;
   void ResetStats();
 
+  // --- observability ---
+  // Null unless config.obs.trace. Flush()/Finish() and the digest live on
+  // the tracer itself.
+  Tracer* tracer() { return tracer_.get(); }
+  // Every stats field of every subsystem, under "node<i>/{os,svc,disk,net}/"
+  // and "net/". Populated at construction; getters read through the live
+  // objects, so values track reboots and resets.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   struct NodeRuntime {
     std::unique_ptr<Cpu> cpu;
@@ -130,9 +156,15 @@ class Cluster {
 
   std::unique_ptr<MemoryService> MakeService(NodeId id, NodeRuntime& rt);
   void AttachDispatcher(NodeId id);
+  void RegisterNodeMetrics(uint32_t i);
+  void ArmSnapshotTimer();
 
   ClusterConfig config_;
   Simulator sim_;
+  // Declared before nodes_ so it outlives every subsystem holding a raw
+  // Tracer*.
+  std::unique_ptr<Tracer> tracer_;
+  MetricsRegistry metrics_;
   std::unique_ptr<Network> net_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
   std::vector<std::unique_ptr<WorkloadDriver>> workloads_;

@@ -45,6 +45,7 @@ struct Counter {
     events += o.events;
     bytes += o.bytes;
   }
+  void Reset() { *this = Counter{}; }
 };
 
 }  // namespace gms

@@ -253,10 +253,13 @@ SimTime GmsAgent::EffectiveAge(const Frame& frame) const {
 
 void GmsAgent::GetPage(const Uid& uid, GetPageCallback callback) {
   stats_.getpage_attempts++;
+  TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kGetPageIssue, uid,
+             0);
   const uint64_t op_id = next_op_id_++;
   PendingGet pending;
   pending.uid = uid;
   pending.callback = std::move(callback);
+  pending.started = sim_->now();
   // With retries enabled each attempt gets a short window and escalates;
   // without, one long window covers the whole operation.
   const SimTime window =
@@ -321,11 +324,19 @@ void GmsAgent::ResolveGet(uint64_t op_id, GetPageResult result) {
   }
   sim_->CancelTimer(it->second.timer);
   GetPageCallback callback = std::move(it->second.callback);
+  const Uid uid = it->second.uid;
+  const SimTime latency = sim_->now() - it->second.started;
   pending_gets_.erase(it);
   if (result.hit) {
     stats_.getpage_hits++;
+    stats_.getpage_hit_ns.Record(latency);
+    TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kGetPageHit, uid,
+               static_cast<uint64_t>(latency));
   } else {
     stats_.getpage_misses++;
+    stats_.getpage_miss_ns.Record(latency);
+    TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kGetPageMiss, uid,
+               static_cast<uint64_t>(latency));
   }
   callback(result);
 }
@@ -581,6 +592,8 @@ void GmsAgent::DiscardFrame(Frame* frame) {
 
 void GmsAgent::SendPutPage(Frame* frame, NodeId target) {
   stats_.putpages_sent++;
+  TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kPutPageSend,
+             frame->uid, target.value);
   PutPage msg;
   msg.uid = frame->uid;
   msg.from = self_;
@@ -809,6 +822,8 @@ void GmsAgent::HandlePutPage(const PutPage& msg) {
     }
     stats_.putpages_received++;
     putpages_this_epoch_++;
+    TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kPutPageRecv,
+               msg.uid, static_cast<uint64_t>(ToMicroseconds(msg.age)));
 
     if (Frame* existing = frames_->Lookup(msg.uid); existing != nullptr) {
       // We already cache this page; keep ours, fix the directory. Register
@@ -896,6 +911,8 @@ void GmsAgent::StartEpochAsInitiator() {
   }
   summaries_rerequested_ = false;
   summaries_.clear();
+  TraceEventRaw(tracer_, sim_->now(), self_, TraceEventKind::kEpochStart, 0, 0,
+                collecting_epoch_);
 
   const size_t live = pod_.table().live.size();
   const SimTime request_cost =
@@ -1089,6 +1106,8 @@ void GmsAgent::AdoptEpochParams(const EpochParams& params) {
   view_.budget = params.budget;
   view_.duration = params.duration;
   view_.next_initiator = params.next_initiator;
+  TraceEventRaw(tracer_, sim_->now(), self_, TraceEventKind::kEpochParams, 0,
+                static_cast<uint64_t>(params.min_age), params.epoch);
   weights_ = params.weights;
   if (weights_.size() < net_->num_nodes()) {
     weights_.resize(net_->num_nodes(), 0.0);

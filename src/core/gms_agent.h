@@ -33,6 +33,7 @@
 #include "src/core/messages.h"
 #include "src/mem/frame_table.h"
 #include "src/net/network.h"
+#include "src/obs/trace.h"
 #include "src/sim/cpu.h"
 #include "src/sim/simulator.h"
 
@@ -128,6 +129,11 @@ class GmsAgent final : public MemoryService {
   // non-NFS datagrams here.
   void OnDatagram(Datagram dgram);
 
+  // Observability: getpage issue/resolution, putpage send/receive, and epoch
+  // transitions are traced. Re-wired by the cluster after every reboot (a
+  // fresh agent starts tracer-less).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   // --- introspection (tests, benches) ---
   // Direct GCD mutation for white-box microbenchmark setup (placing a page
   // in a chosen state before timing one operation). Not part of the
@@ -162,6 +168,7 @@ class GmsAgent final : public MemoryService {
     GetPageCallback callback;
     TimerId timer = 0;
     int attempts = 0;
+    SimTime started = 0;  // for the getpage latency histograms
   };
 
   // One sequence-numbered control message awaiting a ProtoAck.
@@ -309,6 +316,7 @@ class GmsAgent final : public MemoryService {
   NodeId self_;
   GmsConfig config_;
   Rng rng_;
+  Tracer* tracer_ = nullptr;
   bool alive_ = false;
 
   // Directories.

@@ -13,6 +13,7 @@
 
 #include "src/common/uid.h"
 #include "src/mem/frame_table.h"
+#include "src/obs/metrics.h"
 #include "src/sim/inline_fn.h"
 #include "src/sim/simulator.h"
 
@@ -57,6 +58,9 @@ struct MemoryServiceStats {
   uint64_t control_give_ups = 0;      // control messages abandoned after max
   uint64_t duplicate_msgs_dropped = 0;  // seq-dedup discarded a duplicate
   uint64_t seq_gaps_skipped = 0;        // ordered delivery gave up on a gap
+  // Request-to-callback latency, split by outcome (Table 2's getpage rows).
+  LatencyHistogram getpage_hit_ns;
+  LatencyHistogram getpage_miss_ns;
 };
 
 class MemoryService {

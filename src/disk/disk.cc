@@ -64,9 +64,14 @@ void Disk::StartNext() {
   const SimTime service = ServiceTime(req);
   stats_.busy_time += service;
   sim_->After(service, [this, req = std::move(req)]() mutable {
+    const SimTime latency = sim_->now() - req.issued_at;
     if (!req.is_write) {
-      stats_.read_latency.Add(ToMicroseconds(sim_->now() - req.issued_at));
+      stats_.read_latency.Add(ToMicroseconds(latency));
     }
+    TraceEventRaw(tracer_, sim_->now(), self_,
+                  req.is_write ? TraceEventKind::kDiskWrite
+                               : TraceEventKind::kDiskRead,
+                  0, req.block, static_cast<uint64_t>(latency));
     if (req.done) {
       req.done();
     }

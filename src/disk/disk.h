@@ -20,6 +20,7 @@
 
 #include "src/common/stats.h"
 #include "src/common/time.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 
 namespace gms {
@@ -59,6 +60,14 @@ class Disk {
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats{}; }
 
+  // Observability: completed reads/writes are traced (kDiskRead/kDiskWrite)
+  // with their queue+service latency. `self` labels the records, since a
+  // disk does not otherwise know which node it belongs to.
+  void set_tracer(Tracer* tracer, NodeId self) {
+    tracer_ = tracer;
+    self_ = self;
+  }
+
  private:
   struct Request {
     uint64_t block;
@@ -72,6 +81,8 @@ class Disk {
 
   Simulator* sim_;
   DiskParams params_;
+  Tracer* tracer_ = nullptr;
+  NodeId self_;
   bool busy_ = false;
   std::deque<Request> queue_;
 

@@ -134,6 +134,10 @@ void Network::Send(Datagram dgram) {
   if (dgram.type < kMaxTypes) {
     type_traffic_[dgram.type].Add(dgram.bytes);
   }
+  // Traced exactly where tx accounting happens, so a trace-derived traffic
+  // curve (tools/trace_stats.py) agrees with the Figure 11 byte counters.
+  TraceEventRaw(tracer_, sim_->now(), dgram.src, TraceEventKind::kNetSend,
+                dgram.dst.value, dgram.type, dgram.bytes);
 
   // An active partition discards the message in the switch, after it
   // consumed the sender's egress link.

@@ -42,6 +42,7 @@
 #include "src/common/stats.h"
 #include "src/common/time.h"
 #include "src/core/messages.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 
 namespace gms {
@@ -165,6 +166,10 @@ class Network {
   const NetworkFaultStats& fault_stats() const { return fault_stats_; }
   void ResetStats();
 
+  // Observability: every transmitted (non-loopback) datagram is traced as a
+  // kNetSend event at the sender. Null tracer = no tracing.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Endpoint {
     DatagramHandler handler;
@@ -180,6 +185,7 @@ class Network {
 
   Simulator* sim_;
   NetworkParams params_;
+  Tracer* tracer_ = nullptr;
   std::vector<Endpoint> endpoints_;
   Counter total_traffic_;
   std::vector<Counter> type_traffic_;

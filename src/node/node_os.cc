@@ -47,8 +47,11 @@ void NodeOs::ResumeAccess(const Uid& uid, bool write, SimTime started,
     // The completion time is known now, so record the latency at schedule
     // time and push `done` through unwrapped: the hit path stays a single
     // inline event with no extra closure (and no heap box around `done`).
-    stats_.access_us.Add(
-        ToMicroseconds(sim_->now() + params_.hit_cost - started));
+    const SimTime latency = sim_->now() + params_.hit_cost - started;
+    stats_.access_us.Add(ToMicroseconds(latency));
+    stats_.access_ns.Record(latency);
+    TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kLocalHit, uid,
+               static_cast<uint64_t>(latency));
     sim_->After(params_.hit_cost, std::move(done));
     return;
   }
@@ -63,6 +66,7 @@ void NodeOs::ResumeAccess(const Uid& uid, bool write, SimTime started,
   }
   Fault(uid, write, [this, started, done = std::move(done)]() mutable {
     stats_.access_us.Add(ToMicroseconds(sim_->now() - started));
+    stats_.access_ns.Record(sim_->now() - started);
     done();
   });
 }
@@ -71,6 +75,8 @@ void NodeOs::Fault(const Uid& uid, bool write, EventFn done) {
   stats_.faults++;
   faulting_.insert(uid);
   const SimTime started = sim_->now();
+  TraceEvent(tracer_, started, self_, TraceEventKind::kFault, uid,
+             write ? 1 : 0);
   cpu_->SubmitKernel(params_.fault_overhead, CpuCategory::kFault,
                      [this, uid, write, started, done = std::move(done)]() mutable {
     WithFreeFrame([this, uid, write, started, done = std::move(done)]() mutable {
@@ -107,7 +113,11 @@ void NodeOs::FinishFault(Frame* frame, bool write, bool duplicate,
     frame->dirty = true;
   }
   frames_->Touch(frame, sim_->now());
-  stats_.fault_us.Add(ToMicroseconds(sim_->now() - started));
+  const SimTime latency = sim_->now() - started;
+  stats_.fault_us.Add(ToMicroseconds(latency));
+  stats_.fault_ns.Record(latency);
+  TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kFaultDone,
+             frame->uid, static_cast<uint64_t>(latency));
   const Uid uid = frame->uid;
   faulting_.erase(uid);
   done();
@@ -254,6 +264,7 @@ void NodeOs::ReadFromBackingStore(const Uid& uid, EventFn loaded) {
   }
   // Remote file: NFS read from the backing server.
   stats_.nfs_reads++;
+  TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kNfsRead, uid, 0);
   const uint64_t op = next_nfs_op_++;
   PendingNfs pending;
   pending.uid = uid;
@@ -348,6 +359,8 @@ void NodeOs::HandleWriteBack(const WriteBack& msg) {
                      CpuCategory::kService, [this, msg] {
     stats_.writebacks_received++;
     stats_.disk_writes++;
+    TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kWriteBackRecv,
+               msg.uid, 0);
     if (!IsShared(msg.uid)) {
       swap_resident_.insert(msg.uid);
     }

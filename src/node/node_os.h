@@ -26,6 +26,8 @@
 #include "src/disk/disk.h"
 #include "src/mem/frame_table.h"
 #include "src/net/network.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/cpu.h"
 #include "src/sim/simulator.h"
 
@@ -63,6 +65,8 @@ struct NodeOsStats {
   uint64_t writebacks_received = 0;  // dirty-global pages returned to disk
   StatAccumulator access_us;  // per-access completion latency
   StatAccumulator fault_us;   // per-fault completion latency
+  LatencyHistogram access_ns; // same samples as access_us, full distribution
+  LatencyHistogram fault_ns;  // same samples as fault_us, full distribution
 };
 
 class NodeOs {
@@ -82,6 +86,8 @@ class NodeOs {
   // Swaps the policy backend (used when a crashed node reboots with a fresh
   // agent).
   void set_service(MemoryService* service) { service_ = service; }
+
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
   const NodeOsStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NodeOsStats{}; }
@@ -124,6 +130,7 @@ class NodeOs {
   NodeId self_;
   CostModel costs_;
   NodeParams params_;
+  Tracer* tracer_ = nullptr;
 
   bool pageout_running_ = false;
   // Anonymous pages that have actually been written back to the local swap

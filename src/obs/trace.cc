@@ -1,0 +1,92 @@
+#include "src/obs/trace.h"
+
+#include <cstring>
+
+namespace gms {
+
+void TraceDigest::Update(const TraceRecord* recs, size_t n) {
+  // FNV-1a 64 over the raw bytes, record by record. TraceRecord has no
+  // padding (32 bytes of fields), so hashing the object representation is
+  // hashing the wire format.
+  const unsigned char* bytes = reinterpret_cast<const unsigned char*>(recs);
+  uint64_t h = fnv1a;
+  for (size_t i = 0; i < n * sizeof(TraceRecord); i++) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;  // FNV-1a 64 prime
+  }
+  fnv1a = h;
+  records += n;
+}
+
+std::string TraceDigest::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "fnv1a:%016llx:%llu",
+                static_cast<unsigned long long>(fnv1a),
+                static_cast<unsigned long long>(records));
+  return buf;
+}
+
+Tracer::Tracer(uint32_t num_nodes, size_t ring_capacity) {
+  rings_.resize(num_nodes);
+  if (ring_capacity == 0) {
+    ring_capacity = 1;
+  }
+  for (Ring& ring : rings_) {
+    ring.buf.resize(ring_capacity);
+  }
+}
+
+Tracer::~Tracer() { Finish(); }
+
+bool Tracer::OpenFile(const std::string& path) {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  TraceFileHeader header{};
+  std::memcpy(header.magic, kTraceMagic, sizeof(header.magic));
+  header.version = kTraceVersion;
+  header.record_size = sizeof(TraceRecord);
+  header.num_nodes = static_cast<uint32_t>(rings_.size());
+  if (std::fwrite(&header, sizeof(header), 1, f) != 1) {
+    std::fclose(f);
+    return false;
+  }
+  file_ = f;
+  return true;
+}
+
+void Tracer::FlushRing(Ring& ring) {
+  if (ring.used == 0) {
+    return;
+  }
+  digest_.Update(ring.buf.data(), ring.used);
+  recorded_ += ring.used;
+  if (file_ != nullptr) {
+    std::fwrite(ring.buf.data(), sizeof(TraceRecord), ring.used, file_);
+  }
+  ring.used = 0;
+}
+
+void Tracer::Flush() {
+  for (Ring& ring : rings_) {
+    FlushRing(ring);
+  }
+  if (file_ != nullptr) {
+    std::fflush(file_);
+  }
+}
+
+void Tracer::Finish() {
+  Flush();
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace gms

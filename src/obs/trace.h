@@ -1,0 +1,199 @@
+// Binary event tracing: the cluster's flight recorder.
+//
+// Every interesting per-page action (local hit, fault, getpage resolution,
+// putpage, disk I/O, wire send, epoch transition) is one fixed-size 32-byte
+// record appended to a per-node ring buffer. Full rings flush to a versioned
+// binary trace file (or, with no file attached, into a running digest only),
+// so the steady-state cost of a traced event is one bounds-checked store —
+// no allocation, no branching on file state, no formatting.
+//
+// The trace is a pure function of the simulation: timestamps are SimTime,
+// record order is the deterministic simulation event order, and the FNV-1a
+// digest over the flushed byte stream is therefore a golden determinism
+// oracle far finer-grained than end-of-run totals. tools/trace_stats.py
+// parses the same format and recomputes Table 1/2-style latency breakdowns
+// and Figure 11-style traffic curves from it.
+//
+// Compile-time kill switch: building with -DGMS_TRACE_DISABLED (CMake
+// -DGMS_TRACE=OFF) turns every TraceEvent() call site into nothing at all —
+// not even the tracer-pointer test survives — for measuring the true zero
+// baseline.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/node_id.h"
+#include "src/common/time.h"
+#include "src/common/uid.h"
+
+namespace gms {
+
+#if defined(GMS_TRACE_DISABLED)
+inline constexpr bool kTraceCompiledIn = false;
+#else
+inline constexpr bool kTraceCompiledIn = true;
+#endif
+
+// Event kinds. Values are part of the on-disk format: append new kinds at
+// the end, never renumber, and bump kTraceVersion when a record's field
+// meaning changes.
+enum class TraceEventKind : uint16_t {
+  kInvalid = 0,
+  kLocalHit = 1,       // value = access latency ns (uid = page)
+  kFault = 2,          // value = 1 for a write access
+  kFaultDone = 3,      // value = fault latency ns
+  kGetPageIssue = 4,   // getpage sent to the cluster
+  kGetPageHit = 5,     // value = getpage latency ns
+  kGetPageMiss = 6,    // value = getpage latency ns (incl. timeouts)
+  kPutPageSend = 7,    // value = target node id (uid = page)
+  kPutPageRecv = 8,    // value = page age us at eviction (saturated)
+  kDiskRead = 9,       // value = queue+service latency ns; b = block
+  kDiskWrite = 10,     // value = queue+service latency ns; b = block
+  kNetSend = 11,       // value = wire bytes; a = dst node; b = message type
+  kEpochStart = 12,    // value = epoch number (initiator side)
+  kEpochParams = 13,   // value = epoch number; b = MinAge ns (participant)
+  kNfsRead = 14,       // NFS client read issued (uid = page)
+  kWriteBackRecv = 15, // dirty global page returned for write-back
+};
+
+// One trace record. 32 bytes, trivially copyable, written to disk verbatim
+// (little-endian fields; every supported target is little-endian).
+struct TraceRecord {
+  int64_t time = 0;    // SimTime ns
+  uint64_t a = 0;      // page uid.hi, or event-specific (see kinds above)
+  uint64_t b = 0;      // page uid.lo, or event-specific
+  uint32_t value = 0;  // latency ns / bytes / epoch, saturated to 32 bits
+  uint16_t node = 0;   // reporting node
+  uint16_t kind = 0;   // TraceEventKind
+};
+static_assert(sizeof(TraceRecord) == 32, "trace record is the wire format");
+
+// File header: magic, version, record geometry. Readers must reject
+// anything they do not recognise (tools/trace_stats.py does).
+inline constexpr char kTraceMagic[8] = {'G', 'M', 'S', 'T', 'R', 'C', '0', '0'};
+inline constexpr uint32_t kTraceVersion = 1;
+
+struct TraceFileHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t record_size;
+  uint32_t num_nodes;
+  uint32_t reserved;
+};
+static_assert(sizeof(TraceFileHeader) == 24, "trace header is the wire format");
+
+// Running digest of the flushed record stream: FNV-1a over raw record bytes
+// in flush order, plus the record count. Two runs with equal digests
+// produced byte-identical traces.
+struct TraceDigest {
+  uint64_t fnv1a = 14695981039346656037ULL;  // FNV-1a 64 offset basis
+  uint64_t records = 0;
+
+  void Update(const TraceRecord* recs, size_t n);
+  bool operator==(const TraceDigest&) const = default;
+  std::string ToString() const;  // "fnv1a:<16 hex>:<count>"
+};
+
+class Tracer {
+ public:
+  // `ring_capacity` is records per node; rings are preallocated here so the
+  // recording path never allocates.
+  explicit Tracer(uint32_t num_nodes, size_t ring_capacity = 16384);
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Attaches a flush target. Truncates an existing file and writes the
+  // header immediately. Returns false (tracer stays file-less) on open
+  // failure. Call before any Record.
+  bool OpenFile(const std::string& path);
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  // The hot path. One store into the node's ring; flushes the ring into the
+  // digest (and file, if attached) when full. Events from out-of-range nodes
+  // (kInvalidNode) are dropped.
+  void Record(SimTime time, NodeId node, TraceEventKind kind, uint64_t a,
+              uint64_t b, uint64_t value) {
+    if (node.value >= rings_.size()) {
+      return;
+    }
+    Ring& ring = rings_[node.value];
+    ring.buf[ring.used++] = TraceRecord{
+        time,
+        a,
+        b,
+        value > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(value),
+        static_cast<uint16_t>(node.value),
+        static_cast<uint16_t>(kind)};
+    if (ring.used == ring.buf.size()) {
+      FlushRing(ring);
+    }
+  }
+  void RecordPage(SimTime time, NodeId node, TraceEventKind kind,
+                  const Uid& uid, uint64_t value) {
+    Record(time, node, kind, uid.hi, uid.lo, value);
+  }
+
+  // Flushes every ring (node order) and syncs the file. The logical record
+  // stream — and so the digest — is deterministic for a deterministic
+  // simulation as long as Flush points are deterministic too.
+  void Flush();
+
+  // Flush + close the file. Idempotent; the destructor calls it. Recording
+  // after Finish digests records but writes nothing.
+  void Finish();
+
+  const TraceDigest& digest() const { return digest_; }
+  uint64_t records_recorded() const { return recorded_; }
+  uint32_t num_nodes() const { return static_cast<uint32_t>(rings_.size()); }
+
+ private:
+  struct Ring {
+    std::vector<TraceRecord> buf;
+    size_t used = 0;
+  };
+
+  void FlushRing(Ring& ring);
+
+  std::vector<Ring> rings_;
+  bool enabled_ = false;
+  std::FILE* file_ = nullptr;
+  TraceDigest digest_;
+  uint64_t recorded_ = 0;
+};
+
+// Call-site helper: compiles to nothing when tracing is compiled out, and to
+// a null test when merely disabled at runtime.
+inline void TraceEvent(Tracer* tracer, SimTime time, NodeId node,
+                       TraceEventKind kind, const Uid& uid, uint64_t value) {
+  if constexpr (kTraceCompiledIn) {
+    if (tracer != nullptr && tracer->enabled()) {
+      tracer->RecordPage(time, node, kind, uid, value);
+    }
+  } else {
+    (void)tracer, (void)time, (void)node, (void)kind, (void)uid, (void)value;
+  }
+}
+
+inline void TraceEventRaw(Tracer* tracer, SimTime time, NodeId node,
+                          TraceEventKind kind, uint64_t a, uint64_t b,
+                          uint64_t value) {
+  if constexpr (kTraceCompiledIn) {
+    if (tracer != nullptr && tracer->enabled()) {
+      tracer->Record(time, node, kind, a, b, value);
+    }
+  } else {
+    (void)tracer, (void)time, (void)node, (void)kind, (void)a, (void)b,
+        (void)value;
+  }
+}
+
+}  // namespace gms
+
+#endif  // SRC_OBS_TRACE_H_

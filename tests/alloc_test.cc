@@ -24,6 +24,8 @@
 #include "src/common/node_id.h"
 #include "src/core/messages.h"
 #include "src/net/network.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 
 namespace {
@@ -189,6 +191,95 @@ TEST(AllocTest, InlinePayloadDatagramMovesNeverAllocate) {
   d = std::move(again);
   EXPECT_EQ(d.payload.get<GetPageMiss>().op_id, 7u);
   EXPECT_EQ(window.allocs(), 0u) << "moving an inline payload allocated";
+}
+
+// Tracing is the instrumentation on the hot paths above, so it gets the
+// same bar: recording an event into an enabled tracer — including the ring
+// flushes into the running digest — must never touch the allocator. Rings
+// are preallocated at construction; a small capacity here forces hundreds
+// of flushes inside the measured window.
+TEST(AllocTest, TraceRecordingIsAllocationFreeAcrossRingFlushes) {
+  if (!kTraceCompiledIn) {
+    GTEST_SKIP() << "tracer compiled out (GMS_TRACE=OFF)";
+  }
+  Tracer tracer(/*num_nodes=*/4, /*ring_capacity=*/256);
+  tracer.set_enabled(true);
+  auto record_burst = [&tracer](uint64_t n, uint64_t base) {
+    for (uint64_t i = 0; i < n; ++i) {
+      tracer.Record(static_cast<SimTime>(base + i),
+                    NodeId{static_cast<uint32_t>(i % 4)},
+                    TraceEventKind::kLocalHit, i, i * 3, i % 5000);
+    }
+  };
+  record_burst(4096, 0);  // warm-up (rings are preallocated, but be fair)
+  const AllocWindow window;
+  const uint64_t before = tracer.records_recorded();
+  record_burst(100000, 4096);
+  tracer.Flush();
+  EXPECT_GT(tracer.records_recorded() - before, 99000u);
+  EXPECT_EQ(window.allocs(), 0u)
+      << "recording a trace event allocated (ring flush path?)";
+  EXPECT_EQ(window.frees(), 0u);
+}
+
+// Latency histograms sit on the access/fault/getpage completion paths;
+// recording is one array increment across the full value range, including
+// the saturating top bucket and the negative clamp.
+TEST(AllocTest, HistogramRecordIsAllocationFree) {
+  LatencyHistogram hist;
+  const AllocWindow window;
+  for (int64_t e = 0; e < 63; ++e) {
+    for (int64_t i = 0; i < 1000; ++i) {
+      hist.Record((int64_t{1} << e) + i);
+    }
+  }
+  hist.Record(-5);
+  EXPECT_EQ(hist.count(), 63u * 1000u + 1u);
+  EXPECT_EQ(window.allocs(), 0u) << "LatencyHistogram::Record allocated";
+}
+
+// The ping-pong trip again, now with a live tracer attached to the network:
+// the kNetSend record per Send must not break the allocation-free guarantee
+// the untraced test above establishes.
+TEST(AllocTest, MessageSendWithTracingIsAllocationFreeAtSteadyState) {
+  if (!kTraceCompiledIn) {
+    GTEST_SKIP() << "tracer compiled out (GMS_TRACE=OFF)";
+  }
+  Simulator sim;
+  Network net(&sim, 2);
+  Tracer tracer(/*num_nodes=*/2, /*ring_capacity=*/512);
+  tracer.set_enabled(true);
+  net.set_tracer(&tracer);
+  uint64_t remaining = 0;
+  uint64_t delivered = 0;
+  net.Attach(NodeId{1}, [&net](Datagram&& d) {
+    const auto& miss = d.payload.get<GetPageMiss>();
+    net.Send(Datagram{NodeId{1}, NodeId{0}, 64, 2,
+                      GetPageMiss{miss.uid, miss.op_id + 1}});
+  });
+  net.Attach(NodeId{0}, [&net, &remaining, &delivered](Datagram&& d) {
+    delivered++;
+    if (remaining > 0) {
+      remaining--;
+      const auto& miss = d.payload.get<GetPageMiss>();
+      net.Send(Datagram{NodeId{0}, NodeId{1}, 64, 2,
+                        GetPageMiss{miss.uid, miss.op_id + 1}});
+    }
+  });
+  auto run_trips = [&](uint64_t trips) {
+    remaining = trips;
+    net.Send(Datagram{NodeId{0}, NodeId{1}, 64, 2, GetPageMiss{Uid{}, 0}});
+    sim.Run();
+  };
+  run_trips(4096);  // warm-up
+  const AllocWindow window;
+  const uint64_t before = delivered;
+  run_trips(4096);
+  EXPECT_GE(delivered - before, 4096u);
+  EXPECT_GT(tracer.records_recorded(), 8192u);  // tracing actually happened
+  EXPECT_EQ(window.allocs(), 0u)
+      << "a traced message trip allocated at steady state";
+  EXPECT_EQ(window.frees(), 0u);
 }
 
 TEST(AllocTest, CountersActuallyCount) {

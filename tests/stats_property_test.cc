@@ -1,0 +1,191 @@
+// Property tests for the streaming statistics the metrics registry exports:
+// StatAccumulator::Merge must be associative and order-insensitive (up to
+// floating-point tolerance) and must agree with a naive two-pass computation
+// on random streams — the guarantee the parallel sweep harness and the
+// per-node Welford merges lean on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+
+namespace gms {
+namespace {
+
+struct TwoPass {
+  double mean = 0;
+  double variance = 0;
+  double min = 0;
+  double max = 0;
+};
+
+TwoPass NaiveTwoPass(const std::vector<double>& xs) {
+  TwoPass r;
+  if (xs.empty()) {
+    return r;
+  }
+  double sum = 0;
+  for (double x : xs) {
+    sum += x;
+  }
+  r.mean = sum / static_cast<double>(xs.size());
+  double m2 = 0;
+  for (double x : xs) {
+    m2 += (x - r.mean) * (x - r.mean);
+  }
+  // StatAccumulator reports the (Bessel-corrected) sample variance.
+  r.variance = xs.size() > 1 ? m2 / static_cast<double>(xs.size() - 1) : 0.0;
+  r.min = *std::min_element(xs.begin(), xs.end());
+  r.max = *std::max_element(xs.begin(), xs.end());
+  return r;
+}
+
+std::vector<double> RandomStream(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    // Heavy dynamic range: microseconds to hours, the scales latency stats
+    // actually see.
+    xs.push_back(static_cast<double>(1 + rng.NextBelow(1ULL << (i % 40))) *
+                 0.625);
+  }
+  return xs;
+}
+
+void ExpectClose(const StatAccumulator& acc, const TwoPass& ref, size_t n,
+                 const char* what) {
+  EXPECT_EQ(acc.count(), n) << what;
+  const double tol = 1e-9 * std::max(1.0, std::abs(ref.mean));
+  EXPECT_NEAR(acc.mean(), ref.mean, tol) << what;
+  // Variance is the numerically delicate one; Welford should stay within a
+  // relative whisker of the two-pass answer.
+  EXPECT_NEAR(acc.variance(), ref.variance,
+              1e-8 * std::max(1.0, ref.variance))
+      << what;
+  EXPECT_EQ(acc.min(), ref.min) << what;
+  EXPECT_EQ(acc.max(), ref.max) << what;
+}
+
+TEST(StatAccumulatorProperty, MatchesNaiveTwoPassOnRandomStreams) {
+  for (uint64_t seed = 1; seed <= 8; seed++) {
+    const auto xs = RandomStream(seed, 5000);
+    StatAccumulator acc;
+    for (double x : xs) {
+      acc.Add(x);
+    }
+    ExpectClose(acc, NaiveTwoPass(xs), xs.size(), "sequential");
+  }
+}
+
+TEST(StatAccumulatorProperty, MergeOfChunksMatchesSequential) {
+  const auto xs = RandomStream(42, 6000);
+  const TwoPass ref = NaiveTwoPass(xs);
+  for (size_t chunks : {2u, 3u, 7u, 64u}) {
+    std::vector<StatAccumulator> parts(chunks);
+    for (size_t i = 0; i < xs.size(); i++) {
+      parts[i % chunks].Add(xs[i]);
+    }
+    StatAccumulator merged;
+    for (const auto& p : parts) {
+      merged.Merge(p);
+    }
+    ExpectClose(merged, ref, xs.size(), "chunked merge");
+  }
+}
+
+TEST(StatAccumulatorProperty, MergeIsOrderInsensitive) {
+  const auto xs = RandomStream(7, 3000);
+  std::vector<StatAccumulator> parts(5);
+  for (size_t i = 0; i < xs.size(); i++) {
+    parts[i % parts.size()].Add(xs[i]);
+  }
+  StatAccumulator forward;
+  for (size_t i = 0; i < parts.size(); i++) {
+    forward.Merge(parts[i]);
+  }
+  StatAccumulator backward;
+  for (size_t i = parts.size(); i-- > 0;) {
+    backward.Merge(parts[i]);
+  }
+  EXPECT_EQ(forward.count(), backward.count());
+  EXPECT_NEAR(forward.mean(), backward.mean(),
+              1e-9 * std::abs(forward.mean()));
+  EXPECT_NEAR(forward.variance(), backward.variance(),
+              1e-8 * std::max(1.0, forward.variance()));
+  EXPECT_EQ(forward.min(), backward.min());
+  EXPECT_EQ(forward.max(), backward.max());
+}
+
+TEST(StatAccumulatorProperty, MergeIsAssociative) {
+  const auto xs = RandomStream(9, 3000);
+  StatAccumulator a, b, c;
+  for (size_t i = 0; i < xs.size(); i++) {
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).Add(xs[i]);
+  }
+  // (a+b)+c
+  StatAccumulator ab = a;
+  ab.Merge(b);
+  ab.Merge(c);
+  // a+(b+c)
+  StatAccumulator bc = b;
+  bc.Merge(c);
+  StatAccumulator a_bc = a;
+  a_bc.Merge(bc);
+  EXPECT_EQ(ab.count(), a_bc.count());
+  EXPECT_NEAR(ab.mean(), a_bc.mean(), 1e-9 * std::abs(ab.mean()));
+  EXPECT_NEAR(ab.variance(), a_bc.variance(),
+              1e-8 * std::max(1.0, ab.variance()));
+}
+
+TEST(StatAccumulatorProperty, MergeWithEmptyIsIdentity) {
+  StatAccumulator acc;
+  acc.Add(3);
+  acc.Add(5);
+  const StatAccumulator empty;
+  acc.Merge(empty);
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+  StatAccumulator other = empty;
+  other.Merge(acc);
+  EXPECT_EQ(other.count(), 2u);
+  EXPECT_DOUBLE_EQ(other.mean(), 4.0);
+}
+
+TEST(StatAccumulatorProperty, ResetReturnsToEmpty) {
+  StatAccumulator acc;
+  acc.Add(-2);
+  acc.Add(9);
+  acc.Reset();
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 0.0);
+  EXPECT_EQ(acc.max(), 0.0);
+  // And it accumulates correctly again afterwards.
+  acc.Add(7);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 7.0);
+}
+
+TEST(CounterTest, ResetAndMerge) {
+  Counter c;
+  c.Add(10);
+  c.Add(20);
+  EXPECT_EQ(c.events, 2u);
+  EXPECT_EQ(c.bytes, 30u);
+  Counter d;
+  d.Add(5);
+  d.Merge(c);
+  EXPECT_EQ(d.events, 3u);
+  EXPECT_EQ(d.bytes, 35u);
+  c.Reset();
+  EXPECT_EQ(c.events, 0u);
+  EXPECT_EQ(c.bytes, 0u);
+}
+
+}  // namespace
+}  // namespace gms

@@ -51,12 +51,26 @@ def main():
         default=0.5,
         help="allowed fractional drop per individual bench (default 0.5)",
     )
+    parser.add_argument(
+        "--expect-tracing-disabled",
+        action="store_true",
+        help="fail unless the current JSON was produced by a build with the "
+        "src/obs tracer compiled out (-DGMS_TRACE=OFF); that configuration "
+        "must match the pre-tracing baseline, so no allowance is made for "
+        "tracer call sites",
+    )
     args = parser.parse_args()
 
     cur = load(args.current)
     base = load(args.baseline)
 
     failures = []
+    if args.expect_tracing_disabled and cur.get("trace_compiled_in") is not False:
+        failures.append(
+            f"{args.current}: trace_compiled_in="
+            f"{cur.get('trace_compiled_in')!r}; expected false — was the "
+            "bench built with -DGMS_TRACE=OFF?"
+        )
     rows = [("events_per_sec", cur["events_per_sec"], base["events_per_sec"],
              args.max_regression)]
     for name, b in sorted(base.get("benches", {}).items()):
