@@ -39,6 +39,48 @@ inline void BenchHeader(const std::string& title, const PaperScale& s) {
               s.scale, static_cast<unsigned long long>(s.seed));
 }
 
+// Every bench accepts --trace_out= and --metrics_out=: the run's binary
+// event trace (tools/trace_stats.py, tools/trace_spans) and the metrics
+// registry JSON. Call ApplyObsFlags before constructing the Cluster and
+// WriteObsOutputs after the measured work.
+inline void ApplyObsFlags(int argc, char** argv, ObsConfig* obs) {
+  const std::string trace_out = FlagString(argc, argv, "trace_out");
+  if (!trace_out.empty()) {
+    obs->trace = true;
+    obs->trace_path = trace_out;
+  }
+  if (!FlagString(argc, argv, "metrics_out").empty() &&
+      obs->snapshot_interval == 0) {
+    obs->snapshot_interval = Milliseconds(250);
+  }
+}
+
+inline int WriteObsOutputs(int argc, char** argv, Cluster& cluster) {
+  const std::string trace_out = FlagString(argc, argv, "trace_out");
+  const std::string metrics_out = FlagString(argc, argv, "metrics_out");
+  if (!trace_out.empty()) {
+    if (Tracer* tracer = cluster.tracer()) {
+      tracer->Finish();
+      std::printf("trace -> %s (%llu records)\n", trace_out.c_str(),
+                  static_cast<unsigned long long>(tracer->records_recorded()));
+    } else {
+      std::printf("TRACE_DISABLED (compiled out); no trace written\n");
+    }
+  }
+  if (!metrics_out.empty()) {
+    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+      return 1;
+    }
+    const std::string json = cluster.metrics().ToJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("metrics -> %s\n", metrics_out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace gms
 
 #endif  // BENCH_BENCH_UTIL_H_

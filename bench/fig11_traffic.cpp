@@ -5,6 +5,11 @@
 // generates less than 1/3 of N-chance's traffic at equal idle memory, and
 // N-chance still produces >50% more traffic with twice the idle memory;
 // parity only at uniform (50%) distribution.
+//
+// --trace_out=PREFIX / --metrics_out=PREFIX capture per-point observability
+// outputs: each experiment point writes PREFIX.<tag>.trace / PREFIX.<tag>.json
+// (the cluster lives only inside RunSkewExperiment, so outputs are per point,
+// not per run).
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -15,19 +20,55 @@ int main(int argc, char** argv) {
   PaperScale s = BenchScale(argc, argv);
   BenchHeader("Figure 11: network traffic (MB) vs idleness skew", s);
 
+  const std::string trace_prefix = FlagString(argc, argv, "trace_out");
+  const std::string metrics_prefix = FlagString(argc, argv, "metrics_out");
+
+  auto run_point = [&](PolicyKind policy, double skew, double factor) {
+    char tag[48];
+    std::snprintf(tag, sizeof(tag), "s%02d_%s%.1fx",
+                  static_cast<int>(skew * 100),
+                  policy == PolicyKind::kGms ? "gms" : "nchance", factor);
+    ObsConfig obs;
+    if (!trace_prefix.empty()) {
+      obs.trace = true;
+      obs.trace_path = trace_prefix + "." + tag + ".trace";
+    }
+    if (!metrics_prefix.empty() && obs.snapshot_interval == 0) {
+      obs.snapshot_interval = Milliseconds(250);
+    }
+    SkewResult r =
+        RunSkewExperiment(policy, skew, factor, /*collateral=*/true, s, obs);
+    if (obs.trace) {
+      if (r.trace_records > 0) {
+        std::printf("trace -> %s (%llu records)\n", obs.trace_path.c_str(),
+                    static_cast<unsigned long long>(r.trace_records));
+      } else {
+        std::printf("TRACE_DISABLED (compiled out); no trace written\n");
+      }
+    }
+    if (!metrics_prefix.empty()) {
+      const std::string path = metrics_prefix + "." + tag + ".json";
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      } else {
+        std::fwrite(r.metrics_json.data(), 1, r.metrics_json.size(), f);
+        std::fclose(f);
+        std::printf("metrics -> %s\n", path.c_str());
+      }
+    }
+    return r.network_mb;
+  };
+
   const double skews[] = {0.25, 0.375, 0.5};
   TablePrinter table({"Skew (X% hold 100-X%)", "N-chance 1x", "N-chance 1.5x",
                       "N-chance 2x", "GMS 1x"});
   for (double skew : skews) {
     std::vector<double> row;
     for (double factor : {1.0, 1.5, 2.0}) {
-      row.push_back(RunSkewExperiment(PolicyKind::kNchance, skew, factor,
-                                      /*collateral=*/true, s)
-                        .network_mb);
+      row.push_back(run_point(PolicyKind::kNchance, skew, factor));
     }
-    row.push_back(RunSkewExperiment(PolicyKind::kGms, skew, 1.0,
-                                    /*collateral=*/true, s)
-                      .network_mb);
+    row.push_back(run_point(PolicyKind::kGms, skew, 1.0));
     char label[32];
     std::snprintf(label, sizeof(label), "%.1f%%", skew * 100);
     table.AddNumericRow(label, row, 0);

@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   config.policy = PolicyKind::kGms;
   config.frames = 2048;
   config.seed = s.seed;
+  ApplyObsFlags(argc, argv, &config.obs);
   Cluster cluster(config);
   cluster.Start();
   cluster.sim().RunFor(Seconds(1));  // settle the first epoch
@@ -167,5 +168,5 @@ int main(int argc, char** argv) {
   row("Total (measured)", [](const CaseResult& r) { return r.measured_total; });
   table.Print(std::cout);
   std::printf("\nPaper totals:        15           1440          340          1558\n");
-  return 0;
+  return WriteObsOutputs(argc, argv, cluster);
 }

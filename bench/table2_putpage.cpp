@@ -100,6 +100,7 @@ int main(int argc, char** argv) {
   config.policy = PolicyKind::kGms;
   config.frames = 2048;
   config.seed = s.seed;
+  ApplyObsFlags(argc, argv, &config.obs);
   Cluster cluster(config);
   cluster.Start();
   cluster.sim().RunFor(Seconds(3));  // settle epochs so weights exist
@@ -149,5 +150,5 @@ int main(int argc, char** argv) {
   table.Print(std::cout);
   std::printf("\nPaper: sender latency 65 (non-shared) / 102 (shared); "
               "network 989; target 178/181\n");
-  return 0;
+  return WriteObsOutputs(argc, argv, cluster);
 }

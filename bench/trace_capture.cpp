@@ -5,6 +5,9 @@
 //   --trace_out=FILE    write the binary event trace (GMSTRC00 format;
 //                       tools/trace_stats.py parses it)
 //   --metrics_out=FILE  write the metrics-registry JSON export
+//   --ring_capacity=N   per-node ring size in records (default 16384); the
+//                       ring flushes to the file when full, so smaller rings
+//                       trade write frequency for memory, never records
 //
 // Always prints a "TRACE_DIGEST fnv1a:<hex>:<count>" line: CI's trace-smoke
 // job re-derives the digest from the trace file with tools/trace_stats.py
@@ -35,6 +38,8 @@ int main(int argc, char** argv) {
   config.frames_per_node = {frames};
   config.obs.trace = true;
   config.obs.trace_path = trace_out;
+  config.obs.trace_ring_capacity = static_cast<uint32_t>(
+      FlagValue(argc, argv, "ring_capacity", config.obs.trace_ring_capacity));
   config.obs.snapshot_interval = Milliseconds(250);
 
   Cluster cluster(config);

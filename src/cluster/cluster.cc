@@ -73,6 +73,7 @@ std::unique_ptr<MemoryService> Cluster::MakeService(NodeId id,
       auto agent = std::make_unique<NchanceAgent>(
           &sim_, net_.get(), rt.cpu.get(), rt.frames.get(), id, seed,
           config_.nchance);
+      agent->set_tracer(tracer_.get());
       rt.nchance = agent.get();
       return agent;
     }

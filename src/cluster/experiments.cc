@@ -97,7 +97,7 @@ AppRunResult RunAppAlone(AppKind app, PolicyKind policy, double idle_mb,
 
 SkewResult RunSkewExperiment(PolicyKind policy, double skew,
                              double idle_factor, bool collateral,
-                             const PaperScale& s) {
+                             const PaperScale& s, const ObsConfig& obs) {
   constexpr uint32_t kPeers = 8;
   const uint64_t needed = OO7NeededIdlePages(s);
   const uint64_t total_idle =
@@ -119,6 +119,7 @@ SkewResult RunSkewExperiment(PolicyKind policy, double skew,
   const uint64_t collateral_ws = s.Frames(2048);
 
   ClusterConfig config = PaperConfig(policy, 1 + kPeers, s);
+  config.obs = obs;
   config.frames_per_node.assign(1 + kPeers, 0);
   config.frames_per_node[0] = s.Frames();
   for (uint32_t i = 1; i <= kPeers; i++) {
@@ -202,6 +203,13 @@ SkewResult RunSkewExperiment(PolicyKind policy, double skew,
   }
   result.network_mb =
       static_cast<double>(cluster.totals().net_bytes) / (1024.0 * 1024.0);
+  if (Tracer* tracer = cluster.tracer()) {
+    tracer->Finish();
+    result.trace_records = tracer->records_recorded();
+  }
+  if (obs.trace || obs.snapshot_interval != 0) {
+    result.metrics_json = cluster.metrics().ToJson();
+  }
   return result;
 }
 

@@ -58,10 +58,15 @@ struct SkewResult {
   double collateral_ops_per_sec_during = 0;    // while OO7 runs
   double network_mb = 0;                       // traffic during the OO7 run
   bool completed = false;
+  uint64_t trace_records = 0;   // when obs.trace was set (0 if compiled out)
+  std::string metrics_json;     // filled when obs requested any output
 };
+// `obs` lets a caller capture the point's event trace / metrics registry
+// (the cluster lives only inside this call, so outputs are finalized here).
 SkewResult RunSkewExperiment(PolicyKind policy, double skew,
                              double idle_factor, bool collateral,
-                             const PaperScale& s);
+                             const PaperScale& s,
+                             const ObsConfig& obs = ObsConfig{});
 
 // Figure 12/13 building block: `clients` nodes each run OO7; one idle node
 // provides all remote memory.

@@ -157,6 +157,12 @@ void GmsAgent::RetryControl(uint64_t key) {
   }
   ctl.attempts++;
   stats_.control_retries++;
+  if (const SpanRef* slot = PayloadSpan(ctl.type, ctl.payload)) {
+    // The stored payload still carries the sender-side span (receive forks
+    // happen on the receiver's copy), so retry-timer waits accrue there.
+    SpanStep(tracer_, sim_->now(), self_, *slot, SpanComp::kRetryWait,
+             ctl.attempts);
+  }
   Send(ctl.dst, ctl.type, ctl.bytes, ctl.payload);
   ctl.timer = sim_->ScheduleTimer(RetryTimeoutFor(ctl.attempts),
                                   [this, key] { RetryControl(key); });
@@ -192,6 +198,11 @@ void GmsAgent::ReceiveSequenced(NodeId from, uint64_t seq, Datagram dgram) {
   }
   if (seq <= w.max_contig || w.Holds(seq)) {
     stats_.duplicate_msgs_dropped++;
+    // The forked receive span dead-ends here; the stamp marks it as a
+    // dropped duplicate rather than leaving it a bare begin record.
+    if (const SpanRef* slot = PayloadSpan(dgram.type, dgram.payload)) {
+      SpanStep(tracer_, sim_->now(), self_, *slot, SpanComp::kDupDrop);
+    }
     return;
   }
   w.Hold(seq, std::move(dgram));
@@ -205,6 +216,11 @@ void GmsAgent::DrainWindow(NodeId from) {
     Datagram next = w.TakeMin();
     w.max_contig++;
     advanced = true;
+    // Zero-length for in-order arrivals; otherwise the time this message
+    // sat in the reorder window waiting for its gap to fill.
+    if (const SpanRef* slot = PayloadSpan(next.type, next.payload)) {
+      SpanStep(tracer_, sim_->now(), self_, *slot, SpanComp::kOrderWait);
+    }
     Dispatch(next);
   }
   if (w.held.empty()) {
@@ -251,7 +267,8 @@ SimTime GmsAgent::EffectiveAge(const Frame& frame) const {
 // getpage — requester side
 // ---------------------------------------------------------------------------
 
-void GmsAgent::GetPage(const Uid& uid, GetPageCallback callback) {
+void GmsAgent::GetPage(const Uid& uid, GetPageCallback callback,
+                       SpanRef parent) {
   stats_.getpage_attempts++;
   TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kGetPageIssue, uid,
              0);
@@ -260,14 +277,22 @@ void GmsAgent::GetPage(const Uid& uid, GetPageCallback callback) {
   pending.uid = uid;
   pending.callback = std::move(callback);
   pending.started = sim_->now();
+  // Continue on the caller's fault span, or root a standalone getpage trace
+  // (tests, microbenchmarks) that ResolveGet will also end.
+  pending.span = parent;
+  if (!pending.span.valid()) {
+    pending.span = TraceBegin(tracer_, sim_->now(), self_, SpanOp::kGetPage);
+    pending.owns_trace = pending.span.valid();
+  }
   // With retries enabled each attempt gets a short window and escalates;
   // without, one long window covers the whole operation.
   const SimTime window =
       config_.retry.enabled ? RetryTimeoutFor(0) : config_.getpage_timeout;
   pending.timer =
       sim_->ScheduleTimer(window, [this, op_id] { OnGetPageTimeout(op_id); });
+  const SpanRef span = pending.span;
   pending_gets_.emplace(op_id, std::move(pending));
-  IssueGetPage(uid, op_id);
+  IssueGetPage(uid, op_id, span);
 }
 
 void GmsAgent::OnGetPageTimeout(uint64_t op_id) {
@@ -276,6 +301,9 @@ void GmsAgent::OnGetPageTimeout(uint64_t op_id) {
     return;
   }
   PendingGet& pending = it->second;
+  // The armed window since the previous attempt's send was spent waiting.
+  SpanStep(tracer_, sim_->now(), self_, pending.span, SpanComp::kRetryWait,
+           static_cast<uint64_t>(pending.attempts));
   if (config_.retry.enabled &&
       pending.attempts + 1 < config_.retry.max_attempts) {
     pending.attempts++;
@@ -285,34 +313,40 @@ void GmsAgent::OnGetPageTimeout(uint64_t op_id) {
         [this, op_id] { OnGetPageTimeout(op_id); });
     // Same op_id: a late reply to any attempt resolves the fault, and the
     // duplicate-reply case is absorbed by pending_gets_ erasure.
-    IssueGetPage(pending.uid, op_id);
+    IssueGetPage(pending.uid, op_id, pending.span);
     return;
   }
   stats_.getpage_timeouts++;
-  ResolveGet(op_id, GetPageResult{});
+  GetPageResult result;
+  result.span = pending.span;
+  ResolveGet(op_id, result);
 }
 
-void GmsAgent::IssueGetPage(const Uid& uid, uint64_t op_id) {
+void GmsAgent::IssueGetPage(const Uid& uid, uint64_t op_id, SpanRef span) {
   // Request generation: UID hash + POD lookup (Table 1, "Request
   // Generation"; 7 us when the GCD turns out to be local).
   cpu_->SubmitKernel(config_.costs.get_request_local, CpuCategory::kFault,
-                     [this, uid, op_id] {
+                     [this, uid, op_id, span] {
     if (!alive_) {
       return;
     }
+    SpanStep(tracer_, sim_->now(), self_, span, SpanComp::kReqGen);
     const NodeId gcd_node = pod_.GcdNodeFor(uid);
     if (gcd_node == self_) {
-      LookupInGcd(uid, self_, op_id);
+      LookupInGcd(uid, self_, op_id, span);
       return;
     }
     // Marshal + transmit the request to the remote GCD node.
     cpu_->SubmitKernel(config_.costs.get_request_remote_extra,
-                       CpuCategory::kFault, [this, uid, op_id, gcd_node] {
+                       CpuCategory::kFault, [this, uid, op_id, gcd_node, span] {
       if (!alive_) {
         return;
       }
-      Send(gcd_node, kMsgGetPageReq, config_.costs.small_message_bytes(),
-           GetPageReq{uid, self_, op_id});
+      SpanStep(tracer_, sim_->now(), self_, span, SpanComp::kReqGen,
+               gcd_node.value);
+      GetPageReq req{uid, self_, op_id};
+      req.span = span;
+      Send(gcd_node, kMsgGetPageReq, config_.costs.small_message_bytes(), req);
     });
   });
 }
@@ -326,6 +360,7 @@ void GmsAgent::ResolveGet(uint64_t op_id, GetPageResult result) {
   GetPageCallback callback = std::move(it->second.callback);
   const Uid uid = it->second.uid;
   const SimTime latency = sim_->now() - it->second.started;
+  const bool owns_trace = it->second.owns_trace;
   pending_gets_.erase(it);
   if (result.hit) {
     stats_.getpage_hits++;
@@ -338,28 +373,43 @@ void GmsAgent::ResolveGet(uint64_t op_id, GetPageResult result) {
     TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kGetPageMiss, uid,
                static_cast<uint64_t>(latency));
   }
+  if (owns_trace) {
+    // Standalone getpage (no enclosing fault): the trace ends here, on
+    // whichever span the resolution landed on.
+    SpanEnd(tracer_, sim_->now(), self_, result.span,
+            result.hit ? SpanStatus::kHit : SpanStatus::kMiss,
+            static_cast<uint64_t>(latency));
+  }
   callback(result);
 }
 
 // Runs on the node storing the GCD entry (which may be the requester itself
 // for private pages). `requester == self_` means the lookup cost belongs to
 // the local fault, not to serving a peer.
-void GmsAgent::LookupInGcd(const Uid& uid, NodeId requester, uint64_t op_id) {
+void GmsAgent::LookupInGcd(const Uid& uid, NodeId requester, uint64_t op_id,
+                           SpanRef span) {
   const CpuCategory category =
       requester == self_ ? CpuCategory::kFault : CpuCategory::kService;
   cpu_->SubmitKernel(config_.costs.gcd_lookup, category,
-                     [this, uid, requester, op_id, category] {
+                     [this, uid, requester, op_id, category, span] {
     if (!alive_) {
       return;
     }
     stats_.gcd_lookups++;
+    SpanStep(tracer_, sim_->now(), self_, span, SpanComp::kService);
     const std::optional<GcdTable::Holder> pick = gcd_.Pick(uid, requester);
     if (!pick.has_value() || !pod_.IsLive(pick->node)) {
       if (requester == self_) {
-        ResolveGet(op_id, GetPageResult{});  // the 15 us non-shared miss path
+        // The 15 us non-shared miss path. Resolution lands on the request's
+        // own span (GCD was local; no hop ever happened).
+        GetPageResult result;
+        result.span = span;
+        ResolveGet(op_id, result);
       } else {
+        GetPageMiss miss{uid, op_id};
+        miss.span = span;
         Send(requester, kMsgGetPageMiss, config_.costs.small_message_bytes(),
-             GetPageMiss{uid, op_id});
+             miss);
       }
       return;
     }
@@ -371,11 +421,15 @@ void GmsAgent::LookupInGcd(const Uid& uid, NodeId requester, uint64_t op_id) {
     }
     gcd_.Apply(GcdUpdate{uid, GcdUpdate::kAdd, requester, false});
     cpu_->SubmitKernel(config_.costs.gcd_forward_extra, category,
-                       [this, uid, requester, op_id, holder = pick->node] {
+                       [this, uid, requester, op_id, holder = pick->node,
+                        span] {
       if (!alive_) {
         return;
       }
+      SpanStep(tracer_, sim_->now(), self_, span, SpanComp::kService,
+               holder.value);
       GetPageFwd fwd{uid, requester, op_id};
+      fwd.span = span;
       if (config_.retry.enabled) {
         // The directory just de-registered the holder's copy; if this
         // forward is lost the holder keeps a global page nothing points at
@@ -397,7 +451,7 @@ void GmsAgent::LookupInGcd(const Uid& uid, NodeId requester, uint64_t op_id) {
 // ---------------------------------------------------------------------------
 
 void GmsAgent::HandleGetPageReq(const GetPageReq& msg) {
-  LookupInGcd(msg.uid, msg.requester, msg.op_id);
+  LookupInGcd(msg.uid, msg.requester, msg.op_id, msg.span);
 }
 
 void GmsAgent::HandleGetPageFwd(const GetPageFwd& msg) {
@@ -406,16 +460,20 @@ void GmsAgent::HandleGetPageFwd(const GetPageFwd& msg) {
     if (!alive_) {
       return;
     }
+    SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kService);
     Frame* frame = frames_->Lookup(msg.uid);
     if (frame == nullptr || frame->pinned) {
       // Stale GCD hint (the page moved or is mid-transfer): the requester
       // falls back to disk — the paper's "worst case" reconfiguration
       // behaviour.
+      GetPageMiss miss{msg.uid, msg.op_id};
+      miss.span = msg.span;
       Send(msg.requester, kMsgGetPageMiss, config_.costs.small_message_bytes(),
-           GetPageMiss{msg.uid, msg.op_id});
+           miss);
       return;
     }
     GetPageReply reply{msg.uid, msg.op_id, false, frame->dirty};
+    reply.span = msg.span;
     if (frame->location == PageLocation::kGlobal) {
       // A global page has exactly one copy (a dirty page may have replicas;
       // this one moves and any sibling is reconciled by the directory); it
@@ -450,7 +508,9 @@ void GmsAgent::HandleGetPageReply(const GetPageReply& msg) {
     if (!alive_) {
       return;
     }
-    ResolveGet(msg.op_id, GetPageResult{true, !msg.was_global, msg.dirty});
+    SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kService);
+    ResolveGet(msg.op_id,
+               GetPageResult{true, !msg.was_global, msg.dirty, msg.span});
   });
 }
 
@@ -460,7 +520,10 @@ void GmsAgent::HandleGetPageMiss(const GetPageMiss& msg) {
     if (!alive_) {
       return;
     }
-    ResolveGet(msg.op_id, GetPageResult{});
+    SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kService);
+    GetPageResult result;
+    result.span = msg.span;
+    ResolveGet(msg.op_id, result);
   });
 }
 
@@ -517,12 +580,17 @@ bool GmsAgent::EvictDirty(Frame* frame) {
     // write-back is idempotent).
     stats_.dirty_writebacks_sent++;
     WriteBack msg{frame->uid, self_};
+    // The write-back roots its own trace; the home node ends it once the
+    // page is durable on disk.
+    msg.span = TraceBegin(tracer_, sim_->now(), self_, SpanOp::kPutPage);
     const NodeId backing = NodeOfIp(frame->uid.ip());
-    SendGcdUpdate(frame->uid, GcdUpdate::kRemove, self_, true);
+    SendGcdUpdate(frame->uid, GcdUpdate::kRemove, self_, true, kInvalidNode,
+                  msg.span);
     frames_->Free(frame);
     cpu_->SubmitKernel(config_.costs.put_request, CpuCategory::kFault,
                        [this, msg, backing] {
       if (alive_) {
+        SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kReqGen);
         Send(backing, kMsgWriteBack, config_.costs.page_message_bytes(), msg);
       }
     });
@@ -556,6 +624,9 @@ bool GmsAgent::EvictDirty(Frame* frame) {
   msg.age = sim_->now() - frame->last_access;
   msg.shared = frame->shared;
   msg.dirty = true;
+  // One trace covers the whole replication fan-out; every replica's receive
+  // span forks off the same root.
+  msg.span = TraceBegin(tracer_, sim_->now(), self_, SpanOp::kPutPage);
   frames_->Free(frame);
   const SimTime marshal =
       config_.costs.put_request * static_cast<SimTime>(targets.size());
@@ -563,6 +634,7 @@ bool GmsAgent::EvictDirty(Frame* frame) {
     if (!alive_) {
       return;
     }
+    SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kReqGen);
     for (size_t i = 0; i < targets.size(); i++) {
       if (config_.retry.enabled) {
         msg.seq = NextCtlSeq(targets[i]);
@@ -599,6 +671,9 @@ void GmsAgent::SendPutPage(Frame* frame, NodeId target) {
   msg.from = self_;
   msg.age = sim_->now() - frame->last_access;
   msg.shared = frame->shared;
+  // Each putpage roots its own trace: the eviction is the originating
+  // operation, and the receiver's absorb/bounce decision ends it.
+  msg.span = TraceBegin(tracer_, sim_->now(), self_, SpanOp::kPutPage);
   // The frame is reusable once the page is copied into a network buffer;
   // model that copy as instantaneous and charge the Table 2 sender latency
   // (marshal + GCD update) as CPU time before the message hits the wire.
@@ -613,6 +688,7 @@ void GmsAgent::SendPutPage(Frame* frame, NodeId target) {
     if (!alive_) {
       return;
     }
+    SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kReqGen);
     if (config_.retry.enabled) {
       msg.seq = NextCtlSeq(target);
       SendReliable(target, kMsgPutPage, config_.costs.page_message_bytes(),
@@ -620,13 +696,14 @@ void GmsAgent::SendPutPage(Frame* frame, NodeId target) {
     } else {
       Send(target, kMsgPutPage, config_.costs.page_message_bytes(), msg);
     }
-    SendGcdUpdate(msg.uid, GcdUpdate::kReplace, target, true, self_);
+    SendGcdUpdate(msg.uid, GcdUpdate::kReplace, target, true, self_, msg.span);
   });
 }
 
 void GmsAgent::SendGcdUpdate(const Uid& uid, GcdUpdate::Op op, NodeId holder,
-                             bool global, NodeId prev) {
+                             bool global, NodeId prev, SpanRef span) {
   GcdUpdate update{uid, op, holder, global, prev};
+  update.span = span;
   const NodeId gcd_node = pod_.GcdNodeFor(uid);
   if (gcd_node == self_) {
     ApplyGcdAsOwner(update);
@@ -745,6 +822,9 @@ void GmsAgent::HandleGcdUpdate(const GcdUpdate& msg) {
   cpu_->SubmitKernel(config_.costs.put_gcd_processing, CpuCategory::kService,
                      [this, msg] {
     if (alive_) {
+      // Directory maintenance is a side branch of the originating trace: the
+      // stamp closes this leaf span but never joins the critical path.
+      SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kService);
       ApplyGcdAsOwner(msg);
     }
   });
@@ -824,6 +904,7 @@ void GmsAgent::HandlePutPage(const PutPage& msg) {
     putpages_this_epoch_++;
     TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kPutPageRecv,
                msg.uid, static_cast<uint64_t>(ToMicroseconds(msg.age)));
+    SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kService);
 
     if (Frame* existing = frames_->Lookup(msg.uid); existing != nullptr) {
       // We already cache this page; keep ours, fix the directory. Register
@@ -831,7 +912,9 @@ void GmsAgent::HandlePutPage(const PutPage& msg) {
       // would demote a global copy's directory entry when a putpage for a
       // page we already absorbed is replayed.
       SendGcdUpdate(msg.uid, GcdUpdate::kAdd, self_,
-                    existing->location == PageLocation::kGlobal);
+                    existing->location == PageLocation::kGlobal, kInvalidNode,
+                    msg.span);
+      SpanEnd(tracer_, sim_->now(), self_, msg.span, SpanStatus::kAbsorbed);
     } else {
       const SimTime last_access = sim_->now() - msg.age;
       Frame* frame = frames_->AllocateWithAge(msg.uid, PageLocation::kGlobal,
@@ -865,15 +948,19 @@ void GmsAgent::HandlePutPage(const PutPage& msg) {
       }
       if (frame == nullptr) {
         stats_.putpages_bounced++;
-        SendGcdUpdate(msg.uid, GcdUpdate::kRemove, self_, true);
+        SendGcdUpdate(msg.uid, GcdUpdate::kRemove, self_, true, kInvalidNode,
+                      msg.span);
         ReportStaleWeights();
+        SpanEnd(tracer_, sim_->now(), self_, msg.span, SpanStatus::kBounced);
       } else {
         frame->shared = msg.shared;
         frame->dirty = msg.dirty;
         // Confirm our registration: if a concurrent getpage raced ahead of
         // this transfer, its optimistic directory update de-listed us; the
         // re-add heals that (and is a cheap no-op otherwise).
-        SendGcdUpdate(msg.uid, GcdUpdate::kAdd, self_, true);
+        SendGcdUpdate(msg.uid, GcdUpdate::kAdd, self_, true, kInvalidNode,
+                      msg.span);
+        SpanEnd(tracer_, sim_->now(), self_, msg.span, SpanStatus::kAbsorbed);
       }
     }
 
@@ -913,6 +1000,11 @@ void GmsAgent::StartEpochAsInitiator() {
   summaries_.clear();
   TraceEventRaw(tracer_, sim_->now(), self_, TraceEventKind::kEpochStart, 0, 0,
                 collecting_epoch_);
+  // Epoch traces use an id derived from the epoch number (the params
+  // messages sit at the payload-union size cap and carry no span field);
+  // every node deterministically reconstructs the same trace id.
+  epoch_span_ = SpanBegin(tracer_, sim_->now(), self_,
+                          SpanRef{EpochTraceId(collecting_epoch_), 0});
 
   const size_t live = pod_.table().live.size();
   const SimTime request_cost =
@@ -1076,6 +1168,8 @@ void GmsAgent::FinishSummaryCollection() {
     if (!alive_) {
       return;
     }
+    // Collection + plan computation, attributed to the initiator's span.
+    SpanStep(tracer_, sim_->now(), self_, epoch_span_, SpanComp::kService);
     for (NodeId node : pod_.table().live) {
       if (node != self_) {
         Send(node, kMsgEpochParams,
@@ -1108,6 +1202,23 @@ void GmsAgent::AdoptEpochParams(const EpochParams& params) {
   view_.next_initiator = params.next_initiator;
   TraceEventRaw(tracer_, sim_->now(), self_, TraceEventKind::kEpochParams, 0,
                 static_cast<uint64_t>(params.min_age), params.epoch);
+  // Each adopting node contributes a point span to the epoch's trace. On the
+  // initiator it hangs off the root span; elsewhere it is parentless and the
+  // reconstructor attaches it to the trace's root.
+  {
+    SpanRef parent{EpochTraceId(params.epoch), 0};
+    if (epoch_span_.trace == parent.trace) {
+      parent = epoch_span_;
+    }
+    const SpanRef adopt = SpanBegin(tracer_, sim_->now(), self_, parent);
+    SpanEnd(tracer_, sim_->now(), self_, adopt, SpanStatus::kAdopted,
+            params.epoch);
+    if (epoch_span_.trace == EpochTraceId(params.epoch)) {
+      // The initiator's round is over once its own adoption lands.
+      SpanEnd(tracer_, sim_->now(), self_, epoch_span_, SpanStatus::kDone);
+      epoch_span_ = SpanRef{};
+    }
+  }
   weights_ = params.weights;
   if (weights_.size() < net_->num_nodes()) {
     weights_.resize(net_->num_nodes(), 0.0);
@@ -1461,10 +1572,22 @@ void GmsAgent::OnDatagram(Datagram dgram) {
   if (!alive_) {
     return;
   }
+  // Fork a receive span at arrival time, rewriting the message's embedded
+  // context in place — the closure below captures the datagram by value and
+  // is frozen at exactly the inline-callable size, so the fork must happen
+  // before capture. Each redelivery of a retried message forks a sibling.
+  if (SpanRef* slot = MutablePayloadSpan(dgram.type, dgram.payload)) {
+    *slot = SpanBegin(tracer_, sim_->now(), self_, *slot, dgram.type);
+  }
   // Interrupt + protocol-stack cost for every received datagram.
   auto receive = [this, dgram = std::move(dgram)] {
     if (!alive_) {
       return;
+    }
+    if (const SpanRef* slot = PayloadSpan(dgram.type, dgram.payload)) {
+      // Closes [arrival, now]: time spent behind the service CPU queue plus
+      // the ISR itself.
+      SpanStep(tracer_, sim_->now(), self_, *slot, SpanComp::kQueueIsr);
     }
     if (config_.retry.enabled && dgram.src != self_) {
       uint64_t seq = 0;

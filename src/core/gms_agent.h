@@ -108,7 +108,8 @@ class GmsAgent final : public MemoryService {
   void Start(const PodTable& pod, NodeId master, NodeId first_initiator);
 
   // --- MemoryService ---
-  void GetPage(const Uid& uid, GetPageCallback callback) override;
+  void GetPage(const Uid& uid, GetPageCallback callback,
+               SpanRef parent = {}) override;
   void EvictClean(Frame* frame) override;
   void OnPageLoaded(Frame* frame) override;
   bool EvictDirty(Frame* frame) override;
@@ -169,6 +170,12 @@ class GmsAgent final : public MemoryService {
     TimerId timer = 0;
     int attempts = 0;
     SimTime started = 0;  // for the getpage latency histograms
+    // Causal tracing: the requester-side span every attempt stamps its
+    // request-generation and retry-wait segments on. Owned when GetPage
+    // rooted a fresh trace (no enclosing fault) — then ResolveGet also ends
+    // it.
+    SpanRef span;
+    bool owns_trace = false;
   };
 
   // One sequence-numbered control message awaiting a ProtoAck.
@@ -247,10 +254,11 @@ class GmsAgent final : public MemoryService {
   void HandleRepublish(const Republish& msg);
 
   // Getpage plumbing.
-  void IssueGetPage(const Uid& uid, uint64_t op_id);
+  void IssueGetPage(const Uid& uid, uint64_t op_id, SpanRef span);
   void OnGetPageTimeout(uint64_t op_id);
   void ResolveGet(uint64_t op_id, GetPageResult result);
-  void LookupInGcd(const Uid& uid, NodeId requester, uint64_t op_id);
+  void LookupInGcd(const Uid& uid, NodeId requester, uint64_t op_id,
+                   SpanRef span);
 
   // Reliable-control plumbing (active only when config_.retry.enabled).
   SimTime RetryTimeoutFor(int attempts) const;
@@ -288,7 +296,8 @@ class GmsAgent final : public MemoryService {
   std::optional<NodeId> SampleEvictionTarget();
   void RebuildSampler();
   void SendGcdUpdate(const Uid& uid, GcdUpdate::Op op, NodeId holder,
-                     bool global, NodeId prev = kInvalidNode);
+                     bool global, NodeId prev = kInvalidNode,
+                     SpanRef span = {});
   void ReportStaleWeights();
 
   // Epoch machinery.
@@ -341,6 +350,10 @@ class GmsAgent final : public MemoryService {
   TimerId collect_timer_ = 0;
   SimTime epoch_started_at_ = 0;
   SimTime prev_epoch_duration_ = 0;
+  // Root span of the epoch round this node initiated (trace id derived from
+  // the epoch number, so participants join the same trace without any new
+  // fields in the size-capped epoch messages).
+  SpanRef epoch_span_;
 
   // Getpage state.
   uint64_t next_op_id_ = 1;

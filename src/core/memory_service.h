@@ -14,6 +14,7 @@
 #include "src/common/uid.h"
 #include "src/mem/frame_table.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/inline_fn.h"
 #include "src/sim/simulator.h"
 
@@ -28,6 +29,11 @@ struct GetPageResult {
   // The fetched copy is dirty (dirty-global extension): disk does not have
   // this version yet.
   bool dirty = false;
+  // Causal tracing: the span the resolution landed on (the reply-processing
+  // span on the requester, or the request's own span for local misses and
+  // timeouts). The caller continues stamping its fault work — disk fallback,
+  // completion — on this span so segments tile end to end.
+  SpanRef span;
 };
 
 // Move-only so it can carry the faulting access's continuation (itself a
@@ -69,8 +75,12 @@ class MemoryService {
 
   // Tries to fetch `uid` from cluster memory. The callback always fires
   // (possibly after a timeout) exactly once; on a miss the caller reads the
-  // page from disk or the file server.
-  virtual void GetPage(const Uid& uid, GetPageCallback callback) = 0;
+  // page from disk or the file server. `parent` is the caller's causal span
+  // (the fault span); with no parent — or tracing off — the service roots a
+  // fresh trace for the operation. The default argument is repeated on
+  // overriders so both static types behave identically.
+  virtual void GetPage(const Uid& uid, GetPageCallback callback,
+                       SpanRef parent = {}) = 0;
 
   // Takes ownership of a clean, unreferenced frame the pageout daemon chose
   // to evict, and applies the policy: forward to another node, keep locally
@@ -106,12 +116,19 @@ class NullMemoryService final : public MemoryService {
   NullMemoryService(Simulator* sim, FrameTable* frames)
       : sim_(sim), frames_(frames) {}
 
-  void GetPage(const Uid& uid, GetPageCallback callback) override {
+  void GetPage(const Uid& uid, GetPageCallback callback,
+               SpanRef parent = {}) override {
     (void)uid;
     stats_.getpage_attempts++;
     stats_.getpage_misses++;
-    // Asynchronous like the real services, so callers never re-enter.
-    sim_->After(0, [cb = std::move(callback)]() mutable { cb(GetPageResult{}); });
+    // Asynchronous like the real services, so callers never re-enter. The
+    // miss resolves on the caller's own span: disk fallback keeps stamping
+    // there.
+    sim_->After(0, [cb = std::move(callback), parent]() mutable {
+      GetPageResult result;
+      result.span = parent;
+      cb(result);
+    });
   }
 
   void EvictClean(Frame* frame) override { frames_->Free(frame); }

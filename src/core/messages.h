@@ -21,6 +21,7 @@
 #include "src/common/node_id.h"
 #include "src/common/time.h"
 #include "src/common/uid.h"
+#include "src/obs/trace.h"  // SpanRef: causal trace context carried in payloads
 
 namespace gms {
 
@@ -49,10 +50,19 @@ enum MsgType : uint32_t {
   kMsgProtoAck = 21,       // receipt ack for sequence-numbered control msgs
 };
 
+// Page-path messages carry a SpanRef (src/obs/trace.h): the causal identity
+// of the originating fault or flush. The context is observability-only — it
+// is excluded from the reported wire size and no protocol handler branches
+// on it — and it survives the retry layer verbatim because retransmits
+// resend the stored payload. On receive, the dispatcher rewrites the field
+// in place with the freshly-begun local span so downstream kernels stamp
+// the right span.
+
 struct GetPageReq {
   Uid uid;
   NodeId requester;
   uint64_t op_id = 0;  // matches replies to pending fault state
+  SpanRef span;
 };
 
 struct GetPageFwd {
@@ -63,6 +73,7 @@ struct GetPageFwd {
   // reach the holder: the directory already de-registered its copy, so a
   // lost forward would orphan a global page on the holder forever.
   uint64_t seq = 0;
+  SpanRef span;
 };
 
 struct GetPageReply {
@@ -74,11 +85,13 @@ struct GetPageReply {
   // The served copy was dirty (dirty-global extension): the faulting node
   // must treat the page as dirty since disk does not have this version.
   bool dirty = false;
+  SpanRef span;
 };
 
 struct GetPageMiss {
   Uid uid;
   uint64_t op_id = 0;
+  SpanRef span;
 };
 
 struct PutPage {
@@ -95,6 +108,7 @@ struct PutPage {
   // Nonzero when the sender's retry machinery is active: the receiver acks
   // the seq and discards duplicates (at-least-once -> exactly-once effect).
   uint64_t seq = 0;
+  SpanRef span;
 };
 
 // GCD mutations. kAdd registers a holder, kRemove drops one, kReplace moves
@@ -108,6 +122,7 @@ struct GcdUpdate {
   bool global = false;  // holder caches the page as a global page
   NodeId prev = kInvalidNode;
   uint64_t seq = 0;  // see PutPage::seq
+  SpanRef span;
 };
 
 struct EpochSummaryReq {
@@ -184,12 +199,14 @@ struct NfsReadReq {
   Uid uid;
   NodeId client;
   uint64_t op_id = 0;
+  SpanRef span;
 };
 
 struct NfsReadReply {
   Uid uid;
   uint64_t op_id = 0;
   bool ok = false;  // false: no such file / server shutting down
+  SpanRef span;
 };
 
 // Batched re-registration of this node's pages with their (new) GCD owners
@@ -222,6 +239,7 @@ struct ProtoAck {
 struct WriteBack {
   Uid uid;
   NodeId from;
+  SpanRef span;
 };
 
 struct NchanceForward {
@@ -230,6 +248,7 @@ struct NchanceForward {
   SimTime age = 0;
   bool shared = false;
   uint8_t recirculation = 0;
+  SpanRef span;
 };
 
 // Wire-size helpers (bytes), used when handing messages to the network.
@@ -312,6 +331,52 @@ using MessagePayload =
 
 static_assert(sizeof(MessagePayload) <= 80,
               "keep Datagram contiguous and small: box oversized messages");
+
+// The SpanRef additions must not grow any alternative past the pre-existing
+// 64-byte ceiling (EpochParams / MemberUpdate), or sizeof(MessagePayload) —
+// and with it every Datagram and delivery closure — would grow.
+static_assert(sizeof(GetPageReq) <= 64 && sizeof(GetPageFwd) <= 64 &&
+                  sizeof(GetPageReply) <= 64 && sizeof(GetPageMiss) <= 64 &&
+                  sizeof(PutPage) <= 64 && sizeof(GcdUpdate) <= 64 &&
+                  sizeof(NfsReadReq) <= 64 && sizeof(NfsReadReply) <= 64 &&
+                  sizeof(WriteBack) <= 64 && sizeof(NchanceForward) <= 64,
+              "span context must ride in existing payload headroom");
+
+// Returns the span context slot of a payload, or nullptr for messages that
+// carry none (control plane: epochs, membership, heartbeats, acks). Used by
+// dispatchers to begin the receiver-side span and rewrite the field in
+// place, and by the retry layer to stamp retransmits — never by protocol
+// logic.
+inline SpanRef* MutablePayloadSpan(uint32_t type, MessagePayload& payload) {
+  switch (type) {
+    case kMsgGetPageReq:
+      return &payload.get<GetPageReq>().span;
+    case kMsgGetPageFwd:
+      return &payload.get<GetPageFwd>().span;
+    case kMsgGetPageReply:
+      return &payload.get<GetPageReply>().span;
+    case kMsgGetPageMiss:
+      return &payload.get<GetPageMiss>().span;
+    case kMsgPutPage:
+      return &payload.get<PutPage>().span;
+    case kMsgGcdUpdate:
+      return &payload.get<GcdUpdate>().span;
+    case kMsgNfsReadReq:
+      return &payload.get<NfsReadReq>().span;
+    case kMsgNfsReadReply:
+      return &payload.get<NfsReadReply>().span;
+    case kMsgWriteBack:
+      return &payload.get<WriteBack>().span;
+    case kMsgNchanceForward:
+      return &payload.get<NchanceForward>().span;
+    default:
+      return nullptr;
+  }
+}
+
+inline const SpanRef* PayloadSpan(uint32_t type, const MessagePayload& payload) {
+  return MutablePayloadSpan(type, const_cast<MessagePayload&>(payload));
+}
 
 }  // namespace gms
 

@@ -6,16 +6,16 @@ namespace gms {
 
 Disk::Disk(Simulator* sim, DiskParams params) : sim_(sim), params_(params) {}
 
-void Disk::Read(uint64_t block, EventFn done) {
-  queue_.push_back(Request{block, false, sim_->now(), std::move(done)});
+void Disk::Read(uint64_t block, EventFn done, SpanRef span) {
+  queue_.push_back(Request{block, false, sim_->now(), std::move(done), span});
   if (!busy_) {
     busy_ = true;
     StartNext();
   }
 }
 
-void Disk::Write(uint64_t block, EventFn done) {
-  queue_.push_back(Request{block, true, sim_->now(), std::move(done)});
+void Disk::Write(uint64_t block, EventFn done, SpanRef span) {
+  queue_.push_back(Request{block, true, sim_->now(), std::move(done), span});
   if (!busy_) {
     busy_ = true;
     StartNext();
@@ -63,6 +63,9 @@ void Disk::StartNext() {
   queue_.pop_front();
   const SimTime service = ServiceTime(req);
   stats_.busy_time += service;
+  // Service starts now: everything since enqueue was time behind the
+  // single-spindle FIFO.
+  SpanStep(tracer_, sim_->now(), self_, req.span, SpanComp::kDiskWait);
   sim_->After(service, [this, req = std::move(req)]() mutable {
     const SimTime latency = sim_->now() - req.issued_at;
     if (!req.is_write) {
@@ -72,6 +75,8 @@ void Disk::StartNext() {
                   req.is_write ? TraceEventKind::kDiskWrite
                                : TraceEventKind::kDiskRead,
                   0, req.block, static_cast<uint64_t>(latency));
+    SpanStep(tracer_, sim_->now(), self_, req.span, SpanComp::kDiskService,
+             req.block);
     if (req.done) {
       req.done();
     }

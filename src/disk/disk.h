@@ -43,11 +43,12 @@ class Disk {
   Disk& operator=(const Disk&) = delete;
 
   // Reads the page at `block` (a linear page address on this disk); `done`
-  // fires when the data is in memory.
-  void Read(uint64_t block, EventFn done);
+  // fires when the data is in memory. `span` is the causal span charged for
+  // the I/O: queue wait and platter service are stamped separately on it.
+  void Read(uint64_t block, EventFn done, SpanRef span = {});
 
   // Writes the page at `block`; `done` fires when the write is durable.
-  void Write(uint64_t block, EventFn done);
+  void Write(uint64_t block, EventFn done, SpanRef span = {});
 
   struct Stats {
     uint64_t reads = 0;
@@ -74,6 +75,7 @@ class Disk {
     bool is_write;
     SimTime issued_at;
     EventFn done;
+    SpanRef span;
   };
 
   void StartNext();

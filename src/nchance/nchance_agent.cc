@@ -37,55 +37,84 @@ void NchanceAgent::Send(NodeId dst, uint32_t type, uint32_t bytes,
 // getpage: identical directory path to GMS (shared lookup infrastructure)
 // ---------------------------------------------------------------------------
 
-void NchanceAgent::GetPage(const Uid& uid, GetPageCallback callback) {
+void NchanceAgent::GetPage(const Uid& uid, GetPageCallback callback,
+                           SpanRef parent) {
   stats_.getpage_attempts++;
+  TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kGetPageIssue, uid,
+             0);
   const uint64_t op_id = next_op_id_++;
   PendingGet pending;
   pending.uid = uid;
   pending.callback = std::move(callback);
+  pending.started = sim_->now();
+  if (parent.trace != 0) {
+    pending.span = parent;
+  } else {
+    pending.span = TraceBegin(tracer_, sim_->now(), self_, SpanOp::kGetPage);
+    pending.owns_trace = true;
+  }
+  const SpanRef span = pending.span;
   pending.timer = sim_->ScheduleTimer(config_.getpage_timeout, [this, op_id] {
     stats_.getpage_timeouts++;
-    ResolveGet(op_id, GetPageResult{});
+    auto it = pending_gets_.find(op_id);
+    if (it == pending_gets_.end()) {
+      return;
+    }
+    SpanStep(tracer_, sim_->now(), self_, it->second.span,
+             SpanComp::kRetryWait);
+    GetPageResult result;
+    result.span = it->second.span;
+    ResolveGet(op_id, result);
   });
   pending_gets_.emplace(op_id, std::move(pending));
 
   cpu_->SubmitKernel(config_.costs.get_request_local, CpuCategory::kFault,
-                     [this, uid, op_id] {
+                     [this, uid, op_id, span] {
     if (!alive_) {
       return;
     }
+    SpanStep(tracer_, sim_->now(), self_, span, SpanComp::kReqGen);
     const NodeId gcd_node = pod_.GcdNodeFor(uid);
     if (gcd_node == self_) {
-      LookupInGcd(uid, self_, op_id);
+      LookupInGcd(uid, self_, op_id, span);
       return;
     }
     cpu_->SubmitKernel(config_.costs.get_request_remote_extra,
-                       CpuCategory::kFault, [this, uid, op_id, gcd_node] {
+                       CpuCategory::kFault, [this, uid, op_id, gcd_node, span] {
       if (alive_) {
+        SpanStep(tracer_, sim_->now(), self_, span, SpanComp::kReqGen,
+                 gcd_node.value);
+        GetPageReq req{uid, self_, op_id};
+        req.span = span;
         Send(gcd_node, kMsgGetPageReq, config_.costs.small_message_bytes(),
-             GetPageReq{uid, self_, op_id});
+             req);
       }
     });
   });
 }
 
 void NchanceAgent::LookupInGcd(const Uid& uid, NodeId requester,
-                               uint64_t op_id) {
+                               uint64_t op_id, SpanRef span) {
   const CpuCategory category =
       requester == self_ ? CpuCategory::kFault : CpuCategory::kService;
   cpu_->SubmitKernel(config_.costs.gcd_lookup, category,
-                     [this, uid, requester, op_id, category] {
+                     [this, uid, requester, op_id, category, span] {
     if (!alive_) {
       return;
     }
     stats_.gcd_lookups++;
+    SpanStep(tracer_, sim_->now(), self_, span, SpanComp::kService);
     const std::optional<GcdTable::Holder> pick = gcd_.Pick(uid, requester);
     if (!pick.has_value() || !pod_.IsLive(pick->node)) {
       if (requester == self_) {
-        ResolveGet(op_id, GetPageResult{});
+        GetPageResult result;
+        result.span = span;
+        ResolveGet(op_id, result);
       } else {
+        GetPageMiss miss{uid, op_id};
+        miss.span = span;
         Send(requester, kMsgGetPageMiss, config_.costs.small_message_bytes(),
-             GetPageMiss{uid, op_id});
+             miss);
       }
       return;
     }
@@ -94,17 +123,21 @@ void NchanceAgent::LookupInGcd(const Uid& uid, NodeId requester,
     }
     gcd_.Apply(GcdUpdate{uid, GcdUpdate::kAdd, requester, false});
     cpu_->SubmitKernel(config_.costs.gcd_forward_extra, category,
-                       [this, uid, requester, op_id, holder = pick->node] {
+                       [this, uid, requester, op_id, holder = pick->node,
+                        span] {
       if (alive_) {
-        Send(holder, kMsgGetPageFwd, config_.costs.small_message_bytes(),
-             GetPageFwd{uid, requester, op_id});
+        SpanStep(tracer_, sim_->now(), self_, span, SpanComp::kService,
+                 holder.value);
+        GetPageFwd fwd{uid, requester, op_id};
+        fwd.span = span;
+        Send(holder, kMsgGetPageFwd, config_.costs.small_message_bytes(), fwd);
       }
     });
   });
 }
 
 void NchanceAgent::HandleGetPageReq(const GetPageReq& msg) {
-  LookupInGcd(msg.uid, msg.requester, msg.op_id);
+  LookupInGcd(msg.uid, msg.requester, msg.op_id, msg.span);
 }
 
 void NchanceAgent::HandleGetPageFwd(const GetPageFwd& msg) {
@@ -113,13 +146,17 @@ void NchanceAgent::HandleGetPageFwd(const GetPageFwd& msg) {
     if (!alive_) {
       return;
     }
+    SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kService);
     Frame* frame = frames_->Lookup(msg.uid);
     if (frame == nullptr || frame->pinned) {
+      GetPageMiss miss{msg.uid, msg.op_id};
+      miss.span = msg.span;
       Send(msg.requester, kMsgGetPageMiss, config_.costs.small_message_bytes(),
-           GetPageMiss{msg.uid, msg.op_id});
+           miss);
       return;
     }
     GetPageReply reply{msg.uid, msg.op_id, false};
+    reply.span = msg.span;
     if (frame->location == PageLocation::kGlobal) {
       reply.was_global = true;
       stats_.global_hits_served++;
@@ -136,7 +173,10 @@ void NchanceAgent::HandleGetPageReply(const GetPageReply& msg) {
   cpu_->SubmitKernel(config_.costs.get_reply_receipt_data, CpuCategory::kFault,
                      [this, msg] {
     if (alive_) {
-      ResolveGet(msg.op_id, GetPageResult{true, !msg.was_global});
+      SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kService);
+      GetPageResult result{true, !msg.was_global};
+      result.span = msg.span;
+      ResolveGet(msg.op_id, result);
     }
   });
 }
@@ -145,7 +185,10 @@ void NchanceAgent::HandleGetPageMiss(const GetPageMiss& msg) {
   cpu_->SubmitKernel(config_.costs.get_reply_receipt_miss, CpuCategory::kFault,
                      [this, msg] {
     if (alive_) {
-      ResolveGet(msg.op_id, GetPageResult{});
+      SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kService);
+      GetPageResult result;
+      result.span = msg.span;
+      ResolveGet(msg.op_id, result);
     }
   });
 }
@@ -157,11 +200,25 @@ void NchanceAgent::ResolveGet(uint64_t op_id, GetPageResult result) {
   }
   sim_->CancelTimer(it->second.timer);
   GetPageCallback callback = std::move(it->second.callback);
+  const Uid uid = it->second.uid;
+  const SimTime latency = sim_->now() - it->second.started;
+  const bool owns_trace = it->second.owns_trace;
   pending_gets_.erase(it);
   if (result.hit) {
     stats_.getpage_hits++;
+    stats_.getpage_hit_ns.Record(latency);
+    TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kGetPageHit, uid,
+               static_cast<uint64_t>(latency));
   } else {
     stats_.getpage_misses++;
+    stats_.getpage_miss_ns.Record(latency);
+    TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kGetPageMiss, uid,
+               static_cast<uint64_t>(latency));
+  }
+  if (owns_trace) {
+    SpanEnd(tracer_, sim_->now(), self_, result.span,
+            result.hit ? SpanStatus::kHit : SpanStatus::kMiss,
+            static_cast<uint64_t>(latency));
   }
   callback(result);
 }
@@ -221,12 +278,17 @@ void NchanceAgent::EvictClean(Frame* frame) {
   } else {
     count = config_.recirculation;
   }
+  // A fresh eviction roots its own trace (a re-forward continues the
+  // arriving message's trace instead — see HandleForward).
+  const SpanRef span =
+      TraceBegin(tracer_, sim_->now(), self_, SpanOp::kPutPage);
   ForwardPage(frame->uid, frame->shared, sim_->now() - frame->last_access,
-              count, frame);
+              count, frame, span);
 }
 
 void NchanceAgent::ForwardPage(Uid uid, bool shared, SimTime age,
-                               uint8_t count, Frame* frame_to_free) {
+                               uint8_t count, Frame* frame_to_free,
+                               SpanRef span) {
   const std::optional<NodeId> target = RandomTarget();
   if (!target.has_value()) {
     stats_.discards_old++;
@@ -234,19 +296,24 @@ void NchanceAgent::ForwardPage(Uid uid, bool shared, SimTime age,
     if (frame_to_free != nullptr) {
       frames_->Free(frame_to_free);
     }
+    SpanEnd(tracer_, sim_->now(), self_, span, SpanStatus::kBounced);
     return;
   }
   nstats_.forwards_sent++;
   stats_.putpages_sent++;
+  TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kPutPageSend, uid,
+             target->value);
   if (frame_to_free != nullptr) {
     frames_->Free(frame_to_free);  // copied to a network buffer
   }
   NchanceForward msg{uid, self_, age, shared, count};
+  msg.span = span;
   cpu_->SubmitKernel(config_.costs.put_request, CpuCategory::kFault,
                      [this, msg, target = *target] {
     if (!alive_) {
       return;
     }
+    SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kReqGen);
     Send(target, kMsgNchanceForward, config_.costs.page_message_bytes(), msg);
     SendGcdUpdate(msg.uid, GcdUpdate::kReplace, target, true, self_);
   });
@@ -273,9 +340,13 @@ void NchanceAgent::HandleForward(const NchanceForward& msg) {
     }
     nstats_.forwards_received++;
     stats_.putpages_received++;
+    TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kPutPageRecv,
+               msg.uid, static_cast<uint64_t>(ToMicroseconds(msg.age)));
+    SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kService);
 
     if (frames_->Lookup(msg.uid) != nullptr) {
       SendGcdUpdate(msg.uid, GcdUpdate::kAdd, self_, false);
+      SpanEnd(tracer_, sim_->now(), self_, msg.span, SpanStatus::kAbsorbed);
       return;
     }
 
@@ -293,6 +364,7 @@ void NchanceAgent::HandleForward(const NchanceForward& msg) {
 
     // (1) a free page, if taking one will not trigger reclamation.
     if (frames_->free_count() > config_.free_reserve && install()) {
+      SpanEnd(tracer_, sim_->now(), self_, msg.span, SpanStatus::kAbsorbed);
       return;
     }
 
@@ -332,6 +404,7 @@ void NchanceAgent::HandleForward(const NchanceForward& msg) {
       const bool ok = install();
       assert(ok);
       (void)ok;
+      SpanEnd(tracer_, sim_->now(), self_, msg.span, SpanStatus::kAbsorbed);
       return;
     }
 
@@ -340,11 +413,16 @@ void NchanceAgent::HandleForward(const NchanceForward& msg) {
       nstats_.dropped_exhausted++;
       stats_.putpages_bounced++;
       SendGcdUpdate(msg.uid, GcdUpdate::kRemove, self_, true);
+      SpanEnd(tracer_, sim_->now(), self_, msg.span, SpanStatus::kBounced);
       return;
     }
     nstats_.reforwards++;
+    // The re-forward continues the same trace: the next receiver's span
+    // forks off this hop's span, so the whole recirculation chain is one
+    // tree.
     ForwardPage(msg.uid, msg.shared, msg.age,
-                static_cast<uint8_t>(msg.recirculation - 1), nullptr);
+                static_cast<uint8_t>(msg.recirculation - 1), nullptr,
+                msg.span);
   });
 }
 
@@ -356,10 +434,18 @@ void NchanceAgent::OnDatagram(Datagram dgram) {
   if (!alive_) {
     return;
   }
+  // Same receive-span fork as the GMS agent: rewrite the embedded context in
+  // place before the datagram is captured by the ISR closure.
+  if (SpanRef* slot = MutablePayloadSpan(dgram.type, dgram.payload)) {
+    *slot = SpanBegin(tracer_, sim_->now(), self_, *slot, dgram.type);
+  }
   cpu_->SubmitKernel(config_.costs.receive_isr, CpuCategory::kService,
                      [this, dgram = std::move(dgram)] {
     if (!alive_) {
       return;
+    }
+    if (const SpanRef* slot = PayloadSpan(dgram.type, dgram.payload)) {
+      SpanStep(tracer_, sim_->now(), self_, *slot, SpanComp::kQueueIsr);
     }
     switch (dgram.type) {
       case kMsgGetPageReq:

@@ -59,12 +59,15 @@ class NchanceAgent final : public MemoryService {
   void Start(const PodTable& pod);
 
   // --- MemoryService ---
-  void GetPage(const Uid& uid, GetPageCallback callback) override;
+  void GetPage(const Uid& uid, GetPageCallback callback,
+               SpanRef parent = {}) override;
   void EvictClean(Frame* frame) override;
   void OnPageLoaded(Frame* frame) override;
 
   void OnDatagram(Datagram dgram);
   void SetAlive(bool alive);
+
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
   const Pod& pod() const { return pod_; }
   const GcdTable& gcd() const { return gcd_; }
@@ -85,6 +88,9 @@ class NchanceAgent final : public MemoryService {
     Uid uid;
     GetPageCallback callback;
     TimerId timer = 0;
+    SimTime started = 0;
+    SpanRef span;            // caller's span, or our own root
+    bool owns_trace = false; // no enclosing fault: we emit the SpanEnd
   };
 
   void HandleGetPageReq(const GetPageReq& msg);
@@ -93,10 +99,11 @@ class NchanceAgent final : public MemoryService {
   void HandleGetPageMiss(const GetPageMiss& msg);
   void HandleForward(const NchanceForward& msg);
   void HandleGcdUpdate(const GcdUpdate& msg);
-  void LookupInGcd(const Uid& uid, NodeId requester, uint64_t op_id);
+  void LookupInGcd(const Uid& uid, NodeId requester, uint64_t op_id,
+                   SpanRef span);
   void ResolveGet(uint64_t op_id, GetPageResult result);
   void ForwardPage(Uid uid, bool shared, SimTime age, uint8_t count,
-                   Frame* frame_to_free);
+                   Frame* frame_to_free, SpanRef span);
   void SendGcdUpdate(const Uid& uid, GcdUpdate::Op op, NodeId holder,
                      bool global, NodeId prev = kInvalidNode);
   std::optional<NodeId> RandomTarget();
@@ -110,6 +117,7 @@ class NchanceAgent final : public MemoryService {
   NchanceConfig config_;
   Rng rng_;
   bool alive_ = false;
+  Tracer* tracer_ = nullptr;
 
   Pod pod_;
   GcdTable gcd_;

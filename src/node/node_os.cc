@@ -77,13 +77,23 @@ void NodeOs::Fault(const Uid& uid, bool write, EventFn done) {
   const SimTime started = sim_->now();
   TraceEvent(tracer_, started, self_, TraceEventKind::kFault, uid,
              write ? 1 : 0);
+  // The fault is an originating operation: root a trace here and thread the
+  // span through the whole resolution (getpage, disk fallback, NFS).
+  const SpanRef span =
+      TraceBegin(tracer_, started, self_, SpanOp::kFault, write ? 1 : 0);
   cpu_->SubmitKernel(params_.fault_overhead, CpuCategory::kFault,
-                     [this, uid, write, started, done = std::move(done)]() mutable {
-    WithFreeFrame([this, uid, write, started, done = std::move(done)]() mutable {
+                     [this, uid, write, started, span,
+                      done = std::move(done)]() mutable {
+    SpanStep(tracer_, sim_->now(), self_, span, SpanComp::kFaultCpu);
+    WithFreeFrame([this, uid, write, started, span,
+                   done = std::move(done)]() mutable {
       Frame* frame = frames_->Allocate(uid, PageLocation::kLocal, sim_->now());
       assert(frame != nullptr);
       frame->pinned = true;
       frame->shared = IsShared(uid);
+      // Zero-length when a free frame was on hand; otherwise the synchronous
+      // reclaim (victim scan, possibly a blocking dirty write-back).
+      SpanStep(tracer_, sim_->now(), self_, span, SpanComp::kReclaim);
       service_->GetPage(uid, [this, frame, write, started,
                               done = std::move(done)](GetPageResult result) mutable {
         if (result.hit) {
@@ -92,21 +102,23 @@ void NodeOs::Fault(const Uid& uid, bool write, EventFn done) {
             // yet, so this node inherits the write-back obligation.
             frame->dirty = true;
           }
-          FinishFault(frame, write, result.duplicate, started, std::move(done));
+          FinishFault(frame, write, result.duplicate, started, result.span,
+                      std::move(done));
           return;
         }
         ReadFromBackingStore(frame->uid, [this, frame, write, started,
+                                          span = result.span,
                                           done = std::move(done)]() mutable {
           service_->OnPageLoaded(frame);
-          FinishFault(frame, write, false, started, std::move(done));
-        });
-      });
+          FinishFault(frame, write, false, started, span, std::move(done));
+        }, result.span);
+      }, span);
     });
   });
 }
 
 void NodeOs::FinishFault(Frame* frame, bool write, bool duplicate,
-                         SimTime started, EventFn done) {
+                         SimTime started, SpanRef span, EventFn done) {
   frame->pinned = false;
   frame->duplicated = duplicate;
   if (write) {
@@ -118,6 +130,8 @@ void NodeOs::FinishFault(Frame* frame, bool write, bool duplicate,
   stats_.fault_ns.Record(latency);
   TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kFaultDone,
              frame->uid, static_cast<uint64_t>(latency));
+  SpanEnd(tracer_, sim_->now(), self_, span, SpanStatus::kDone,
+          static_cast<uint64_t>(latency));
   const Uid uid = frame->uid;
   faulting_.erase(uid);
   done();
@@ -250,7 +264,8 @@ void NodeOs::ReleaseCleaned(Frame* frame) {
   }
 }
 
-void NodeOs::ReadFromBackingStore(const Uid& uid, EventFn loaded) {
+void NodeOs::ReadFromBackingStore(const Uid& uid, EventFn loaded,
+                                  SpanRef span) {
   if (!IsShared(uid) && !swap_resident_.contains(uid)) {
     // First touch of an anonymous page: zero-fill, no I/O.
     sim_->After(0, std::move(loaded));
@@ -259,7 +274,7 @@ void NodeOs::ReadFromBackingStore(const Uid& uid, EventFn loaded) {
   const NodeId backing = NodeOfIp(uid.ip());
   if (backing == self_) {
     stats_.disk_reads++;
-    disk_->Read(DiskBlockOf(uid), std::move(loaded));
+    disk_->Read(DiskBlockOf(uid), std::move(loaded), span);
     return;
   }
   // Remote file: NFS read from the backing server.
@@ -269,25 +284,38 @@ void NodeOs::ReadFromBackingStore(const Uid& uid, EventFn loaded) {
   PendingNfs pending;
   pending.uid = uid;
   pending.done = std::move(loaded);
+  pending.span = span;
   pending.timer = sim_->ScheduleTimer(params_.nfs_timeout, [this, op] {
     auto it = pending_nfs_.find(op);
     if (it == pending_nfs_.end()) {
       return;
     }
     stats_.nfs_timeouts++;
+    // The whole unanswered window counts as NFS wait so the fault's span
+    // still tiles.
+    SpanStep(tracer_, sim_->now(), self_, it->second.span, SpanComp::kNfsWait);
     EventFn done = std::move(it->second.done);
     pending_nfs_.erase(it);
     done();  // completes the fault without data (server unreachable)
   });
   pending_nfs_.emplace(op, std::move(pending));
   cpu_->SubmitKernel(costs_.nfs_client_request, CpuCategory::kFault,
-                     [this, uid, backing, op] {
+                     [this, uid, backing, op, span] {
+    SpanStep(tracer_, sim_->now(), self_, span, SpanComp::kReqGen);
+    NfsReadReq req{uid, self_, op};
+    req.span = span;
     net_->Send(Datagram{self_, backing, costs_.small_message_bytes(),
-                        kMsgNfsReadReq, NfsReadReq{uid, self_, op}});
+                        kMsgNfsReadReq, req});
   });
 }
 
 void NodeOs::OnDatagram(Datagram dgram) {
+  // Fork a receive span at arrival, exactly as the agent does; the NFS and
+  // write-back handlers fold the ISR cost into their service kernels, so
+  // the first stamp on the forked span covers queue + ISR + processing.
+  if (SpanRef* slot = MutablePayloadSpan(dgram.type, dgram.payload)) {
+    *slot = SpanBegin(tracer_, sim_->now(), self_, *slot, dgram.type);
+  }
   switch (dgram.type) {
     case kMsgNfsReadReq:
       HandleNfsRead(dgram.payload.get<NfsReadReq>());
@@ -309,13 +337,15 @@ void NodeOs::HandleNfsRead(const NfsReadReq& msg) {
   cpu_->SubmitKernel(costs_.receive_isr + costs_.nfs_server_processing,
                      CpuCategory::kService, [this, msg] {
     stats_.nfs_served++;
+    SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kService);
+    NfsReadReply reply{msg.uid, msg.op_id, true};
+    reply.span = msg.span;
     Frame* frame = frames_->Lookup(msg.uid);
     if ((frame != nullptr && frame->pinned) || faulting_.contains(msg.uid)) {
       // Fill already in flight (concurrent client reads); reply once loaded.
-      waiters_[msg.uid].push_back([this, msg] {
+      waiters_[msg.uid].push_back([this, msg, reply] {
         net_->Send(Datagram{self_, msg.client, costs_.page_message_bytes(),
-                            kMsgNfsReadReply,
-                            NfsReadReply{msg.uid, msg.op_id, true}});
+                            kMsgNfsReadReply, reply});
       });
       return;
     }
@@ -324,19 +354,19 @@ void NodeOs::HandleNfsRead(const NfsReadReq& msg) {
       // client will cache one too).
       frame->duplicated = true;
       net_->Send(Datagram{self_, msg.client, costs_.page_message_bytes(),
-                          kMsgNfsReadReply, NfsReadReply{msg.uid, msg.op_id, true}});
+                          kMsgNfsReadReply, reply});
       return;
     }
     // Server cache miss: read into our cache, then reply.
     faulting_.insert(msg.uid);
-    WithFreeFrame([this, msg] {
+    WithFreeFrame([this, msg, reply] {
       Frame* frame = frames_->Allocate(msg.uid, PageLocation::kLocal,
                                        sim_->now());
       assert(frame != nullptr);
       frame->pinned = true;
       frame->shared = true;
       stats_.nfs_server_disk_reads++;
-      disk_->Read(DiskBlockOf(msg.uid), [this, frame, msg] {
+      disk_->Read(DiskBlockOf(msg.uid), [this, frame, msg, reply] {
         frame->pinned = false;
         frame->duplicated = true;
         frames_->Touch(frame, sim_->now());
@@ -345,9 +375,8 @@ void NodeOs::HandleNfsRead(const NfsReadReq& msg) {
         WakeWaiters(frame->uid);
         MaybeWakePageout();
         net_->Send(Datagram{self_, msg.client, costs_.page_message_bytes(),
-                            kMsgNfsReadReply,
-                            NfsReadReply{msg.uid, msg.op_id, true}});
-      });
+                            kMsgNfsReadReply, reply});
+      }, msg.span);
     });
   });
 }
@@ -361,21 +390,29 @@ void NodeOs::HandleWriteBack(const WriteBack& msg) {
     stats_.disk_writes++;
     TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kWriteBackRecv,
                msg.uid, 0);
+    SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kService);
     if (!IsShared(msg.uid)) {
       swap_resident_.insert(msg.uid);
     }
-    disk_->Write(DiskBlockOf(msg.uid), {});
+    // The write-back trace ends only once the page is durable.
+    disk_->Write(DiskBlockOf(msg.uid), [this, span = msg.span] {
+      SpanEnd(tracer_, sim_->now(), self_, span, SpanStatus::kDone);
+    }, msg.span);
   });
 }
 
 void NodeOs::HandleNfsReply(const NfsReadReply& msg) {
   cpu_->SubmitKernel(costs_.receive_isr + costs_.get_reply_receipt_data,
                      CpuCategory::kFault, [this, msg] {
+    // The reply's own receive span is an off-path leaf; the waiting fault
+    // span accounts the whole round trip as NFS wait.
+    SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kService);
     auto it = pending_nfs_.find(msg.op_id);
     if (it == pending_nfs_.end()) {
       return;  // timed out already
     }
     sim_->CancelTimer(it->second.timer);
+    SpanStep(tracer_, sim_->now(), self_, it->second.span, SpanComp::kNfsWait);
     EventFn done = std::move(it->second.done);
     pending_nfs_.erase(it);
     done();

@@ -100,6 +100,7 @@ class NodeOs {
     Uid uid;
     EventFn done;  // continuation of the fault
     TimerId timer = 0;
+    SpanRef span;  // the fault span awaiting this read
   };
 
   // Retryable access body: hit, wait-on-pin, or fault.
@@ -109,13 +110,13 @@ class NodeOs {
   // if accesses queued up behind the write-back pin.
   void ReleaseCleaned(Frame* frame);
   void FinishFault(Frame* frame, bool write, bool duplicate, SimTime started,
-                   EventFn done);
+                   SpanRef span, EventFn done);
   // Guarantees a free frame exists, reclaiming synchronously if the pageout
   // daemon has fallen behind, then runs `then`.
   void WithFreeFrame(EventFn then);
   void MaybeWakePageout();
   void PageoutRound(uint32_t remaining);
-  void ReadFromBackingStore(const Uid& uid, EventFn loaded);
+  void ReadFromBackingStore(const Uid& uid, EventFn loaded, SpanRef span = {});
   void HandleNfsRead(const NfsReadReq& msg);
   void HandleNfsReply(const NfsReadReply& msg);
   void HandleWriteBack(const WriteBack& msg);

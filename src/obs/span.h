@@ -1,0 +1,137 @@
+// Offline span-tree reconstruction and critical-path latency attribution.
+//
+// The simulator emits three causal record kinds (kSpanBegin / kSpanStep /
+// kSpanEnd, see trace.h) interleaved with the ordinary event records. This
+// module rebuilds, from a finished trace file, the tree of spans behind
+// every originating operation, and decomposes each request's end-to-end
+// latency into components that tile exactly:
+//
+//   * A span's kSpanStep stamps partition the span's own busy time: each
+//     stamp attributes [previous stamp, stamp] to one SpanComp.
+//   * A cross-node hop appears as a child span whose begin is the receiver's
+//     arrival time. The reconstructor labels the gap between the resolving
+//     chain's progress point and the child's begin as kWire — wire time is
+//     never stamped by the producer.
+//   * The resolving chain is the path root -> ... -> the span holding the
+//     trace's final kSpanEnd. Walking it with a telescoping cursor makes the
+//     components sum to exactly (end - root begin) in integer nanoseconds,
+//     for every complete trace, regardless of retries, duplicate deliveries
+//     or losses: off-path side branches (GCD updates, dropped duplicates,
+//     abandoned retransmissions) are absorbed into the edges they branched
+//     from.
+//
+// Traces with no kSpanEnd (the requester crashed, or a pending table was
+// cleared) are orphans: counted and reported, never silently dropped.
+#ifndef SRC_OBS_SPAN_H_
+#define SRC_OBS_SPAN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/obs/trace.h"
+
+namespace gms {
+
+// One attributed interval on the critical path (or one producer stamp when
+// still attached to its span).
+struct SpanSegment {
+  SimTime begin = 0;
+  SimTime end = 0;
+  SpanComp comp = SpanComp::kService;
+  uint64_t detail = 0;
+};
+
+// One contiguous stretch of work on one node.
+struct Span {
+  uint64_t trace = 0;
+  uint32_t id = 0;
+  uint32_t parent = 0;  // 0 = rooted directly under the trace
+  uint16_t node = 0;
+  uint32_t label = 0;       // begin record's value (message type or SpanOp)
+  SimTime begin = 0;
+  bool synthetic_begin = false;  // no begin record seen (ring overflow)
+  std::vector<SpanSegment> segments;  // producer stamps, in time order
+  bool has_end = false;
+  SpanStatus status = SpanStatus::kDone;
+  SimTime end_time = 0;
+  std::vector<uint32_t> children;  // span ids, in first-seen order
+
+  SimTime last_stamp() const {
+    return segments.empty() ? begin : segments.back().end;
+  }
+  // Visual extent for timeline export.
+  SimTime extent_end() const {
+    SimTime e = last_stamp();
+    if (has_end && end_time > e) {
+      e = end_time;
+    }
+    return e;
+  }
+};
+
+// All spans of one originating operation.
+struct Trace {
+  uint64_t id = 0;
+  std::map<uint32_t, Span> spans;  // ordered: deterministic iteration
+  uint32_t root = 0;               // earliest parentless span; 0 if none
+  bool has_end = false;
+  uint32_t end_span = 0;  // span holding the latest kSpanEnd
+  SimTime end_time = 0;
+  SpanStatus end_status = SpanStatus::kDone;
+
+  SpanOp op() const { return static_cast<SpanOp>(id >> 56); }
+};
+
+// Per-component decomposition of one trace's end-to-end latency.
+// kMaxSpanComp indexes by SpanComp value; [0] is unused.
+inline constexpr size_t kNumSpanComps =
+    static_cast<size_t>(SpanComp::kWire) + 1;
+
+struct CriticalPath {
+  bool complete = false;   // trace had an end and the walk tiled exactly
+  bool orphan = false;     // no kSpanEnd anywhere in the trace
+  bool truncated = false;  // a path span had a begin but no stamps (crash)
+  SimTime e2e = 0;         // end - root begin
+  SimTime components[kNumSpanComps] = {};
+  std::vector<uint32_t> path;        // span ids, root first
+  std::vector<SpanSegment> timeline; // attributed intervals, contiguous
+};
+
+CriticalPath ComputeCriticalPath(const Trace& trace);
+
+// The whole file.
+struct SpanForest {
+  std::map<uint64_t, Trace> traces;  // ordered by trace id: deterministic
+  uint64_t span_records = 0;
+  uint64_t other_records = 0;
+  uint64_t unknown_kind_records = 0;  // kinds from the future, skipped
+
+  void Consume(const TraceRecord& rec);
+  void Link();  // resolves roots/children; call once after all records
+
+  // Reads a GMSTRC00 file. Returns false and sets *error on a malformed
+  // header; unknown record kinds are skipped and counted, never fatal.
+  static bool FromFile(const std::string& path, SpanForest* out,
+                       std::string* error);
+};
+
+// Human-readable flame-style rendering of one trace's span tree, one line
+// per span/segment, childmost indented. Deterministic: depends only on the
+// trace contents.
+std::string RenderTraceTree(const Trace& trace);
+
+const char* SpanCompName(SpanComp comp);
+const char* SpanOpName(SpanOp op);
+const char* SpanStatusName(SpanStatus status);
+
+// Chrome/Perfetto trace_event JSON ("X" complete slices, one process per
+// node, greedy lane assignment per node for overlapping spans, "s"/"f" flow
+// events for every parent->child hop, keyed by the child span id).
+std::string PerfettoJson(const SpanForest& forest);
+
+}  // namespace gms
+
+#endif  // SRC_OBS_SPAN_H_

@@ -28,6 +28,8 @@ std::string TraceDigest::ToString() const {
 
 Tracer::Tracer(uint32_t num_nodes, size_t ring_capacity) {
   rings_.resize(num_nodes);
+  trace_seq_.assign(num_nodes, 0);
+  span_seq_.assign(num_nodes, 0);
   if (ring_capacity == 0) {
     ring_capacity = 1;
   }

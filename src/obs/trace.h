@@ -58,7 +58,76 @@ enum class TraceEventKind : uint16_t {
   kEpochParams = 13,   // value = epoch number; b = MinAge ns (participant)
   kNfsRead = 14,       // NFS client read issued (uid = page)
   kWriteBackRecv = 15, // dirty global page returned for write-back
+  // Causal span records (see span.h for the reconstruction model). All
+  // three use a = trace id and pack the span id into the top half of b.
+  kSpanBegin = 16,     // b = span<<32 | parent span; value = SpanLabel
+  kSpanStep = 17,      // b = span<<32 | SpanComp; closes [prev stamp, now]
+  kSpanEnd = 18,       // b = span<<32 | SpanStatus; value = e2e ns saturated
 };
+
+// --------------------------------------------------------------------------
+// Causal request tracing: every originating operation (page fault, putpage
+// flush, epoch round) owns a 64-bit trace id; each contiguous stretch of
+// work on one node is a span (32-bit id, globally unique). The pair rides
+// inside message payloads so a request keeps its identity across forwards,
+// retries and redirects. Ids come from per-node counters inside the Tracer,
+// so they are a pure function of the (deterministic) simulation: serial and
+// parallel sweep runs allocate identical ids.
+// --------------------------------------------------------------------------
+
+// The span context carried in message payloads. trace == 0 means "no
+// context" (tracing off, or the message predates the request's first span).
+struct SpanRef {
+  uint64_t trace = 0;
+  uint32_t span = 0;
+  uint32_t pad = 0;  // keeps the struct trivially comparable byte-for-byte
+  bool valid() const { return trace != 0; }
+};
+static_assert(sizeof(SpanRef) == 16, "span context is part of payload ABI");
+
+// Originating-operation class, encoded in the top byte of the trace id.
+enum class SpanOp : uint32_t {
+  kFault = 1,    // page fault (NodeOs::Fault)
+  kPutPage = 2,  // putpage flush / dirty replication / write-back
+  kEpoch = 3,    // epoch round (trace id derived from the epoch number)
+  kGetPage = 4,  // bare MemoryService::GetPage with no enclosing fault
+};
+
+// Component label stamped by kSpanStep: the interval since the previous
+// stamp on the same span belongs to this component. Wire time is never
+// stamped — it is the gap between a parent's last stamp and a child span's
+// begin, computed by the reconstructor.
+enum class SpanComp : uint32_t {
+  kFaultCpu = 1,     // trap + fault overhead on the faulting node
+  kReqGen = 2,       // request generation / marshal CPU
+  kQueueIsr = 3,     // receive ISR + CPU queue wait on the receiving node
+  kService = 4,      // protocol service CPU (GCD lookup, target, receipt)
+  kDiskWait = 5,     // time queued behind other disk requests
+  kDiskService = 6,  // positioning + transfer on the spindle
+  kRetryWait = 7,    // armed timeout spent waiting before a retry
+  kOrderWait = 8,    // held in the sequenced-delivery window behind a gap
+  kDupDrop = 9,      // duplicate delivery absorbed by the seq window
+  kReclaim = 10,     // synchronous free-frame reclaim inside the fault
+  kNfsWait = 11,     // client-side wait for an NFS read round trip
+  kWire = 12,        // reconstructor-only: parent->child delivery gap
+};
+
+// Terminal status carried by kSpanEnd.
+enum class SpanStatus : uint32_t {
+  kHit = 1,       // getpage resolved with data
+  kMiss = 2,      // getpage resolved as miss (includes timeouts)
+  kDone = 3,      // fault fully complete / write-back durable
+  kAbsorbed = 4,  // putpage stored (or already cached) at the target
+  kBounced = 5,   // putpage rejected for lack of a young-enough victim
+  kAdopted = 6,   // epoch params adopted on this node
+};
+
+// Epoch rounds derive their trace id from the epoch number instead of a
+// counter: EpochParams and MemberUpdate sit at the payload size cap and
+// cannot carry a SpanRef, but every participant knows the epoch.
+inline constexpr uint64_t EpochTraceId(uint64_t epoch) {
+  return (static_cast<uint64_t>(SpanOp::kEpoch) << 56) | epoch;
+}
 
 // One trace record. 32 bytes, trivially copyable, written to disk verbatim
 // (little-endian fields; every supported target is little-endian).
@@ -153,6 +222,28 @@ class Tracer {
   uint64_t records_recorded() const { return recorded_; }
   uint32_t num_nodes() const { return static_cast<uint32_t>(rings_.size()); }
 
+  // Deterministic id allocation for causal tracing. Counters are per node
+  // (preallocated alongside the rings), so ids depend only on each node's
+  // own operation order — identical across serial and parallel sweeps.
+  //
+  // Trace id: [63..56] SpanOp, [55..40] node, [39..0] per-node counter.
+  // Span id:  [31..22] node, [21..0] per-node counter (0 = "no span").
+  uint64_t NewTraceId(NodeId node, SpanOp op) {
+    if (node.value >= trace_seq_.size()) {
+      return 0;
+    }
+    return (static_cast<uint64_t>(op) << 56) |
+           (static_cast<uint64_t>(node.value & 0xffff) << 40) |
+           (++trace_seq_[node.value] & 0xffffffffffULL);
+  }
+  uint32_t NewSpanId(NodeId node) {
+    if (node.value >= span_seq_.size()) {
+      return 0;
+    }
+    return (static_cast<uint32_t>(node.value & 0x3ff) << 22) |
+           (++span_seq_[node.value] & 0x3fffff);
+  }
+
  private:
   struct Ring {
     std::vector<TraceRecord> buf;
@@ -162,6 +253,8 @@ class Tracer {
   void FlushRing(Ring& ring);
 
   std::vector<Ring> rings_;
+  std::vector<uint64_t> trace_seq_;  // per-node trace id counters
+  std::vector<uint32_t> span_seq_;   // per-node span id counters
   bool enabled_ = false;
   std::FILE* file_ = nullptr;
   TraceDigest digest_;
@@ -190,6 +283,83 @@ inline void TraceEventRaw(Tracer* tracer, SimTime time, NodeId node,
     }
   } else {
     (void)tracer, (void)time, (void)node, (void)kind, (void)a, (void)b,
+        (void)value;
+  }
+}
+
+// ---- span call-site helpers ----------------------------------------------
+// All of these compile to nothing under GMS_TRACE=OFF and to a null/enabled
+// test otherwise; recording is a ring store, never an allocation.
+
+// Starts a new trace rooted at `node`: allocates a trace id + root span and
+// records the root's kSpanBegin (parent 0). `label` is a free-form tag shown
+// by the reconstructor (0 = the SpanOp itself).
+inline SpanRef TraceBegin(Tracer* tracer, SimTime time, NodeId node, SpanOp op,
+                          uint32_t label = 0) {
+  if constexpr (kTraceCompiledIn) {
+    if (tracer != nullptr && tracer->enabled()) {
+      SpanRef ref{tracer->NewTraceId(node, op), tracer->NewSpanId(node)};
+      if (ref.trace != 0) {
+        tracer->Record(time, node, TraceEventKind::kSpanBegin, ref.trace,
+                       static_cast<uint64_t>(ref.span) << 32,
+                       label != 0 ? label : static_cast<uint32_t>(op));
+      }
+      return ref;
+    }
+  } else {
+    (void)tracer, (void)time, (void)node, (void)op, (void)label;
+  }
+  return SpanRef{};
+}
+
+// Starts a child span of `parent` (same trace) on `node` — the receiver half
+// of a cross-node hop, or an explicitly-rooted epoch sub-span when
+// parent.span == 0. Returns {} when the parent carries no context.
+inline SpanRef SpanBegin(Tracer* tracer, SimTime time, NodeId node,
+                         SpanRef parent, uint32_t label = 0) {
+  if constexpr (kTraceCompiledIn) {
+    if (tracer != nullptr && tracer->enabled() && parent.trace != 0) {
+      SpanRef ref{parent.trace, tracer->NewSpanId(node)};
+      tracer->Record(time, node, TraceEventKind::kSpanBegin, ref.trace,
+                     (static_cast<uint64_t>(ref.span) << 32) | parent.span,
+                     label);
+      return ref;
+    }
+  } else {
+    (void)tracer, (void)time, (void)node, (void)parent, (void)label;
+  }
+  return SpanRef{};
+}
+
+// Attributes [previous stamp on `span`, time] to `comp`.
+inline void SpanStep(Tracer* tracer, SimTime time, NodeId node, SpanRef span,
+                     SpanComp comp, uint64_t detail = 0) {
+  if constexpr (kTraceCompiledIn) {
+    if (tracer != nullptr && tracer->enabled() && span.trace != 0) {
+      tracer->Record(time, node, TraceEventKind::kSpanStep, span.trace,
+                     (static_cast<uint64_t>(span.span) << 32) |
+                         static_cast<uint32_t>(comp),
+                     detail);
+    }
+  } else {
+    (void)tracer, (void)time, (void)node, (void)span, (void)comp, (void)detail;
+  }
+}
+
+// Marks the request resolved on `span`. The record's time is the request's
+// end-to-end end point; `value` carries the latency when the producer knows
+// it (informational — the reconstructor recomputes it from the stamps).
+inline void SpanEnd(Tracer* tracer, SimTime time, NodeId node, SpanRef span,
+                    SpanStatus status, uint64_t value = 0) {
+  if constexpr (kTraceCompiledIn) {
+    if (tracer != nullptr && tracer->enabled() && span.trace != 0) {
+      tracer->Record(time, node, TraceEventKind::kSpanEnd, span.trace,
+                     (static_cast<uint64_t>(span.span) << 32) |
+                         static_cast<uint32_t>(status),
+                     value);
+    }
+  } else {
+    (void)tracer, (void)time, (void)node, (void)span, (void)status,
         (void)value;
   }
 }

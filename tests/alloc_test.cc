@@ -222,6 +222,48 @@ TEST(AllocTest, TraceRecordingIsAllocationFreeAcrossRingFlushes) {
   EXPECT_EQ(window.frees(), 0u);
 }
 
+// Span propagation is the causal-tracing half of the hot path: rooting a
+// trace, forking a receive-side child span in place inside a message
+// payload, stamping components, and ending the span. Ids come from counters
+// preallocated in the Tracer, the context is a 16-byte in-place rewrite of
+// an already-allocated payload, and each record is a ring store — none of it
+// may touch the allocator at steady state.
+TEST(AllocTest, SpanPropagationIsAllocationFreeAtSteadyState) {
+  if (!kTraceCompiledIn) {
+    GTEST_SKIP() << "tracer compiled out (GMS_TRACE=OFF)";
+  }
+  Tracer tracer(/*num_nodes=*/4, /*ring_capacity=*/256);
+  tracer.set_enabled(true);
+  auto request_round_trip = [&tracer](uint64_t i) {
+    const SimTime t = static_cast<SimTime>(i * 1000);
+    const NodeId requester{static_cast<uint32_t>(i % 4)};
+    const NodeId server{static_cast<uint32_t>((i + 1) % 4)};
+    const SpanRef root = TraceBegin(&tracer, t, requester, SpanOp::kGetPage);
+    SpanStep(&tracer, t + 50, requester, root, SpanComp::kReqGen);
+    // The wire hop: the receiver rewrites the payload's span slot in place,
+    // exactly as GmsAgent::OnDatagram does.
+    MessagePayload payload = GetPageReq{Uid{}, requester, i, root};
+    SpanRef* slot = MutablePayloadSpan(kMsgGetPageReq, payload);
+    *slot = SpanBegin(&tracer, t + 200, server, *slot);
+    SpanStep(&tracer, t + 230, server, *slot, SpanComp::kQueueIsr);
+    SpanStep(&tracer, t + 300, server, *slot, SpanComp::kService);
+    SpanEnd(&tracer, t + 300, server, *slot, SpanStatus::kHit, 300);
+  };
+  for (uint64_t i = 0; i < 4096; ++i) {
+    request_round_trip(i);  // warm-up
+  }
+  const AllocWindow window;
+  const uint64_t before = tracer.records_recorded();
+  for (uint64_t i = 4096; i < 36960; ++i) {
+    request_round_trip(i);
+  }
+  tracer.Flush();
+  EXPECT_GT(tracer.records_recorded() - before, 100000u);
+  EXPECT_EQ(window.allocs(), 0u)
+      << "span id allocation / payload rewrite / span recording allocated";
+  EXPECT_EQ(window.frees(), 0u);
+}
+
 // Latency histograms sit on the access/fault/getpage completion paths;
 // recording is one array increment across the full value range, including
 // the saturating top bucket and the negative clamp.

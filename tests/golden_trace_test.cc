@@ -28,7 +28,7 @@ namespace {
 //   build/tests/golden_trace_test --gtest_filter='*PrintsDigest*'
 // and update this constant only for deliberate trace-format or simulation
 // changes (note them in DESIGN.md).
-constexpr char kGoldenChaosDigest[] = "fnv1a:c7f480a0f7aa25a3:180074";
+constexpr char kGoldenChaosDigest[] = "fnv1a:805c8b4d85733132:530095";
 
 std::string RunTracedChaosPoint(const ChaosCase& chaos,
                                 uint32_t ring_capacity = 16384) {

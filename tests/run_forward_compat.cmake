@@ -1,0 +1,31 @@
+# Driver for the tools forward-compatibility test: captures a small trace
+# with the trace_capture bench, then runs tools/test_forward_compat.py, which
+# appends an unknown-kind record and checks both offline readers skip it.
+set(trace "${WORK_DIR}/forward_compat.trace")
+
+execute_process(
+  COMMAND "${TRACE_CAPTURE}" "--scale=0.1" "--trace_out=${trace}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace_capture failed (${rc}):\n${out}\n${err}")
+endif()
+if(out MATCHES "TRACE_DISABLED")
+  message(STATUS "tracer compiled out (GMS_TRACE=OFF); nothing to check")
+  return()
+endif()
+
+find_package(Python3 COMPONENTS Interpreter)
+if(NOT Python3_FOUND)
+  message(STATUS "python3 not found; skipping reader checks")
+  return()
+endif()
+
+execute_process(
+  COMMAND "${Python3_EXECUTABLE}" "${TOOLS_DIR}/test_forward_compat.py"
+          "${trace}" "${TRACE_SPANS}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+file(REMOVE "${trace}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "test_forward_compat.py failed (${rc}):\n${out}\n${err}")
+endif()
+message(STATUS "${out}")

@@ -1,0 +1,263 @@
+// Span reconstruction tests: the causal-tracing acceptance surface.
+//
+// One chaos run — drops, duplicates, reorders, retries, a 250 ms partition
+// AND a mid-run node crash — is reconstructed into span trees, and:
+//   * every trace that ended tiles EXACTLY: the critical-path components sum
+//     to the end-to-end latency in integer nanoseconds, no epsilon;
+//   * requests orphaned by the crash are reported, never silently dropped;
+//   * the Perfetto export pairs every flow start with exactly one finish;
+//   * serial and parallel sweep runs reconstruct byte-identical span trees;
+//   * a record with an unknown (future) kind is skipped, not fatal.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/chaos_scenario.h"
+#include "src/cluster/sweep.h"
+#include "src/common/time.h"
+#include "src/obs/span.h"
+#include "src/obs/trace.h"
+
+namespace gms {
+namespace {
+
+std::string TempTracePath(const std::string& name) {
+  return ::testing::TempDir() + "/span_test_" + name + ".trace";
+}
+
+// Runs the standard chaos scenario with tracing to `path`, crashing node 2
+// (an idle-memory donor with in-flight putpage/getpage traffic) mid-run.
+// Requests stranded in its memory when it dies can never resolve; the node
+// later rejoins empty (as in the chaos soak test) so the workloads finish.
+void RunCrashyChaos(const ChaosCase& chaos, const std::string& path) {
+  ObsConfig obs;
+  obs.trace = true;
+  obs.trace_path = path;
+  auto cluster = BuildChaosCluster(chaos, /*with_partition=*/true, obs);
+  cluster->StartWorkloads();
+  // 5 s: past the partition and the cold-start disk fill, into steady
+  // putpage traffic — so pages are in flight toward node 2 when it dies.
+  cluster->sim().RunFor(Seconds(5));
+  cluster->CrashNode(NodeId{2});
+  cluster->sim().RunFor(Seconds(2));  // heartbeats notice, survivors adapt
+  cluster->RestartNode(NodeId{2});
+  ASSERT_TRUE(cluster->RunUntilWorkloadsDone(Seconds(600)));
+  cluster->RunUntilQuiescent(Seconds(30));
+  ASSERT_NE(cluster->tracer(), nullptr);
+  cluster->tracer()->Finish();
+}
+
+// Deterministic dump of every reconstructed span tree in the file.
+std::string DumpForest(const SpanForest& forest) {
+  std::string out;
+  for (const auto& [id, trace] : forest.traces) {
+    out += RenderTraceTree(trace);
+  }
+  return out;
+}
+
+class SpanChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    if (!kTraceCompiledIn) {
+      return;
+    }
+    const std::string path = TempTracePath("chaos");
+    RunCrashyChaos(ChaosCase{5, 0.01}, path);
+    forest_ = new SpanForest;
+    std::string error;
+    ASSERT_TRUE(SpanForest::FromFile(path, forest_, &error)) << error;
+    std::remove(path.c_str());
+  }
+  static void TearDownTestSuite() {
+    delete forest_;
+    forest_ = nullptr;
+  }
+  void SetUp() override {
+    if (!kTraceCompiledIn) {
+      GTEST_SKIP() << "tracer compiled out (GMS_TRACE=OFF)";
+    }
+  }
+  static SpanForest* forest_;
+};
+
+SpanForest* SpanChaosTest::forest_ = nullptr;
+
+// The headline guarantee: for EVERY request that resolved — across drops,
+// retries, duplicate deliveries, reordering, a partition and a crash — the
+// component decomposition tiles the end-to-end latency exactly.
+TEST_F(SpanChaosTest, EveryEndedTraceTilesExactly) {
+  uint64_t ended = 0;
+  for (const auto& [id, trace] : forest_->traces) {
+    if (!trace.has_end) {
+      continue;
+    }
+    ended++;
+    const CriticalPath cp = ComputeCriticalPath(trace);
+    ASSERT_TRUE(cp.complete)
+        << "trace did not tile:\n" << RenderTraceTree(trace);
+    SimTime sum = 0;
+    for (size_t c = 1; c < kNumSpanComps; ++c) {
+      sum += cp.components[c];
+    }
+    ASSERT_EQ(sum, cp.e2e)
+        << "components do not sum to e2e:\n" << RenderTraceTree(trace);
+    // The timeline itself must be contiguous from root begin to end.
+    SimTime cursor = trace.spans.at(cp.path.front()).begin;
+    for (const SpanSegment& seg : cp.timeline) {
+      ASSERT_EQ(seg.begin, cursor);
+      ASSERT_GT(seg.end, seg.begin);
+      cursor = seg.end;
+    }
+    ASSERT_EQ(cursor, trace.end_time);
+  }
+  // The run must actually have exercised the machinery at scale.
+  EXPECT_GT(ended, 1000u);
+  EXPECT_EQ(forest_->unknown_kind_records, 0u);
+}
+
+// Requests in flight to the crashed node never resolve. They must show up
+// as orphans — counted, reconstructable, and flagged in the rendering —
+// rather than vanishing from the accounting.
+TEST_F(SpanChaosTest, CrashOrphansAreReportedNotDropped) {
+  uint64_t orphans = 0;
+  for (const auto& [id, trace] : forest_->traces) {
+    if (trace.has_end) {
+      continue;
+    }
+    orphans++;
+    const CriticalPath cp = ComputeCriticalPath(trace);
+    EXPECT_TRUE(cp.orphan);
+    EXPECT_FALSE(cp.complete);
+    EXPECT_FALSE(trace.spans.empty());
+    EXPECT_NE(RenderTraceTree(trace).find("ORPHAN"), std::string::npos);
+  }
+  EXPECT_GE(orphans, 1u) << "the crash should have stranded some requests";
+}
+
+// Retries leave their mark: with 1% injected loss some critical path must
+// cross a retry wait, and duplicate deliveries must appear as dup_drop
+// stamps on off-path sibling spans (visible in per-span segments).
+TEST_F(SpanChaosTest, LossShowsUpAsRetryAndDupComponents) {
+  SimTime retry_ns = 0;
+  uint64_t dup_stamps = 0;
+  for (const auto& [id, trace] : forest_->traces) {
+    for (const auto& [sid, span] : trace.spans) {
+      for (const SpanSegment& seg : span.segments) {
+        if (seg.comp == SpanComp::kDupDrop) {
+          dup_stamps++;
+        }
+      }
+    }
+    if (!trace.has_end) {
+      continue;
+    }
+    retry_ns +=
+        ComputeCriticalPath(trace).components[static_cast<size_t>(
+            SpanComp::kRetryWait)];
+  }
+  EXPECT_GT(retry_ns, 0) << "1% loss must put retries on some critical path";
+  EXPECT_GT(dup_stamps, 0u) << "injected duplicates must be stamped";
+}
+
+// Every Perfetto flow start pairs with exactly one finish (and vice versa):
+// an unpaired flow renders as a dangling arrow in the timeline UI.
+TEST_F(SpanChaosTest, PerfettoFlowsPairExactly) {
+  const std::string json = PerfettoJson(*forest_);
+  ASSERT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  std::map<std::string, int> starts, finishes;
+  const std::string s_key = "\"ph\":\"s\",\"id\":";
+  const std::string f_key = "\"ph\":\"f\",\"bp\":\"e\",\"id\":";
+  for (size_t pos = 0; (pos = json.find(s_key, pos)) != std::string::npos;) {
+    pos += s_key.size();
+    starts[json.substr(pos, json.find(',', pos) - pos)]++;
+  }
+  for (size_t pos = 0; (pos = json.find(f_key, pos)) != std::string::npos;) {
+    pos += f_key.size();
+    finishes[json.substr(pos, json.find(',', pos) - pos)]++;
+  }
+  EXPECT_GT(starts.size(), 100u);
+  EXPECT_EQ(starts, finishes);
+  for (const auto& [id, n] : starts) {
+    EXPECT_EQ(n, 1) << "flow id " << id << " started " << n << " times";
+  }
+}
+
+// Span ids come from per-node counters, so reconstruction is a pure
+// function of the scenario: a sweep must produce byte-identical span trees
+// whether its points run serially or on a thread pool.
+TEST(SpanSweepTest, SerialAndParallelSweepsReconstructIdenticalTrees) {
+  if (!kTraceCompiledIn) {
+    GTEST_SKIP() << "tracer compiled out (GMS_TRACE=OFF)";
+  }
+  const std::vector<ChaosCase> points = {{1, 0.0}, {5, 0.01}};
+  auto run_point = [&points](size_t i) -> std::string {
+    // Points run concurrently in the parallel phase; the index keeps their
+    // trace files distinct (phases themselves run back to back).
+    const std::string path = TempTracePath("sweep_" + std::to_string(i));
+    ObsConfig obs;
+    obs.trace = true;
+    obs.trace_path = path;
+    auto cluster = BuildChaosCluster(points[i], /*with_partition=*/true, obs);
+    cluster->StartWorkloads();
+    EXPECT_TRUE(cluster->RunUntilWorkloadsDone(Seconds(600)));
+    cluster->RunUntilQuiescent(Seconds(30));
+    cluster->tracer()->Finish();
+    SpanForest forest;
+    std::string error;
+    EXPECT_TRUE(SpanForest::FromFile(path, &forest, &error)) << error;
+    std::remove(path.c_str());
+    return DumpForest(forest);
+  };
+  const auto serial = RunSweepParallel(points.size(), 1, run_point);
+  const auto parallel = RunSweepParallel(points.size(), 4, run_point);
+  ASSERT_EQ(serial.size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_FALSE(serial[i].empty());
+    EXPECT_EQ(serial[i], parallel[i])
+        << "point " << i << " reconstructed differently in parallel";
+  }
+  EXPECT_NE(serial[0], serial[1]);
+}
+
+// Forward compatibility: a trace containing a record kind from a future
+// writer must load cleanly — the unknown record is counted and skipped, and
+// the spans around it reconstruct as if it were not there.
+TEST(SpanForwardCompatTest, UnknownFutureKindIsSkipped) {
+  if (!kTraceCompiledIn) {
+    GTEST_SKIP() << "tracer compiled out (GMS_TRACE=OFF)";
+  }
+  const std::string path = TempTracePath("future");
+  Tracer tracer(/*num_nodes=*/1);
+  ASSERT_TRUE(tracer.OpenFile(path));
+  tracer.set_enabled(true);
+  const SpanRef root = TraceBegin(&tracer, 100, NodeId{0}, SpanOp::kGetPage);
+  SpanStep(&tracer, 250, NodeId{0}, root, SpanComp::kService);
+  SpanEnd(&tracer, 250, NodeId{0}, root, SpanStatus::kHit);
+  tracer.Finish();
+  // Append a record only a future writer would understand.
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  TraceRecord future{999, 0xDEAD, 0xBEEF, 42, 0, 99};
+  ASSERT_EQ(std::fwrite(&future, sizeof(future), 1, f), 1u);
+  std::fclose(f);
+
+  SpanForest forest;
+  std::string error;
+  ASSERT_TRUE(SpanForest::FromFile(path, &forest, &error)) << error;
+  std::remove(path.c_str());
+  EXPECT_EQ(forest.unknown_kind_records, 1u);
+  ASSERT_EQ(forest.traces.size(), 1u);
+  const Trace& trace = forest.traces.begin()->second;
+  const CriticalPath cp = ComputeCriticalPath(trace);
+  EXPECT_TRUE(cp.complete);
+  EXPECT_EQ(cp.e2e, 150);
+  EXPECT_EQ(cp.components[static_cast<size_t>(SpanComp::kService)], 150);
+}
+
+}  // namespace
+}  // namespace gms

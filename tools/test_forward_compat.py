@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Forward-compatibility check for the GMSTRC00 readers.
+
+Appends a record with an unknown (future) kind to a copy of a real trace
+file, then verifies both readers handle it:
+  * tools/trace_stats.py parses the file, reports the unknown kind under a
+    generic name, and exits 0;
+  * the C++ reconstructor (tools/trace_spans) skips it, counts it in its
+    "unknown-kind (skipped)" tally, and exits 0.
+
+Usage: tools/test_forward_compat.py TRACE.bin path/to/trace_spans
+"""
+
+import shutil
+import struct
+import subprocess
+import sys
+import os
+
+RECORD = struct.Struct("<qQQIHH")
+FUTURE_KIND = 99
+
+
+def fail(msg):
+    sys.exit(f"test_forward_compat: FAIL: {msg}")
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    trace, trace_spans = sys.argv[1], sys.argv[2]
+    tools = os.path.dirname(os.path.abspath(__file__))
+    mutated = trace + ".future"
+    shutil.copyfile(trace, mutated)
+    with open(mutated, "ab") as f:
+        f.write(RECORD.pack(1_000_000, 0xDEAD, 0xBEEF, 42, 0, FUTURE_KIND))
+
+    # Python reader: must exit 0 and surface the unknown kind by count.
+    out = subprocess.run(
+        [sys.executable, os.path.join(tools, "trace_stats.py"), mutated,
+         "--json"],
+        capture_output=True, text=True)
+    if out.returncode != 0:
+        fail(f"trace_stats.py rejected an unknown kind:\n{out.stderr}")
+    if f'"kind{FUTURE_KIND}": 1' not in out.stdout:
+        fail("trace_stats.py did not count the unknown kind")
+
+    # C++ reconstructor: must exit 0 and count it as skipped.
+    out = subprocess.run([trace_spans, mutated, "--check_tiling"],
+                         capture_output=True, text=True)
+    if out.returncode != 0:
+        fail(f"trace_spans rejected an unknown kind:\n"
+             f"{out.stdout}\n{out.stderr}")
+    if "1 unknown-kind (skipped)" not in out.stdout:
+        fail("trace_spans did not report the skipped unknown kind")
+
+    os.remove(mutated)
+    print("OK: both readers skip unknown record kinds cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

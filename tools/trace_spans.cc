@@ -1,0 +1,207 @@
+// Span-tree reconstruction CLI: rebuilds every request's causal span tree
+// from a binary event trace (GMSTRC00), decomposes end-to-end latency into
+// components that tile exactly, prints per-component tail latencies and the
+// worst-N exemplar trees, and optionally exports a Chrome/Perfetto timeline.
+//
+//   trace_spans FILE [--top=N] [--op=fault|putpage|epoch|getpage]
+//                    [--perfetto_out=FILE] [--check_tiling]
+//
+// --check_tiling exits non-zero if any ended trace fails to tile — the CI
+// contract that the component decomposition is exact, not approximate.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/span.h"
+
+namespace gms {
+namespace {
+
+std::string FlagString(int argc, char** argv, const std::string& name,
+                       const std::string& fallback = "") {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+bool FlagBool(int argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i < argc; i++) {
+    if (flag == argv[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SimTime Pct(std::vector<SimTime>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+  if (idx >= sorted.size()) {
+    idx = sorted.size() - 1;
+  }
+  return sorted[idx];
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2 || argv[1][0] == '-') {
+    std::fprintf(stderr,
+                 "usage: trace_spans FILE [--top=N] [--op=NAME] "
+                 "[--perfetto_out=FILE] [--check_tiling]\n");
+    return 2;
+  }
+  const std::string path = argv[1];
+  const std::string op_filter = FlagString(argc, argv, "op");
+  const std::string perfetto_out = FlagString(argc, argv, "perfetto_out");
+  const bool check_tiling = FlagBool(argc, argv, "check_tiling");
+  const int top = std::atoi(FlagString(argc, argv, "top", "3").c_str());
+
+  SpanForest forest;
+  std::string error;
+  if (!SpanForest::FromFile(path, &forest, &error)) {
+    std::fprintf(stderr, "trace_spans: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("%s: %" PRIu64 " span records, %" PRIu64 " other, %" PRIu64
+              " unknown-kind (skipped), %zu traces\n",
+              path.c_str(), forest.span_records, forest.other_records,
+              forest.unknown_kind_records, forest.traces.size());
+
+  struct OpAgg {
+    uint64_t traces = 0;
+    uint64_t complete = 0;
+    uint64_t orphans = 0;
+    uint64_t truncated = 0;
+    std::vector<SimTime> e2e;
+    std::vector<SimTime> comps[kNumSpanComps];
+    // Worst exemplars by e2e, kept small.
+    std::vector<std::pair<SimTime, const Trace*>> worst;
+  };
+  std::map<std::string, OpAgg> by_op;
+  uint64_t tiling_failures = 0;
+
+  for (const auto& [id, trace] : forest.traces) {
+    const std::string op = SpanOpName(trace.op());
+    if (!op_filter.empty() && op != op_filter) {
+      continue;
+    }
+    OpAgg& agg = by_op[op];
+    agg.traces++;
+    const CriticalPath cp = ComputeCriticalPath(trace);
+    if (cp.orphan) {
+      agg.orphans++;
+      continue;
+    }
+    if (!cp.complete) {
+      agg.truncated++;
+      tiling_failures++;
+      continue;
+    }
+    if (cp.truncated) {
+      agg.truncated++;
+    }
+    agg.complete++;
+    agg.e2e.push_back(cp.e2e);
+    for (size_t c = 1; c < kNumSpanComps; ++c) {
+      agg.comps[c].push_back(cp.components[c]);
+    }
+    agg.worst.push_back({cp.e2e, &trace});
+    std::push_heap(agg.worst.begin(), agg.worst.end(),
+                   [](const auto& x, const auto& y) { return x.first > y.first; });
+    if (agg.worst.size() > static_cast<size_t>(top)) {
+      std::pop_heap(agg.worst.begin(), agg.worst.end(),
+                    [](const auto& x, const auto& y) { return x.first > y.first; });
+      agg.worst.pop_back();
+    }
+  }
+
+  for (auto& [op, agg] : by_op) {
+    std::printf("\n== %s: %" PRIu64 " traces (%" PRIu64 " complete, %" PRIu64
+                " orphan, %" PRIu64 " truncated) ==\n",
+                op.c_str(), agg.traces, agg.complete, agg.orphans,
+                agg.truncated);
+    if (agg.e2e.empty()) {
+      continue;
+    }
+    std::sort(agg.e2e.begin(), agg.e2e.end());
+    std::printf("  %-13s p50=%-10" PRId64 " p99=%-10" PRId64 " p99.9=%-10"
+                PRId64 " max=%" PRId64 " (ns)\n",
+                "e2e", Pct(agg.e2e, 0.50), Pct(agg.e2e, 0.99),
+                Pct(agg.e2e, 0.999), agg.e2e.back());
+    for (size_t c = 1; c < kNumSpanComps; ++c) {
+      auto& v = agg.comps[c];
+      std::sort(v.begin(), v.end());
+      if (v.empty() || v.back() == 0) {
+        continue;  // component never on this op's critical path
+      }
+      std::printf("  %-13s p50=%-10" PRId64 " p99=%-10" PRId64 " p99.9=%-10"
+                  PRId64 " max=%" PRId64 "\n",
+                  SpanCompName(static_cast<SpanComp>(c)), Pct(v, 0.50),
+                  Pct(v, 0.99), Pct(v, 0.999), v.back());
+    }
+    std::sort(agg.worst.begin(), agg.worst.end(),
+              [](const auto& x, const auto& y) {
+                return x.first != y.first ? x.first > y.first
+                                          : x.second->id < y.second->id;
+              });
+    for (const auto& [e2e, trace] : agg.worst) {
+      std::printf("\n  worst exemplar (e2e=%" PRId64 "ns):\n", e2e);
+      const std::string tree = RenderTraceTree(*trace);
+      // Indent the rendered tree two spaces for readability.
+      size_t start = 0;
+      while (start < tree.size()) {
+        size_t nl = tree.find('\n', start);
+        if (nl == std::string::npos) {
+          nl = tree.size();
+        }
+        std::printf("  %.*s\n", static_cast<int>(nl - start),
+                    tree.c_str() + start);
+        start = nl + 1;
+      }
+    }
+  }
+
+  // Orphans are requests whose requester never resolved them (node crash,
+  // run cut short). They are part of the story: report, never drop.
+  uint64_t total_orphans = 0;
+  for (const auto& [op, agg] : by_op) {
+    total_orphans += agg.orphans;
+  }
+  std::printf("\nORPHANS %" PRIu64 "\n", total_orphans);
+  std::printf("TILING_FAILURES %" PRIu64 "\n", tiling_failures);
+
+  if (!perfetto_out.empty()) {
+    const std::string json = PerfettoJson(forest);
+    std::FILE* f = std::fopen(perfetto_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", perfetto_out.c_str());
+      return 2;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("perfetto timeline -> %s\n", perfetto_out.c_str());
+  }
+  if (check_tiling && tiling_failures != 0) {
+    std::fprintf(stderr,
+                 "trace_spans: %" PRIu64
+                 " ended trace(s) failed exact tiling\n",
+                 tiling_failures);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gms
+
+int main(int argc, char** argv) { return gms::Run(argc, argv); }

@@ -50,7 +50,13 @@ KIND_NAMES = {
     13: "epoch_params",
     14: "nfs_read",
     15: "writeback_recv",
+    16: "span_begin",
+    17: "span_step",
+    18: "span_end",
 }
+# Kinds above the highest known value come from a newer writer: they are
+# counted under a generic "kindN" name and otherwise skipped — never treated
+# as latencies or traffic, never fatal (forward compatibility).
 
 # Kinds whose `value` field is a latency in nanoseconds.
 LATENCY_KINDS = {

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Validate a Chrome/Perfetto trace_event JSON file produced by trace_spans.
+
+Checks, failing loudly on the first violation:
+  * the file is valid JSON with a top-level "traceEvents" array,
+  * every event has the fields its phase requires ("X" needs ts/dur/pid/tid,
+    "M" needs name/args, flow events need id/ts/pid/tid),
+  * no negative durations, timestamps are numbers,
+  * every flow START ("s") has exactly one matching FINISH ("f") with the
+    same id and vice versa — an unpaired flow renders as a dangling arrow.
+
+Usage: tools/validate_perfetto.py TIMELINE.json [--min-events N]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    sys.exit(f"validate_perfetto: {msg}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("timeline", help="trace_event JSON file")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="fail if fewer than this many events (default 1)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.timeline) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{args.timeline}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("missing top-level traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents is not an array")
+    if len(events) < args.min_events:
+        fail(f"only {len(events)} events (want >= {args.min_events})")
+
+    starts = {}   # flow id -> count
+    finishes = {}
+    slices = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph is None or "name" not in ev:
+            fail(f"event {i} missing ph/name")
+        if ph == "X":
+            for field in ("ts", "dur", "pid", "tid"):
+                if not isinstance(ev.get(field), (int, float)):
+                    fail(f"event {i} ('X' {ev['name']!r}) bad {field}")
+            if ev["dur"] < 0:
+                fail(f"event {i} has negative dur {ev['dur']}")
+            slices += 1
+        elif ph in ("s", "f"):
+            for field in ("id", "ts", "pid", "tid"):
+                if field not in ev:
+                    fail(f"event {i} (flow {ph!r}) missing {field}")
+            bucket = starts if ph == "s" else finishes
+            bucket[ev["id"]] = bucket.get(ev["id"], 0) + 1
+        elif ph == "M":
+            if "args" not in ev:
+                fail(f"event {i} (metadata) missing args")
+        else:
+            fail(f"event {i} has unexpected phase {ph!r}")
+
+    for fid, n in starts.items():
+        if n != 1 or finishes.get(fid, 0) != 1:
+            fail(f"flow id {fid}: {n} start(s), {finishes.get(fid, 0)} "
+                 f"finish(es) — flows must pair exactly")
+    for fid in finishes:
+        if fid not in starts:
+            fail(f"flow id {fid}: finish without start")
+
+    print(f"OK: {len(events)} events, {slices} slices, "
+          f"{len(starts)} paired flows")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
