@@ -3,11 +3,14 @@
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "src/cluster/experiments.h"
+#include "src/cluster/policy_registry.h"
 
 namespace gms {
 
@@ -31,6 +34,22 @@ inline PaperScale BenchScale(int argc, char** argv, double default_scale = 0.25)
   s.scale = FlagValue(argc, argv, "scale", default_scale);
   s.seed = static_cast<uint64_t>(FlagValue(argc, argv, "seed", 1));
   return s;
+}
+
+// Parses --policy=<name> through the policy registry. Benches default to the
+// paper's algorithm; an unknown name is a hard error listing the choices.
+inline PolicyKind BenchPolicy(int argc, char** argv,
+                              PolicyKind fallback = PolicyKind::kGms) {
+  const std::string name = FlagString(argc, argv, "policy");
+  if (name.empty()) {
+    return fallback;
+  }
+  if (const std::optional<PolicyKind> kind = ParsePolicyName(name)) {
+    return *kind;
+  }
+  std::fprintf(stderr, "unknown --policy=%s (known: %s)\n", name.c_str(),
+               KnownPolicyNames().c_str());
+  std::exit(1);
 }
 
 inline void BenchHeader(const std::string& title, const PaperScale& s) {

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/cluster/cluster.h"
 #include "src/cluster/experiments.h"
 #include "src/obs/trace.h"
@@ -300,10 +301,11 @@ HeadlineResult MeasureRoundTrip(double scale) {
 // overflows its memory into idle node 1, so most accesses ride the full
 // fault -> GCD -> getpage -> reply path. ns/item here is host nanoseconds
 // per *getpage attempt*, the figure DESIGN.md's performance model budgets.
-HeadlineResult MeasureGetPage(double scale) {
+HeadlineResult MeasureGetPage(double scale,
+                              PolicyKind policy = PolicyKind::kGms) {
   ClusterConfig config;
   config.num_nodes = 2;
-  config.policy = PolicyKind::kGms;
+  config.policy = policy;
   config.frames_per_node = {128, 2048};
   config.frames = 128;
   config.seed = 1;
@@ -336,10 +338,10 @@ void WriteBench(std::FILE* f, const char* name, const HeadlineResult& r,
                per_sec, ns, last ? "" : ",");
 }
 
-int EmitBenchJson(const std::string& path, double scale) {
+int EmitBenchJson(const std::string& path, double scale, PolicyKind policy) {
   const HeadlineResult ev = MeasureEventLoop(scale);
   const HeadlineResult rt = MeasureRoundTrip(scale);
-  const HeadlineResult gp = MeasureGetPage(scale);
+  const HeadlineResult gp = MeasureGetPage(scale, policy);
 
   struct rusage ru {};
   getrusage(RUSAGE_SELF, &ru);
@@ -391,7 +393,11 @@ int main(int argc, char** argv) {
   }
   if (emit) {
     const double scale = gms::FlagValue(argc, argv, "scale", 1.0);
-    return gms::EmitBenchJson(json_path, scale);
+    // --policy swaps the replacement policy under the end-to-end getpage
+    // headline; the event-loop and round-trip numbers are policy-free, so
+    // comparing two runs isolates the policy's (and the virtual dispatch
+    // seam's) host cost.
+    return gms::EmitBenchJson(json_path, scale, gms::BenchPolicy(argc, argv));
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

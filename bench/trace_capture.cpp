@@ -8,6 +8,8 @@
 //   --ring_capacity=N   per-node ring size in records (default 16384); the
 //                       ring flushes to the file when full, so smaller rings
 //                       trade write frequency for memory, never records
+//   --policy=NAME       replacement policy (gms, nchance, local, lfu, none;
+//                       default gms) — the CI policy matrix runs all of them
 //
 // Always prints a "TRACE_DIGEST fnv1a:<hex>:<count>" line: CI's trace-smoke
 // job re-derives the digest from the trace file with tools/trace_stats.py
@@ -30,7 +32,8 @@ int main(int argc, char** argv) {
 
   ClusterConfig config;
   config.num_nodes = 8;
-  config.policy = PolicyKind::kGms;
+  config.policy = BenchPolicy(argc, argv);
+  std::printf("policy=%s\n", PolicyName(config.policy));
   config.seed = s.seed;
   const uint32_t frames = s.Frames(1024);
   // Node 0 is the active workstation; peers hold idle memory.

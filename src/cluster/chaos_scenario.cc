@@ -12,7 +12,7 @@ std::unique_ptr<Cluster> BuildChaosCluster(const ChaosCase& chaos,
   ClusterConfig config;
   config.obs = obs;
   config.num_nodes = 4;
-  config.policy = PolicyKind::kGms;
+  config.policy = chaos.policy;
   config.frames_per_node = {256, 320, 1024, 768};
   config.frames = 256;
   config.seed = chaos.seed;

@@ -15,6 +15,10 @@ namespace gms {
 struct ChaosCase {
   uint64_t seed = 1;
   double loss = 0;  // injected drop probability; duplicates/reorders scale off it
+  // Replacement policy under chaos. GMS gets the retry layer; the others keep
+  // their original lossy semantics, so under loss they measure degradation
+  // rather than recovery.
+  PolicyKind policy = PolicyKind::kGms;
 };
 
 // Builds the standard chaos cluster: 4 nodes (two busy, two idle), retries

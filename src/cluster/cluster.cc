@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "src/core/local_lru_policy.h"
 #include "src/core/messages.h"
 
 namespace gms {
@@ -67,6 +68,7 @@ std::unique_ptr<MemoryService> Cluster::MakeService(NodeId id,
                                               config_.gms);
       agent->set_tracer(tracer_.get());
       rt.gms = agent.get();
+      rt.engine = agent.get();
       return agent;
     }
     case PolicyKind::kNchance: {
@@ -75,6 +77,30 @@ std::unique_ptr<MemoryService> Cluster::MakeService(NodeId id,
           config_.nchance);
       agent->set_tracer(tracer_.get());
       rt.nchance = agent.get();
+      rt.engine = agent.get();
+      return agent;
+    }
+    case PolicyKind::kLocalLru: {
+      // The engine with no global cache: getpage short-circuits to a miss
+      // and evictions drop to disk. Shares the GMS cost model so per-access
+      // CPU charges line up across policy comparisons.
+      EngineConfig engine;
+      engine.costs = config_.gms.costs;
+      auto agent = std::make_unique<CacheEngine>(
+          &sim_, net_.get(), rt.cpu.get(), rt.frames.get(), id, engine,
+          std::make_unique<LocalLruPolicy>());
+      agent->set_tracer(tracer_.get());
+      rt.engine = agent.get();
+      return agent;
+    }
+    case PolicyKind::kHybridLfu: {
+      EngineConfig engine;
+      engine.costs = config_.lfu.costs;
+      auto agent = std::make_unique<CacheEngine>(
+          &sim_, net_.get(), rt.cpu.get(), rt.frames.get(), id, engine,
+          std::make_unique<HybridLfuPolicy>(seed, config_.lfu));
+      agent->set_tracer(tracer_.get());
+      rt.engine = agent.get();
       return agent;
     }
     case PolicyKind::kNone:
@@ -144,10 +170,8 @@ void Cluster::AttachDispatcher(NodeId id) {
       rt.os->OnDatagram(std::move(dgram));
       return;
     }
-    if (rt.gms != nullptr) {
-      rt.gms->OnDatagram(std::move(dgram));
-    } else if (rt.nchance != nullptr) {
-      rt.nchance->OnDatagram(std::move(dgram));
+    if (rt.engine != nullptr) {
+      rt.engine->OnDatagram(std::move(dgram));
     }
     // PolicyKind::kNone: non-NFS traffic is dropped.
   });
@@ -165,8 +189,8 @@ void Cluster::Start() {
   for (auto& rt : nodes_) {
     if (rt->gms != nullptr) {
       rt->gms->Start(pod, config_.master, config_.first_initiator);
-    } else if (rt->nchance != nullptr) {
-      rt->nchance->Start(pod);
+    } else if (rt->engine != nullptr) {
+      rt->engine->Start(pod);
     }
   }
   if (config_.obs.snapshot_interval > 0) {
@@ -188,6 +212,10 @@ GmsAgent* Cluster::gms_agent(NodeId node) { return nodes_.at(node.value)->gms; }
 
 NchanceAgent* Cluster::nchance_agent(NodeId node) {
   return nodes_.at(node.value)->nchance;
+}
+
+CacheEngine* Cluster::cache_engine(NodeId node) {
+  return nodes_.at(node.value)->engine;
 }
 
 WorkloadDriver& Cluster::AddWorkload(NodeId node,
@@ -261,10 +289,8 @@ bool Cluster::RunUntilQuiescent(SimTime max_time) {
 void Cluster::CrashNode(NodeId node) {
   NodeRuntime& rt = *nodes_.at(node.value);
   net_->SetNodeUp(node, false);
-  if (rt.gms != nullptr) {
-    rt.gms->SetAlive(false);
-  } else if (rt.nchance != nullptr) {
-    rt.nchance->SetAlive(false);
+  if (rt.engine != nullptr) {
+    rt.engine->SetAlive(false);
   }
   rt.frames->Reset();
 }
@@ -279,13 +305,16 @@ void Cluster::RestartNode(NodeId node) {
         MixSeed(config_.seed, 0x20000 + node.value), config_.gms);
     agent->set_tracer(tracer_.get());
     rt.gms = agent.get();
+    rt.engine = agent.get();
     rt.service = std::move(agent);
     rt.os->set_service(rt.service.get());
     std::vector<NodeId> self_only{node};
     rt.gms->Start(Pod::Build(0, self_only), config_.master, kInvalidNode);
     rt.gms->Join(config_.master);
-  } else if (config_.policy == PolicyKind::kNchance) {
-    rt.nchance->SetAlive(true);
+  } else if (rt.engine != nullptr) {
+    // Memory was lost (frames reset) but the agent and its directory
+    // partition survive; the node simply resumes participating.
+    rt.engine->SetAlive(true);
   }
 }
 

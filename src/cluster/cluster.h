@@ -10,8 +10,10 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/policy_registry.h"
 #include "src/cluster/workload_driver.h"
 #include "src/core/gms_agent.h"
+#include "src/core/hybrid_lfu_policy.h"
 #include "src/core/memory_service.h"
 #include "src/disk/disk.h"
 #include "src/mem/frame_table.h"
@@ -25,12 +27,6 @@
 #include "src/workload/access_pattern.h"
 
 namespace gms {
-
-enum class PolicyKind {
-  kNone,     // native OSF/1: no cluster memory
-  kGms,      // the paper's algorithm
-  kNchance,  // N-chance forwarding baseline
-};
 
 // Observability wiring (src/obs). Off by default: with `trace == false` no
 // Tracer exists and every call site degrades to a null-pointer test (or to
@@ -61,6 +57,7 @@ struct ClusterConfig {
   NodeParams node;
   GmsConfig gms;
   NchanceConfig nchance;
+  HybridLfuConfig lfu;
 
   NodeId master{0};
   NodeId first_initiator{0};
@@ -89,6 +86,8 @@ class Cluster {
   // Typed agent accessors; nullptr when the policy does not match.
   GmsAgent* gms_agent(NodeId node);
   NchanceAgent* nchance_agent(NodeId node);
+  // The shared engine; nullptr only for PolicyKind::kNone.
+  CacheEngine* cache_engine(NodeId node);
 
   // --- workloads ---
   WorkloadDriver& AddWorkload(NodeId node, std::unique_ptr<AccessPattern> pattern,
@@ -149,6 +148,9 @@ class Cluster {
     std::unique_ptr<Disk> disk;
     std::unique_ptr<FrameTable> frames;
     std::unique_ptr<MemoryService> service;
+    // Views into `service`. `engine` is set for every CacheEngine-backed
+    // policy (all but kNone); the typed pointers only when the kind matches.
+    CacheEngine* engine = nullptr;
     GmsAgent* gms = nullptr;          // view into `service` when policy == kGms
     NchanceAgent* nchance = nullptr;  // view when policy == kNchance
     std::unique_ptr<NodeOs> os;

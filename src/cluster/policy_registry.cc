@@ -1,0 +1,51 @@
+#include "src/cluster/policy_registry.h"
+
+namespace gms {
+namespace {
+
+struct NamedPolicy {
+  const char* name;
+  PolicyKind kind;
+};
+
+// Listing order is the order KnownPolicyNames() prints.
+constexpr NamedPolicy kPolicies[] = {
+    {"gms", PolicyKind::kGms},
+    {"nchance", PolicyKind::kNchance},
+    {"local", PolicyKind::kLocalLru},
+    {"lfu", PolicyKind::kHybridLfu},
+    {"none", PolicyKind::kNone},
+};
+
+}  // namespace
+
+std::optional<PolicyKind> ParsePolicyName(std::string_view name) {
+  for (const NamedPolicy& p : kPolicies) {
+    if (name == p.name) {
+      return p.kind;
+    }
+  }
+  return std::nullopt;
+}
+
+const char* PolicyName(PolicyKind kind) {
+  for (const NamedPolicy& p : kPolicies) {
+    if (kind == p.kind) {
+      return p.name;
+    }
+  }
+  return "unknown";
+}
+
+std::string KnownPolicyNames() {
+  std::string out;
+  for (const NamedPolicy& p : kPolicies) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += p.name;
+  }
+  return out;
+}
+
+}  // namespace gms

@@ -1,1688 +1,30 @@
 #include "src/core/gms_agent.h"
 
-#include <algorithm>
-#include <cassert>
+#include <memory>
 #include <utility>
 
-#include "src/common/log.h"
-
 namespace gms {
+namespace {
+
+// The policy-independent slice of the GMS configuration, handed to the
+// shared engine. GMS propagates dirty bits on served pages (dirty-global
+// extension) and boosts global ages in the holder-side victim comparisons.
+EngineConfig GmsEngineConfig(const GmsConfig& config) {
+  EngineConfig engine;
+  engine.costs = config.costs;
+  engine.getpage_timeout = config.getpage_timeout;
+  engine.retry = config.retry;
+  engine.global_age_boost = config.epoch.global_age_boost;
+  engine.propagate_dirty = true;
+  return engine;
+}
+
+}  // namespace
 
 GmsAgent::GmsAgent(Simulator* sim, Network* net, Cpu* cpu, FrameTable* frames,
                    NodeId self, uint64_t seed, GmsConfig config)
-    : sim_(sim), net_(net), cpu_(cpu), frames_(frames), self_(self),
-      config_(config), rng_(seed) {
-  // In a balanced cluster this node's GCD partition tracks about as many
-  // pages as it has frames; pre-sizing eliminates rehashing while the
-  // cluster warms up.
-  gcd_.Reserve(frames->num_frames() * 2);
-}
-
-void GmsAgent::Start(const PodTable& pod, NodeId master, NodeId first_initiator) {
-  assert(!alive_);
-  alive_ = true;
-  pod_.Adopt(pod);
-  master_ = master;
-  view_ = EpochView{};
-  view_.next_initiator = first_initiator;
-  if (first_initiator == self_) {
-    sim_->After(config_.first_epoch_delay, [this] {
-      if (alive_) {
-        StartEpochAsInitiator();
-      }
-    });
-  } else if (config_.retry.enabled && first_initiator.valid()) {
-    // Under loss the first EpochParams may never reach us; watchdog the
-    // initiator from the start.
-    ArmEpochWatchdog();
-  }
-  if (config_.enable_heartbeats && master_ == self_) {
-    hb_timer_ = sim_->ScheduleTimer(config_.heartbeat_interval,
-                                    [this] { SendHeartbeats(); });
-  }
-  if (config_.enable_heartbeats && config_.enable_master_election &&
-      master_ != self_) {
-    ArmMasterWatchdog();
-  }
-}
-
-void GmsAgent::SetAlive(bool alive) {
-  if (alive_ == alive) {
-    return;
-  }
-  alive_ = alive;
-  if (!alive) {
-    sim_->CancelTimer(epoch_timer_);
-    sim_->CancelTimer(collect_timer_);
-    sim_->CancelTimer(hb_timer_);
-    sim_->CancelTimer(master_watchdog_);
-    epoch_timer_ = collect_timer_ = hb_timer_ = master_watchdog_ = 0;
-    sim_->CancelTimer(join_retry_timer_);
-    sim_->CancelTimer(epoch_watchdog_);
-    sim_->CancelTimer(stale_clear_timer_);
-    join_retry_timer_ = epoch_watchdog_ = stale_clear_timer_ = 0;
-    epoch_watchdog_fires_ = 0;
-    for (auto& [key, ctl] : unacked_) {
-      sim_->CancelTimer(ctl.timer);
-    }
-    unacked_.clear();
-    for (auto& [node, window] : seen_seqs_) {
-      sim_->CancelTimer(window.gap_timer);
-    }
-    seen_seqs_.clear();
-    for (auto& [id, pending] : pending_gets_) {
-      sim_->CancelTimer(pending.timer);
-    }
-    pending_gets_.clear();
-    collecting_ = false;
-  }
-}
-
-void GmsAgent::Join(NodeId master) {
-  master_ = master;
-  alive_ = true;
-  Send(master, kMsgJoinReq, config_.costs.small_message_bytes(),
-       JoinReq{self_});
-  if (config_.retry.enabled) {
-    join_attempts_ = 1;
-    sim_->CancelTimer(join_retry_timer_);
-    join_retry_timer_ = sim_->ScheduleTimer(RetryTimeoutFor(join_attempts_),
-                                            [this] { RetryJoin(); });
-  }
-}
-
-void GmsAgent::RetryJoin() {
-  join_retry_timer_ = 0;
-  if (!alive_ || pod_.IsLive(self_)) {
-    return;
-  }
-  if (join_attempts_ >= config_.retry.max_attempts) {
-    stats_.control_give_ups++;
-    return;
-  }
-  join_attempts_++;
-  stats_.control_retries++;
-  Send(master_, kMsgJoinReq, config_.costs.small_message_bytes(),
-       JoinReq{self_});
-  join_retry_timer_ = sim_->ScheduleTimer(RetryTimeoutFor(join_attempts_),
-                                          [this] { RetryJoin(); });
-}
-
-SimTime GmsAgent::RetryTimeoutFor(int attempts) const {
-  double t = static_cast<double>(config_.retry.initial_timeout);
-  for (int i = 0; i < attempts; i++) {
-    t *= config_.retry.backoff;
-  }
-  const double cap = static_cast<double>(config_.retry.max_timeout);
-  return static_cast<SimTime>(t > cap ? cap : t);
-}
-
-void GmsAgent::SendReliable(NodeId dst, uint32_t type, uint32_t bytes,
-                            MessagePayload payload, uint64_t seq, const Uid& uid,
-                            bool putpage_target) {
-  UnackedControl ctl;
-  ctl.dst = dst;
-  ctl.type = type;
-  ctl.bytes = bytes;
-  ctl.payload = payload;
-  ctl.uid = uid;
-  ctl.putpage_target = putpage_target;
-  const uint64_t key = AckKey(dst, seq);
-  ctl.timer = sim_->ScheduleTimer(RetryTimeoutFor(0),
-                                  [this, key] { RetryControl(key); });
-  unacked_.emplace(key, std::move(ctl));
-  Send(dst, type, bytes, std::move(payload));
-}
-
-void GmsAgent::RetryControl(uint64_t key) {
-  auto it = unacked_.find(key);
-  if (it == unacked_.end()) {
-    return;
-  }
-  UnackedControl& ctl = it->second;
-  ctl.timer = 0;
-  if (ctl.attempts >= config_.retry.max_attempts || !pod_.IsLive(ctl.dst)) {
-    stats_.control_give_ups++;
-    const bool cleanup = ctl.putpage_target;
-    const Uid uid = ctl.uid;
-    const NodeId dst = ctl.dst;
-    unacked_.erase(it);
-    if (cleanup) {
-      // The page transfer was never confirmed; de-register the target so the
-      // directory stops advertising a copy nobody may hold. The page itself
-      // is clean — disk still has it.
-      SendGcdUpdate(uid, GcdUpdate::kRemove, dst, true);
-    }
-    return;
-  }
-  ctl.attempts++;
-  stats_.control_retries++;
-  if (const SpanRef* slot = PayloadSpan(ctl.type, ctl.payload)) {
-    // The stored payload still carries the sender-side span (receive forks
-    // happen on the receiver's copy), so retry-timer waits accrue there.
-    SpanStep(tracer_, sim_->now(), self_, *slot, SpanComp::kRetryWait,
-             ctl.attempts);
-  }
-  Send(ctl.dst, ctl.type, ctl.bytes, ctl.payload);
-  ctl.timer = sim_->ScheduleTimer(RetryTimeoutFor(ctl.attempts),
-                                  [this, key] { RetryControl(key); });
-}
-
-void GmsAgent::HandleProtoAck(const ProtoAck& msg) {
-  auto it = unacked_.find(AckKey(msg.from, msg.seq));
-  if (it == unacked_.end()) {
-    return;  // duplicate ack
-  }
-  sim_->CancelTimer(it->second.timer);
-  unacked_.erase(it);
-}
-
-SimTime GmsAgent::GapSkipTimeout() const {
-  SimTime t = config_.retry.max_timeout;
-  for (int i = 0; i < config_.retry.max_attempts; i++) {
-    t += RetryTimeoutFor(i);
-  }
-  return t;
-}
-
-void GmsAgent::ReceiveSequenced(NodeId from, uint64_t seq, Datagram dgram) {
-  // Ack even duplicates — the previous ack may be the copy that was lost.
-  Send(from, kMsgProtoAck, config_.costs.small_message_bytes(),
-       ProtoAck{seq, self_});
-  SeqWindow& w = seen_seqs_[from.value];
-  if (!w.initialized) {
-    w.initialized = true;
-    w.max_contig = seq;
-    Dispatch(dgram);
-    return;
-  }
-  if (seq <= w.max_contig || w.Holds(seq)) {
-    stats_.duplicate_msgs_dropped++;
-    // The forked receive span dead-ends here; the stamp marks it as a
-    // dropped duplicate rather than leaving it a bare begin record.
-    if (const SpanRef* slot = PayloadSpan(dgram.type, dgram.payload)) {
-      SpanStep(tracer_, sim_->now(), self_, *slot, SpanComp::kDupDrop);
-    }
-    return;
-  }
-  w.Hold(seq, std::move(dgram));
-  DrainWindow(from);
-}
-
-void GmsAgent::DrainWindow(NodeId from) {
-  SeqWindow& w = seen_seqs_[from.value];
-  bool advanced = false;
-  while (!w.held.empty() && w.MinSeq() == w.max_contig + 1) {
-    Datagram next = w.TakeMin();
-    w.max_contig++;
-    advanced = true;
-    // Zero-length for in-order arrivals; otherwise the time this message
-    // sat in the reorder window waiting for its gap to fill.
-    if (const SpanRef* slot = PayloadSpan(next.type, next.payload)) {
-      SpanStep(tracer_, sim_->now(), self_, *slot, SpanComp::kOrderWait);
-    }
-    Dispatch(next);
-  }
-  if (w.held.empty()) {
-    sim_->CancelTimer(w.gap_timer);
-    w.gap_timer = 0;
-    return;
-  }
-  // A gap blocks delivery. The sender retries every sequenced message, so
-  // the gap fills on its own unless the sender gave up (or died); restart
-  // the clock whenever progress is made so each gap gets the full span.
-  if (w.gap_timer == 0 || advanced) {
-    sim_->CancelTimer(w.gap_timer);
-    w.gap_timer = sim_->ScheduleTimer(GapSkipTimeout(),
-                                      [this, from] { OnSeqGapTimeout(from); });
-  }
-}
-
-void GmsAgent::OnSeqGapTimeout(NodeId from) {
-  SeqWindow& w = seen_seqs_[from.value];
-  w.gap_timer = 0;
-  if (w.held.empty()) {
-    return;
-  }
-  stats_.seq_gaps_skipped++;
-  w.max_contig = w.MinSeq() - 1;
-  DrainWindow(from);
-}
-
-void GmsAgent::Send(NodeId dst, uint32_t type, uint32_t bytes,
-                    MessagePayload payload) {
-  net_->Send(Datagram{self_, dst, bytes, type, std::move(payload)});
-}
-
-SimTime GmsAgent::EffectiveAge(const Frame& frame) const {
-  const SimTime age = sim_->now() - frame.last_access;
-  if (frame.location == PageLocation::kGlobal) {
-    return static_cast<SimTime>(static_cast<double>(age) *
-                                config_.epoch.global_age_boost);
-  }
-  return age;
-}
-
-// ---------------------------------------------------------------------------
-// getpage — requester side
-// ---------------------------------------------------------------------------
-
-void GmsAgent::GetPage(const Uid& uid, GetPageCallback callback,
-                       SpanRef parent) {
-  stats_.getpage_attempts++;
-  TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kGetPageIssue, uid,
-             0);
-  const uint64_t op_id = next_op_id_++;
-  PendingGet pending;
-  pending.uid = uid;
-  pending.callback = std::move(callback);
-  pending.started = sim_->now();
-  // Continue on the caller's fault span, or root a standalone getpage trace
-  // (tests, microbenchmarks) that ResolveGet will also end.
-  pending.span = parent;
-  if (!pending.span.valid()) {
-    pending.span = TraceBegin(tracer_, sim_->now(), self_, SpanOp::kGetPage);
-    pending.owns_trace = pending.span.valid();
-  }
-  // With retries enabled each attempt gets a short window and escalates;
-  // without, one long window covers the whole operation.
-  const SimTime window =
-      config_.retry.enabled ? RetryTimeoutFor(0) : config_.getpage_timeout;
-  pending.timer =
-      sim_->ScheduleTimer(window, [this, op_id] { OnGetPageTimeout(op_id); });
-  const SpanRef span = pending.span;
-  pending_gets_.emplace(op_id, std::move(pending));
-  IssueGetPage(uid, op_id, span);
-}
-
-void GmsAgent::OnGetPageTimeout(uint64_t op_id) {
-  auto it = pending_gets_.find(op_id);
-  if (it == pending_gets_.end()) {
-    return;
-  }
-  PendingGet& pending = it->second;
-  // The armed window since the previous attempt's send was spent waiting.
-  SpanStep(tracer_, sim_->now(), self_, pending.span, SpanComp::kRetryWait,
-           static_cast<uint64_t>(pending.attempts));
-  if (config_.retry.enabled &&
-      pending.attempts + 1 < config_.retry.max_attempts) {
-    pending.attempts++;
-    stats_.getpage_retries++;
-    pending.timer = sim_->ScheduleTimer(
-        RetryTimeoutFor(pending.attempts),
-        [this, op_id] { OnGetPageTimeout(op_id); });
-    // Same op_id: a late reply to any attempt resolves the fault, and the
-    // duplicate-reply case is absorbed by pending_gets_ erasure.
-    IssueGetPage(pending.uid, op_id, pending.span);
-    return;
-  }
-  stats_.getpage_timeouts++;
-  GetPageResult result;
-  result.span = pending.span;
-  ResolveGet(op_id, result);
-}
-
-void GmsAgent::IssueGetPage(const Uid& uid, uint64_t op_id, SpanRef span) {
-  // Request generation: UID hash + POD lookup (Table 1, "Request
-  // Generation"; 7 us when the GCD turns out to be local).
-  cpu_->SubmitKernel(config_.costs.get_request_local, CpuCategory::kFault,
-                     [this, uid, op_id, span] {
-    if (!alive_) {
-      return;
-    }
-    SpanStep(tracer_, sim_->now(), self_, span, SpanComp::kReqGen);
-    const NodeId gcd_node = pod_.GcdNodeFor(uid);
-    if (gcd_node == self_) {
-      LookupInGcd(uid, self_, op_id, span);
-      return;
-    }
-    // Marshal + transmit the request to the remote GCD node.
-    cpu_->SubmitKernel(config_.costs.get_request_remote_extra,
-                       CpuCategory::kFault, [this, uid, op_id, gcd_node, span] {
-      if (!alive_) {
-        return;
-      }
-      SpanStep(tracer_, sim_->now(), self_, span, SpanComp::kReqGen,
-               gcd_node.value);
-      GetPageReq req{uid, self_, op_id};
-      req.span = span;
-      Send(gcd_node, kMsgGetPageReq, config_.costs.small_message_bytes(), req);
-    });
-  });
-}
-
-void GmsAgent::ResolveGet(uint64_t op_id, GetPageResult result) {
-  auto it = pending_gets_.find(op_id);
-  if (it == pending_gets_.end()) {
-    return;  // late reply after a timeout already resolved it
-  }
-  sim_->CancelTimer(it->second.timer);
-  GetPageCallback callback = std::move(it->second.callback);
-  const Uid uid = it->second.uid;
-  const SimTime latency = sim_->now() - it->second.started;
-  const bool owns_trace = it->second.owns_trace;
-  pending_gets_.erase(it);
-  if (result.hit) {
-    stats_.getpage_hits++;
-    stats_.getpage_hit_ns.Record(latency);
-    TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kGetPageHit, uid,
-               static_cast<uint64_t>(latency));
-  } else {
-    stats_.getpage_misses++;
-    stats_.getpage_miss_ns.Record(latency);
-    TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kGetPageMiss, uid,
-               static_cast<uint64_t>(latency));
-  }
-  if (owns_trace) {
-    // Standalone getpage (no enclosing fault): the trace ends here, on
-    // whichever span the resolution landed on.
-    SpanEnd(tracer_, sim_->now(), self_, result.span,
-            result.hit ? SpanStatus::kHit : SpanStatus::kMiss,
-            static_cast<uint64_t>(latency));
-  }
-  callback(result);
-}
-
-// Runs on the node storing the GCD entry (which may be the requester itself
-// for private pages). `requester == self_` means the lookup cost belongs to
-// the local fault, not to serving a peer.
-void GmsAgent::LookupInGcd(const Uid& uid, NodeId requester, uint64_t op_id,
-                           SpanRef span) {
-  const CpuCategory category =
-      requester == self_ ? CpuCategory::kFault : CpuCategory::kService;
-  cpu_->SubmitKernel(config_.costs.gcd_lookup, category,
-                     [this, uid, requester, op_id, category, span] {
-    if (!alive_) {
-      return;
-    }
-    stats_.gcd_lookups++;
-    SpanStep(tracer_, sim_->now(), self_, span, SpanComp::kService);
-    const std::optional<GcdTable::Holder> pick = gcd_.Pick(uid, requester);
-    if (!pick.has_value() || !pod_.IsLive(pick->node)) {
-      if (requester == self_) {
-        // The 15 us non-shared miss path. Resolution lands on the request's
-        // own span (GCD was local; no hop ever happened).
-        GetPageResult result;
-        result.span = span;
-        ResolveGet(op_id, result);
-      } else {
-        GetPageMiss miss{uid, op_id};
-        miss.span = span;
-        Send(requester, kMsgGetPageMiss, config_.costs.small_message_bytes(),
-             miss);
-      }
-      return;
-    }
-    // Optimistic directory update: the requester will hold the page once the
-    // transfer completes. A global copy moves (single-copy invariant); a
-    // shared local copy gains a duplicate.
-    if (pick->global) {
-      gcd_.Apply(GcdUpdate{uid, GcdUpdate::kRemove, pick->node, true});
-    }
-    gcd_.Apply(GcdUpdate{uid, GcdUpdate::kAdd, requester, false});
-    cpu_->SubmitKernel(config_.costs.gcd_forward_extra, category,
-                       [this, uid, requester, op_id, holder = pick->node,
-                        span] {
-      if (!alive_) {
-        return;
-      }
-      SpanStep(tracer_, sim_->now(), self_, span, SpanComp::kService,
-               holder.value);
-      GetPageFwd fwd{uid, requester, op_id};
-      fwd.span = span;
-      if (config_.retry.enabled) {
-        // The directory just de-registered the holder's copy; if this
-        // forward is lost the holder keeps a global page nothing points at
-        // (and a later re-eviction would make a second copy). Retry it past
-        // drops and partitions so the holder serves or frees the frame.
-        fwd.seq = NextCtlSeq(holder);
-        SendReliable(holder, kMsgGetPageFwd,
-                     config_.costs.small_message_bytes(), fwd, fwd.seq, uid,
-                     /*putpage_target=*/false);
-        return;
-      }
-      Send(holder, kMsgGetPageFwd, config_.costs.small_message_bytes(), fwd);
-    });
-  });
-}
-
-// ---------------------------------------------------------------------------
-// getpage — GCD and housing-node sides
-// ---------------------------------------------------------------------------
-
-void GmsAgent::HandleGetPageReq(const GetPageReq& msg) {
-  LookupInGcd(msg.uid, msg.requester, msg.op_id, msg.span);
-}
-
-void GmsAgent::HandleGetPageFwd(const GetPageFwd& msg) {
-  cpu_->SubmitKernel(config_.costs.get_target, CpuCategory::kService,
-                     [this, msg] {
-    if (!alive_) {
-      return;
-    }
-    SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kService);
-    Frame* frame = frames_->Lookup(msg.uid);
-    if (frame == nullptr || frame->pinned) {
-      // Stale GCD hint (the page moved or is mid-transfer): the requester
-      // falls back to disk — the paper's "worst case" reconfiguration
-      // behaviour.
-      GetPageMiss miss{msg.uid, msg.op_id};
-      miss.span = msg.span;
-      Send(msg.requester, kMsgGetPageMiss, config_.costs.small_message_bytes(),
-           miss);
-      return;
-    }
-    GetPageReply reply{msg.uid, msg.op_id, false, frame->dirty};
-    reply.span = msg.span;
-    if (frame->location == PageLocation::kGlobal) {
-      // A global page has exactly one copy (a dirty page may have replicas;
-      // this one moves and any sibling is reconciled by the directory); it
-      // moves to the requester and this node's frame becomes free (the
-      // getpage half of the "swap" — section 4.5).
-      reply.was_global = true;
-      stats_.global_hits_served++;
-      frames_->Free(frame);
-      if (config_.retry.enabled) {
-        // Normally redundant: the GCD already de-listed us optimistically
-        // before forwarding. But a forward can be stale — delayed behind a
-        // CPU backlog while the requester timed out, re-fetched the page
-        // from disk, and evicted it back to us. Serving that forward frees
-        // the *new* incarnation, whose registration post-dates the
-        // optimistic removal; without this corrective remove the directory
-        // would keep naming us as a holder forever.
-        SendGcdUpdate(msg.uid, GcdUpdate::kRemove, self_, true);
-      }
-    } else {
-      // Shared page served from our active local memory (case 4): we keep
-      // our copy and both copies become duplicates.
-      frame->duplicated = true;
-    }
-    Send(msg.requester, kMsgGetPageReply, config_.costs.page_message_bytes(),
-         reply);
-  });
-}
-
-void GmsAgent::HandleGetPageReply(const GetPageReply& msg) {
-  cpu_->SubmitKernel(config_.costs.get_reply_receipt_data, CpuCategory::kFault,
-                     [this, msg] {
-    if (!alive_) {
-      return;
-    }
-    SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kService);
-    ResolveGet(msg.op_id,
-               GetPageResult{true, !msg.was_global, msg.dirty, msg.span});
-  });
-}
-
-void GmsAgent::HandleGetPageMiss(const GetPageMiss& msg) {
-  cpu_->SubmitKernel(config_.costs.get_reply_receipt_miss, CpuCategory::kFault,
-                     [this, msg] {
-    if (!alive_) {
-      return;
-    }
-    SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kService);
-    GetPageResult result;
-    result.span = msg.span;
-    ResolveGet(msg.op_id, result);
-  });
-}
-
-// ---------------------------------------------------------------------------
-// putpage / eviction
-// ---------------------------------------------------------------------------
-
-void GmsAgent::OnPageLoaded(Frame* frame) {
-  SendGcdUpdate(frame->uid, GcdUpdate::kAdd, self_,
-                frame->location == PageLocation::kGlobal);
-}
-
-void GmsAgent::EvictClean(Frame* frame) {
-  assert(frame != nullptr && frame->in_use() && !frame->dirty);
-  evictions_since_summary_++;
-
-  // Duplicate shared pages are dropped without network transmission
-  // (section 4.5; the Table 4 "GMS duplicate" case).
-  if (frame->shared && frame->duplicated) {
-    stats_.discards_duplicate++;
-    DiscardFrame(frame);
-    return;
-  }
-
-  // MinAge test (section 3.2): pages at least as old as the epoch threshold
-  // are expected to leave cluster memory this epoch — drop to disk.
-  const SimTime age = EffectiveAge(*frame);
-  if (view_.min_age == 0 || age >= view_.min_age) {
-    stats_.discards_old++;
-    DiscardFrame(frame);
-    return;
-  }
-
-  const std::optional<NodeId> target = SampleEvictionTarget();
-  if (!target.has_value()) {
-    stats_.discards_no_budget++;
-    ReportStaleWeights();
-    DiscardFrame(frame);
-    return;
-  }
-  SendPutPage(frame, *target);
-}
-
-bool GmsAgent::EvictDirty(Frame* frame) {
-  assert(frame != nullptr && frame->in_use() && frame->dirty);
-  if (!config_.dirty_global) {
-    return false;
-  }
-  evictions_since_summary_++;
-
-  if (frame->location == PageLocation::kGlobal) {
-    // A dirty global page leaving a holder goes home for write-back rather
-    // than recirculating; a lingering replica elsewhere is harmless (the
-    // write-back is idempotent).
-    stats_.dirty_writebacks_sent++;
-    WriteBack msg{frame->uid, self_};
-    // The write-back roots its own trace; the home node ends it once the
-    // page is durable on disk.
-    msg.span = TraceBegin(tracer_, sim_->now(), self_, SpanOp::kPutPage);
-    const NodeId backing = NodeOfIp(frame->uid.ip());
-    SendGcdUpdate(frame->uid, GcdUpdate::kRemove, self_, true, kInvalidNode,
-                  msg.span);
-    frames_->Free(frame);
-    cpu_->SubmitKernel(config_.costs.put_request, CpuCategory::kFault,
-                       [this, msg, backing] {
-      if (alive_) {
-        SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kReqGen);
-        Send(backing, kMsgWriteBack, config_.costs.page_message_bytes(), msg);
-      }
-    });
-    return true;
-  }
-
-  // Local dirty page: replicate into the global memory of `dirty_replicas`
-  // distinct nodes. Without at least one target we fall back to the
-  // caller's disk write-back.
-  std::vector<NodeId> targets;
-  for (uint32_t i = 0; i < config_.dirty_replicas * 4 &&
-                       targets.size() < config_.dirty_replicas;
-       i++) {
-    const std::optional<NodeId> t = SampleEvictionTarget();
-    if (!t.has_value()) {
-      break;
-    }
-    if (std::find(targets.begin(), targets.end(), *t) == targets.end()) {
-      targets.push_back(*t);
-    }
-  }
-  if (targets.empty()) {
-    ReportStaleWeights();
-    return false;
-  }
-  stats_.dirty_putpages_sent++;
-  stats_.putpages_sent += targets.size();
-  PutPage msg;
-  msg.uid = frame->uid;
-  msg.from = self_;
-  msg.age = sim_->now() - frame->last_access;
-  msg.shared = frame->shared;
-  msg.dirty = true;
-  // One trace covers the whole replication fan-out; every replica's receive
-  // span forks off the same root.
-  msg.span = TraceBegin(tracer_, sim_->now(), self_, SpanOp::kPutPage);
-  frames_->Free(frame);
-  const SimTime marshal =
-      config_.costs.put_request * static_cast<SimTime>(targets.size());
-  cpu_->SubmitKernel(marshal, CpuCategory::kFault, [this, msg, targets]() mutable {
-    if (!alive_) {
-      return;
-    }
-    SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kReqGen);
-    for (size_t i = 0; i < targets.size(); i++) {
-      if (config_.retry.enabled) {
-        msg.seq = NextCtlSeq(targets[i]);
-        SendReliable(targets[i], kMsgPutPage,
-                     config_.costs.page_message_bytes(), msg, msg.seq, msg.uid,
-                     /*putpage_target=*/true);
-      } else {
-        Send(targets[i], kMsgPutPage, config_.costs.page_message_bytes(), msg);
-      }
-      // The first target is the "primary" in the directory (kReplace); the
-      // replicas are added alongside it.
-      if (i == 0) {
-        SendGcdUpdate(msg.uid, GcdUpdate::kReplace, targets[i], true, self_);
-      } else {
-        SendGcdUpdate(msg.uid, GcdUpdate::kAdd, targets[i], true);
-      }
-    }
-  });
-  return true;
-}
-
-void GmsAgent::DiscardFrame(Frame* frame) {
-  SendGcdUpdate(frame->uid, GcdUpdate::kRemove, self_,
-                frame->location == PageLocation::kGlobal);
-  frames_->Free(frame);
-}
-
-void GmsAgent::SendPutPage(Frame* frame, NodeId target) {
-  stats_.putpages_sent++;
-  TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kPutPageSend,
-             frame->uid, target.value);
-  PutPage msg;
-  msg.uid = frame->uid;
-  msg.from = self_;
-  msg.age = sim_->now() - frame->last_access;
-  msg.shared = frame->shared;
-  // Each putpage roots its own trace: the eviction is the originating
-  // operation, and the receiver's absorb/bounce decision ends it.
-  msg.span = TraceBegin(tracer_, sim_->now(), self_, SpanOp::kPutPage);
-  // The frame is reusable once the page is copied into a network buffer;
-  // model that copy as instantaneous and charge the Table 2 sender latency
-  // (marshal + GCD update) as CPU time before the message hits the wire.
-  frames_->Free(frame);
-
-  const NodeId gcd_node = pod_.GcdNodeFor(msg.uid);
-  const SimTime marshal =
-      config_.costs.put_request + (gcd_node == self_
-                                       ? config_.costs.put_gcd_processing
-                                       : config_.costs.put_gcd_remote_extra);
-  cpu_->SubmitKernel(marshal, CpuCategory::kFault, [this, msg, target]() mutable {
-    if (!alive_) {
-      return;
-    }
-    SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kReqGen);
-    if (config_.retry.enabled) {
-      msg.seq = NextCtlSeq(target);
-      SendReliable(target, kMsgPutPage, config_.costs.page_message_bytes(),
-                   msg, msg.seq, msg.uid, /*putpage_target=*/true);
-    } else {
-      Send(target, kMsgPutPage, config_.costs.page_message_bytes(), msg);
-    }
-    SendGcdUpdate(msg.uid, GcdUpdate::kReplace, target, true, self_, msg.span);
-  });
-}
-
-void GmsAgent::SendGcdUpdate(const Uid& uid, GcdUpdate::Op op, NodeId holder,
-                             bool global, NodeId prev, SpanRef span) {
-  GcdUpdate update{uid, op, holder, global, prev};
-  update.span = span;
-  const NodeId gcd_node = pod_.GcdNodeFor(uid);
-  if (gcd_node == self_) {
-    ApplyGcdAsOwner(update);
-    return;
-  }
-  if (config_.retry.enabled) {
-    update.seq = NextCtlSeq(gcd_node);
-    SendReliable(gcd_node, kMsgGcdUpdate, config_.costs.small_message_bytes(),
-                 update, update.seq, uid, /*putpage_target=*/false);
-    return;
-  }
-  Send(gcd_node, kMsgGcdUpdate, config_.costs.small_message_bytes(), update);
-}
-
-void GmsAgent::ApplyGcdAsOwner(const GcdUpdate& update) {
-  if (config_.retry.enabled &&
-      (update.op == GcdUpdate::kAdd || update.op == GcdUpdate::kReplace) &&
-      !pod_.IsLive(update.node)) {
-    // A late or retried registration from a node no longer in the
-    // membership must not resurrect it as a holder.
-    return;
-  }
-  if (config_.retry.enabled &&
-      (update.op == GcdUpdate::kAdd || update.op == GcdUpdate::kReplace) &&
-      update.node == self_ && update.global &&
-      frames_->Lookup(update.uid) == nullptr) {
-    // Remote registrations naming *this node* as a global holder apply
-    // behind the kService kernel queue, while this node's own directory
-    // updates (discard, optimistic getpage moves) apply instantly. A queued
-    // kReplace can therefore land after the page it announced has already
-    // been absorbed and re-evicted here, resurrecting a self-entry with no
-    // frame behind it. Unlike hints about other nodes, the owner can check
-    // its own cache: drop the registration if the page is not resident.
-    // (A kReplace still runs below with node swapped out so `prev` and
-    // superseded holders are cleaned up.)
-    if (update.op == GcdUpdate::kReplace) {
-      GcdUpdate scrubbed = update;
-      scrubbed.op = GcdUpdate::kRemove;
-      scrubbed.node = update.prev.valid() ? update.prev : self_;
-      scrubbed.global = false;
-      gcd_.Apply(scrubbed);
-      gcd_.Apply(GcdUpdate{update.uid, GcdUpdate::kRemove, self_, true});
-    }
-    return;
-  }
-  if (config_.retry.enabled && !config_.dirty_global &&
-      update.op == GcdUpdate::kAdd && update.global) {
-    // A global registration for a page that already has a *different*
-    // global holder means two putpages of the same page raced — e.g. a
-    // transfer delayed by a partition finally landed after the evictor
-    // timed out, re-fetched the page from disk, and re-evicted it to a
-    // different node. Both copies are clean, so either may be dropped;
-    // keep the incumbent (the later directory state) and tell the
-    // newcomer to free its copy. Without dirty_global there is never a
-    // legitimate second global copy.
-    if (const GcdTable::Entry* entry = gcd_.Lookup(update.uid)) {
-      for (const GcdTable::Holder& h : entry->holders) {
-        if (!h.global || h.node == update.node) {
-          continue;
-        }
-        if (update.node != self_) {
-          GcdInvalidate inv{update.uid, NextCtlSeq(update.node)};
-          SendReliable(update.node, kMsgGcdInvalidate,
-                       config_.costs.small_message_bytes(), inv, inv.seq,
-                       update.uid, /*putpage_target=*/false);
-          return;  // drop the registration; the incumbent stays
-        }
-        // The newcomer is this node itself (the owner absorbed a putpage):
-        // our frame is resident, so keep ours and invalidate the incumbent.
-        GcdInvalidate inv{update.uid, NextCtlSeq(h.node)};
-        SendReliable(h.node, kMsgGcdInvalidate,
-                     config_.costs.small_message_bytes(), inv, inv.seq,
-                     update.uid, /*putpage_target=*/false);
-        gcd_.Apply(GcdUpdate{update.uid, GcdUpdate::kRemove, h.node, true});
-        break;  // at most one global incumbent; fall through to register
-      }
-    }
-  }
-  if (update.op == GcdUpdate::kReplace) {
-    // A replace that supersedes a still-registered global copy elsewhere
-    // means a race (e.g. a disk refetch forked the page while a putpage was
-    // in flight); tell the stale holder to drop its clean copy so the
-    // single-copy invariant re-converges. Under loss the invalidation must
-    // be reliable, or the second copy survives forever.
-    if (const GcdTable::Entry* entry = gcd_.Lookup(update.uid)) {
-      for (const GcdTable::Holder& h : entry->holders) {
-        if (h.global && h.node != update.node && h.node != update.prev &&
-            h.node != self_) {
-          GcdInvalidate inv{update.uid, 0};
-          if (config_.retry.enabled) {
-            inv.seq = NextCtlSeq(h.node);
-            SendReliable(h.node, kMsgGcdInvalidate,
-                         config_.costs.small_message_bytes(), inv, inv.seq,
-                         update.uid, /*putpage_target=*/false);
-          } else {
-            Send(h.node, kMsgGcdInvalidate,
-                 config_.costs.small_message_bytes(), inv);
-          }
-        } else if (config_.retry.enabled && h.global && h.node == self_ &&
-                   h.node != update.node && h.node != update.prev) {
-          // The superseded global copy is our own: no message needed, the
-          // owner drops the stale frame directly.
-          Frame* frame = frames_->Lookup(update.uid);
-          if (frame != nullptr && frame->location == PageLocation::kGlobal &&
-              !frame->pinned) {
-            frames_->Free(frame);
-          }
-        }
-      }
-    }
-  }
-  gcd_.Apply(update);
-}
-
-void GmsAgent::HandleGcdUpdate(const GcdUpdate& msg) {
-  cpu_->SubmitKernel(config_.costs.put_gcd_processing, CpuCategory::kService,
-                     [this, msg] {
-    if (alive_) {
-      // Directory maintenance is a side branch of the originating trace: the
-      // stamp closes this leaf span but never joins the critical path.
-      SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kService);
-      ApplyGcdAsOwner(msg);
-    }
-  });
-}
-
-void GmsAgent::HandleGcdInvalidate(const GcdInvalidate& msg) {
-  cpu_->SubmitKernel(config_.costs.gcd_lookup, CpuCategory::kService,
-                     [this, msg] {
-    if (!alive_) {
-      return;
-    }
-    Frame* frame = frames_->Lookup(msg.uid);
-    if (frame != nullptr && frame->location == PageLocation::kGlobal &&
-        !frame->pinned) {
-      frames_->Free(frame);  // clean by construction; disk has it
-    }
-  });
-}
-
-std::optional<NodeId> GmsAgent::SampleEvictionTarget() {
-  if (remaining_weight_ <= 0 || sampler_.empty()) {
-    return std::nullopt;
-  }
-  const size_t idx = sampler_.Sample(rng_);
-  if (weights_[idx] <= 0) {
-    // Sampler is stale relative to consumed weights (rebuilds are deferred
-    // to weight exhaustion); treat as no budget at this node this time.
-    RebuildSampler();
-    if (sampler_.empty()) {
-      return std::nullopt;
-    }
-    return SampleEvictionTarget();
-  }
-  weights_[idx] -= 1.0;
-  remaining_weight_ -= 1.0;
-  if (weights_[idx] <= 0) {
-    RebuildSampler();
-  }
-  return NodeId{static_cast<uint32_t>(idx)};
-}
-
-void GmsAgent::RebuildSampler() { sampler_ = AliasSampler(weights_); }
-
-void GmsAgent::ReportStaleWeights() {
-  if (stale_reported_ || view_.epoch == 0) {
-    return;
-  }
-  stale_reported_ = true;
-  if (config_.retry.enabled && stale_clear_timer_ == 0) {
-    // The report itself may be lost; allow a fresh one if no new epoch has
-    // arrived by then.
-    stale_clear_timer_ =
-        sim_->ScheduleTimer(config_.epoch.summary_timeout * 2, [this] {
-          stale_clear_timer_ = 0;
-          stale_reported_ = false;
-        });
-  }
-  if (view_.next_initiator == self_) {
-    if (!collecting_) {
-      StartEpochAsInitiator();
-    }
-    return;
-  }
-  if (view_.next_initiator.valid()) {
-    Send(view_.next_initiator, kMsgEpochStale,
-         config_.costs.small_message_bytes(), EpochStale{view_.epoch, self_});
-  }
-}
-
-void GmsAgent::HandlePutPage(const PutPage& msg) {
-  cpu_->SubmitKernel(config_.costs.put_target, CpuCategory::kService,
-                     [this, msg] {
-    if (!alive_) {
-      return;
-    }
-    stats_.putpages_received++;
-    putpages_this_epoch_++;
-    TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kPutPageRecv,
-               msg.uid, static_cast<uint64_t>(ToMicroseconds(msg.age)));
-    SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kService);
-
-    if (Frame* existing = frames_->Lookup(msg.uid); existing != nullptr) {
-      // We already cache this page; keep ours, fix the directory. Register
-      // with the frame's actual location — hardcoding `global = false` here
-      // would demote a global copy's directory entry when a putpage for a
-      // page we already absorbed is replayed.
-      SendGcdUpdate(msg.uid, GcdUpdate::kAdd, self_,
-                    existing->location == PageLocation::kGlobal, kInvalidNode,
-                    msg.span);
-      SpanEnd(tracer_, sim_->now(), self_, msg.span, SpanStatus::kAbsorbed);
-    } else {
-      const SimTime last_access = sim_->now() - msg.age;
-      Frame* frame = frames_->AllocateWithAge(msg.uid, PageLocation::kGlobal,
-                                              last_access);
-      if (frame == nullptr) {
-        // "The oldest page on i is discarded" — but only if it really is
-        // older than the incoming page; otherwise the incoming page bounces
-        // (a stale-weights signal).
-        Frame* victim = frames_->PickVictim(
-            sim_->now(), config_.epoch.global_age_boost, /*require_clean=*/true);
-        if (victim != nullptr && EffectiveAge(*victim) >= msg.age) {
-          DiscardFrame(victim);
-          frame = frames_->AllocateWithAge(msg.uid, PageLocation::kGlobal,
-                                           last_access);
-        } else if (config_.dirty_global) {
-          // With the dirty-global extension, an idle node can fill up with
-          // dirty global pages that no clean-victim scan can reclaim; send
-          // the oldest one home for write-back to make room.
-          Frame* dirty_victim = frames_->OldestMatching(
-              sim_->now(), config_.epoch.global_age_boost,
-              [](const Frame& f) {
-                return f.dirty && f.location == PageLocation::kGlobal;
-              });
-          if (dirty_victim != nullptr &&
-              EffectiveAge(*dirty_victim) >= msg.age) {
-            EvictDirty(dirty_victim);
-            frame = frames_->AllocateWithAge(msg.uid, PageLocation::kGlobal,
-                                             last_access);
-          }
-        }
-      }
-      if (frame == nullptr) {
-        stats_.putpages_bounced++;
-        SendGcdUpdate(msg.uid, GcdUpdate::kRemove, self_, true, kInvalidNode,
-                      msg.span);
-        ReportStaleWeights();
-        SpanEnd(tracer_, sim_->now(), self_, msg.span, SpanStatus::kBounced);
-      } else {
-        frame->shared = msg.shared;
-        frame->dirty = msg.dirty;
-        // Confirm our registration: if a concurrent getpage raced ahead of
-        // this transfer, its optimistic directory update de-listed us; the
-        // re-add heals that (and is a cheap no-op otherwise).
-        SendGcdUpdate(msg.uid, GcdUpdate::kAdd, self_, true, kInvalidNode,
-                      msg.span);
-        SpanEnd(tracer_, sim_->now(), self_, msg.span, SpanStatus::kAbsorbed);
-      }
-    }
-
-    // Early epoch termination (section 3.2): the node with the largest w_i
-    // — the designated next initiator — declares the epoch over once it has
-    // absorbed its share of the replacements.
-    if (view_.next_initiator == self_ && view_.my_weight > 0 &&
-        static_cast<double>(putpages_this_epoch_) >= view_.my_weight &&
-        !collecting_) {
-      StartEpochAsInitiator();
-    }
-  });
-}
-
-// ---------------------------------------------------------------------------
-// epochs
-// ---------------------------------------------------------------------------
-
-void GmsAgent::StartEpochAsInitiator() {
-  if (!alive_ || collecting_) {
-    return;
-  }
-  sim_->CancelTimer(epoch_timer_);
-  epoch_timer_ = 0;
-  sim_->CancelTimer(epoch_watchdog_);
-  epoch_watchdog_ = 0;
-  epoch_watchdog_fires_ = 0;
-  stats_.epochs_started++;
-  collecting_ = true;
-  collecting_epoch_ = view_.epoch + 1;
-  if (config_.retry.enabled && highest_epoch_seen_ >= collecting_epoch_) {
-    // Our view trails the cluster (lost EpochParams); number past every
-    // epoch we have evidence of so our params are not rejected as stale.
-    collecting_epoch_ = highest_epoch_seen_ + 1;
-  }
-  summaries_rerequested_ = false;
-  summaries_.clear();
-  TraceEventRaw(tracer_, sim_->now(), self_, TraceEventKind::kEpochStart, 0, 0,
-                collecting_epoch_);
-  // Epoch traces use an id derived from the epoch number (the params
-  // messages sit at the payload-union size cap and carry no span field);
-  // every node deterministically reconstructs the same trace id.
-  epoch_span_ = SpanBegin(tracer_, sim_->now(), self_,
-                          SpanRef{EpochTraceId(collecting_epoch_), 0});
-
-  const size_t live = pod_.table().live.size();
-  const SimTime request_cost =
-      config_.costs.epoch_request_per_node * static_cast<SimTime>(live);
-  cpu_->SubmitKernel(request_cost, CpuCategory::kEpoch, [this] {
-    if (!alive_ || !collecting_) {
-      return;
-    }
-    for (NodeId node : pod_.table().live) {
-      if (node != self_) {
-        Send(node, kMsgEpochSummaryReq, config_.costs.small_message_bytes(),
-             EpochSummaryReq{collecting_epoch_, self_});
-      }
-    }
-    // Our own summary, charged at the same scan rates as everyone else's.
-    const SimTime scan =
-        config_.costs.epoch_scan_per_local_page * frames_->local_count() +
-        config_.costs.epoch_scan_per_global_page * frames_->global_count() +
-        config_.costs.epoch_summary_marshal;
-    cpu_->SubmitKernel(scan, CpuCategory::kEpoch, [this] {
-      if (!alive_ || !collecting_) {
-        return;
-      }
-      EpochSummary own;
-      BuildOwnSummary(collecting_epoch_, &own);
-      own.evictions = evictions_since_summary_;
-      evictions_since_summary_ = 0;
-      summaries_.push_back(std::move(own));
-      if (summaries_.size() >= pod_.table().live.size()) {
-        FinishSummaryCollection();
-        return;
-      }
-      collect_timer_ = sim_->ScheduleTimer(config_.epoch.summary_timeout,
-                                           [this] { FinishSummaryCollection(); });
-    });
-  });
-}
-
-void GmsAgent::BuildOwnSummary(uint64_t epoch, EpochSummary* out) const {
-  out->epoch = epoch;
-  out->node = self_;
-  out->local_pages = frames_->local_count();
-  out->global_pages = frames_->global_count();
-  out->free_frames = frames_->free_count();
-  const SimTime now = sim_->now();
-  const double boost = config_.epoch.global_age_boost;
-  frames_->ForEach([&](const Frame& f) {
-    double age = static_cast<double>(now - f.last_access);
-    if (f.location == PageLocation::kGlobal) {
-      age *= boost;
-    }
-    out->ages.Add(static_cast<uint64_t>(age));
-  });
-  // Free frames are idler than any page — but the pageout daemon keeps a
-  // small watermark reserve free on every node, including busy ones, and
-  // that reserve is not idle memory. Only the excess counts.
-  const uint32_t reserve =
-      std::max<uint32_t>(16, frames_->num_frames() / 32);
-  if (out->free_frames > reserve) {
-    out->ages.Add(static_cast<uint64_t>(config_.epoch.free_frame_age),
-                  out->free_frames - reserve);
-  }
-}
-
-void GmsAgent::HandleEpochSummaryReq(const EpochSummaryReq& msg) {
-  highest_epoch_seen_ = std::max(highest_epoch_seen_, msg.epoch);
-  const SimTime scan =
-      config_.costs.epoch_scan_per_local_page * frames_->local_count() +
-      config_.costs.epoch_scan_per_global_page * frames_->global_count() +
-      config_.costs.epoch_summary_marshal;
-  cpu_->SubmitKernel(scan, CpuCategory::kEpoch, [this, msg] {
-    if (!alive_) {
-      return;
-    }
-    EpochSummary summary;
-    BuildOwnSummary(msg.epoch, &summary);
-    summary.evictions = evictions_since_summary_;
-    evictions_since_summary_ = 0;
-    Send(msg.initiator, kMsgEpochSummary,
-         EpochSummaryBytes(config_.costs.header_size),
-         Boxed<EpochSummary>(std::move(summary)));
-  });
-}
-
-void GmsAgent::HandleEpochSummary(const EpochSummary& msg) {
-  if (!collecting_ || msg.epoch != collecting_epoch_) {
-    return;
-  }
-  for (const EpochSummary& s : summaries_) {
-    if (s.node == msg.node) {
-      return;  // duplicate delivery (or a reply to a re-request)
-    }
-  }
-  summaries_.push_back(msg);
-  if (summaries_.size() >= pod_.table().live.size()) {
-    FinishSummaryCollection();
-  }
-}
-
-void GmsAgent::FinishSummaryCollection() {
-  if (!collecting_) {
-    return;
-  }
-  if (config_.retry.enabled && !summaries_rerequested_ &&
-      summaries_.size() < pod_.table().live.size()) {
-    // Timed out with summaries missing: ask the silent nodes once more
-    // before computing a plan from a partial view.
-    summaries_rerequested_ = true;
-    stats_.control_retries++;
-    for (NodeId node : pod_.table().live) {
-      if (node == self_) {
-        continue;
-      }
-      bool have = false;
-      for (const EpochSummary& s : summaries_) {
-        if (s.node == node) {
-          have = true;
-          break;
-        }
-      }
-      if (!have) {
-        Send(node, kMsgEpochSummaryReq, config_.costs.small_message_bytes(),
-             EpochSummaryReq{collecting_epoch_, self_});
-      }
-    }
-    sim_->CancelTimer(collect_timer_);
-    collect_timer_ = sim_->ScheduleTimer(config_.epoch.summary_timeout,
-                                         [this] { FinishSummaryCollection(); });
-    return;
-  }
-  collecting_ = false;
-  sim_->CancelTimer(collect_timer_);
-  collect_timer_ = 0;
-
-  const SimTime last_duration =
-      epoch_started_at_ > 0 ? sim_->now() - epoch_started_at_ : 0;
-  EpochPlan plan = ComputeEpochPlan(config_.epoch, collecting_epoch_,
-                                    net_->num_nodes(), summaries_,
-                                    last_duration, self_);
-  // Nodes outside the membership never receive weight.
-  for (uint32_t i = 0; i < plan.weights.size(); i++) {
-    if (!pod_.IsLive(NodeId{i})) {
-      plan.weights[i] = 0;
-    }
-  }
-
-  EpochParams params;
-  params.epoch = plan.epoch;
-  params.min_age = plan.min_age;
-  params.duration = plan.duration;
-  params.budget = plan.budget;
-  params.next_initiator = plan.next_initiator;
-  params.weights = std::move(plan.weights);
-
-  const size_t live = pod_.table().live.size();
-  const SimTime cost =
-      (config_.costs.epoch_weights_compute_per_node +
-       config_.costs.epoch_params_marshal_per_node) *
-      static_cast<SimTime>(live);
-  cpu_->SubmitKernel(cost, CpuCategory::kEpoch, [this, params = std::move(params)] {
-    if (!alive_) {
-      return;
-    }
-    // Collection + plan computation, attributed to the initiator's span.
-    SpanStep(tracer_, sim_->now(), self_, epoch_span_, SpanComp::kService);
-    for (NodeId node : pod_.table().live) {
-      if (node != self_) {
-        Send(node, kMsgEpochParams,
-             EpochParamsBytes(config_.costs.header_size, params.weights.size()),
-             params);
-      }
-    }
-    AdoptEpochParams(params);
-  });
-}
-
-void GmsAgent::HandleEpochParams(const EpochParams& msg) {
-  cpu_->SubmitKernel(config_.costs.gcd_lookup, CpuCategory::kEpoch,
-                     [this, msg] {
-    if (alive_) {
-      AdoptEpochParams(msg);
-    }
-  });
-}
-
-void GmsAgent::AdoptEpochParams(const EpochParams& params) {
-  highest_epoch_seen_ = std::max(highest_epoch_seen_, params.epoch);
-  if (params.epoch <= view_.epoch) {
-    return;  // stale (reordered) parameters
-  }
-  view_.epoch = params.epoch;
-  view_.min_age = params.min_age;
-  view_.budget = params.budget;
-  view_.duration = params.duration;
-  view_.next_initiator = params.next_initiator;
-  TraceEventRaw(tracer_, sim_->now(), self_, TraceEventKind::kEpochParams, 0,
-                static_cast<uint64_t>(params.min_age), params.epoch);
-  // Each adopting node contributes a point span to the epoch's trace. On the
-  // initiator it hangs off the root span; elsewhere it is parentless and the
-  // reconstructor attaches it to the trace's root.
-  {
-    SpanRef parent{EpochTraceId(params.epoch), 0};
-    if (epoch_span_.trace == parent.trace) {
-      parent = epoch_span_;
-    }
-    const SpanRef adopt = SpanBegin(tracer_, sim_->now(), self_, parent);
-    SpanEnd(tracer_, sim_->now(), self_, adopt, SpanStatus::kAdopted,
-            params.epoch);
-    if (epoch_span_.trace == EpochTraceId(params.epoch)) {
-      // The initiator's round is over once its own adoption lands.
-      SpanEnd(tracer_, sim_->now(), self_, epoch_span_, SpanStatus::kDone);
-      epoch_span_ = SpanRef{};
-    }
-  }
-  weights_ = params.weights;
-  if (weights_.size() < net_->num_nodes()) {
-    weights_.resize(net_->num_nodes(), 0.0);
-  }
-  view_.my_weight =
-      self_.value < weights_.size() ? weights_[self_.value] : 0.0;
-  // Evictions are never directed at ourselves (paper case 3: the page is
-  // sent to another node Q); our own weight only matters for the
-  // next-initiator bookkeeping.
-  if (self_.value < weights_.size()) {
-    weights_[self_.value] = 0;
-  }
-  remaining_weight_ = 0;
-  for (double w : weights_) {
-    remaining_weight_ += w;
-  }
-  RebuildSampler();
-  putpages_this_epoch_ = 0;
-  stale_reported_ = false;
-  epoch_started_at_ = sim_->now();
-
-  sim_->CancelTimer(epoch_timer_);
-  epoch_timer_ = 0;
-  epoch_watchdog_fires_ = 0;
-  if (params.next_initiator == self_) {
-    epoch_timer_ = sim_->ScheduleTimer(params.duration, [this] {
-      if (alive_ && !collecting_) {
-        StartEpochAsInitiator();
-      }
-    });
-    sim_->CancelTimer(epoch_watchdog_);
-    epoch_watchdog_ = 0;
-  } else if (config_.retry.enabled) {
-    ArmEpochWatchdog();
-  }
-}
-
-void GmsAgent::ArmEpochWatchdog() {
-  sim_->CancelTimer(epoch_watchdog_);
-  watchdog_epoch_ = view_.epoch;
-  const SimTime window = view_.duration > 0
-                             ? view_.duration * 3
-                             : config_.epoch.summary_timeout * 10;
-  epoch_watchdog_ = sim_->ScheduleTimer(window, [this] { OnEpochSilent(); });
-}
-
-void GmsAgent::OnEpochSilent() {
-  epoch_watchdog_ = 0;
-  if (!alive_ || !config_.retry.enabled || collecting_ ||
-      view_.epoch != watchdog_epoch_) {
-    return;  // the epoch progressed after all
-  }
-  epoch_watchdog_fires_++;
-  if (epoch_watchdog_fires_ == 1 && view_.next_initiator.valid() &&
-      pod_.IsLive(view_.next_initiator) && view_.next_initiator != self_) {
-    // First silence: nudge the initiator — our stale report or its params
-    // may simply have been lost.
-    Send(view_.next_initiator, kMsgEpochStale,
-         config_.costs.small_message_bytes(), EpochStale{view_.epoch, self_});
-    ArmEpochWatchdog();
-    return;
-  }
-  // Initiator presumed gone (or deaf). The lowest-id live node other than it
-  // takes over the epoch duty; everyone else keeps watching.
-  NodeId lowest = kInvalidNode;
-  for (NodeId node : pod_.table().live) {
-    if (node != view_.next_initiator &&
-        (!lowest.valid() || node.value < lowest.value)) {
-      lowest = node;
-    }
-  }
-  if (lowest == self_) {
-    StartEpochAsInitiator();
-  } else {
-    ArmEpochWatchdog();
-  }
-}
-
-void GmsAgent::HandleEpochStale(const EpochStale& msg) {
-  if (collecting_) {
-    return;
-  }
-  if (config_.retry.enabled) {
-    // Under loss the reporter's epoch view may trail ours or lead it; any
-    // report at or past our epoch justifies starting a fresh one, whether
-    // or not we believe we are the next initiator.
-    if (msg.epoch >= view_.epoch) {
-      StartEpochAsInitiator();
-    }
-    return;
-  }
-  if (msg.epoch == view_.epoch && view_.next_initiator == self_) {
-    StartEpochAsInitiator();
-  }
-}
-
-// ---------------------------------------------------------------------------
-// membership
-// ---------------------------------------------------------------------------
-
-void GmsAgent::HandleJoinReq(const JoinReq& msg) {
-  if (master_ != self_) {
-    return;
-  }
-  std::vector<NodeId> live = pod_.table().live;
-  if (std::find(live.begin(), live.end(), msg.node) == live.end()) {
-    live.push_back(msg.node);
-  }
-  // A join from a node already in the membership (a rejoin after a crash we
-  // never detected, or a retried/duplicated JoinReq) still reconfigures:
-  // the version bump re-distributes the POD and triggers republishes, which
-  // refresh directory entries that went stale with the node's memory.
-  MasterReconfigure(std::move(live), msg.node);
-}
-
-void GmsAgent::MasterRemoveNode(NodeId node) {
-  if (master_ != self_) {
-    return;
-  }
-  std::vector<NodeId> live;
-  for (NodeId n : pod_.table().live) {
-    if (n != node) {
-      live.push_back(n);
-    }
-  }
-  MasterReconfigure(std::move(live));
-}
-
-void GmsAgent::MasterReconfigure(std::vector<NodeId> live, NodeId joined) {
-  PodTable pod = Pod::Build(pod_.version() + 1, std::move(live));
-  MemberUpdate update{pod, self_, joined};
-  for (NodeId node : pod.live) {
-    if (node != self_) {
-      Send(node, kMsgMemberUpdate,
-           MemberUpdateBytes(config_.costs.header_size, pod.live.size(),
-                             pod.buckets.size()),
-           update);
-    }
-  }
-  HandleMemberUpdate(update);
-}
-
-void GmsAgent::HandleMemberUpdate(const MemberUpdate& msg) {
-  if (msg.pod.version <= pod_.version()) {
-    return;
-  }
-  if (msg.joined != kInvalidNode && msg.joined != self_) {
-    // A rejoined node is a fresh incarnation: its control-seq streams
-    // restart from 1. Drop the old receive window (buffered pre-crash
-    // messages included) so the new stream re-initializes on first contact.
-    auto it = seen_seqs_.find(msg.joined.value);
-    if (it != seen_seqs_.end()) {
-      sim_->CancelTimer(it->second.gap_timer);
-      seen_seqs_.erase(it);
-    }
-  }
-  pod_.Adopt(msg.pod);
-  master_ = msg.master;
-  if (pod_.IsLive(self_) && join_retry_timer_ != 0) {
-    sim_->CancelTimer(join_retry_timer_);
-    join_retry_timer_ = 0;
-  }
-  if (config_.enable_heartbeats && config_.enable_master_election) {
-    if (master_ != self_) {
-      ArmMasterWatchdog();
-    } else {
-      sim_->CancelTimer(master_watchdog_);
-      master_watchdog_ = 0;
-    }
-  }
-  gcd_.Prune(pod_, self_);
-  // Departed nodes can no longer absorb evictions.
-  bool changed = false;
-  for (uint32_t i = 0; i < weights_.size(); i++) {
-    if (weights_[i] > 0 && !pod_.IsLive(NodeId{i})) {
-      remaining_weight_ -= weights_[i];
-      weights_[i] = 0;
-      changed = true;
-    }
-  }
-  if (changed) {
-    RebuildSampler();
-  }
-  RepublishAfterPodChange();
-  // The master restarts the epoch cycle so weights reflect the new world;
-  // this also covers the case where the failed node was the next initiator.
-  if (master_ == self_ && !collecting_) {
-    StartEpochAsInitiator();
-  }
-}
-
-void GmsAgent::RepublishAfterPodChange() {
-  // Re-register our pages with their (possibly new) GCD owners. Entries
-  // whose GCD stayed local are applied directly.
-  std::unordered_map<uint32_t, Republish> batches;
-  const SimTime per_entry = Nanoseconds(300);
-  uint64_t entries = 0;
-  frames_->ForEach([&](const Frame& f) {
-    entries++;
-    GcdUpdate update{f.uid, GcdUpdate::kAdd, self_,
-                     f.location == PageLocation::kGlobal};
-    const NodeId gcd_node = pod_.GcdNodeFor(f.uid);
-    if (gcd_node == self_) {
-      gcd_.Apply(update);
-      return;
-    }
-    Republish& batch = batches[gcd_node.value];
-    batch.from = self_;
-    batch.entries.push_back(update);
-  });
-  cpu_->SubmitKernel(per_entry * static_cast<SimTime>(entries),
-                     CpuCategory::kEpoch,
-                     [this, batches = std::move(batches)]() mutable {
-    if (!alive_) {
-      return;
-    }
-    for (auto& [node, batch] : batches) {
-      const uint32_t bytes =
-          RepublishBytes(config_.costs.header_size, batch.entries.size());
-      if (config_.retry.enabled) {
-        batch.seq = NextCtlSeq(NodeId{node});
-        SendReliable(NodeId{node}, kMsgRepublish, bytes, batch, batch.seq,
-                     Uid{}, /*putpage_target=*/false);
-      } else {
-        Send(NodeId{node}, kMsgRepublish, bytes, batch);
-      }
-    }
-  });
-}
-
-void GmsAgent::HandleRepublish(const Republish& msg) {
-  const SimTime cost = Nanoseconds(300) * static_cast<SimTime>(msg.entries.size());
-  cpu_->SubmitKernel(cost, CpuCategory::kEpoch, [this, msg] {
-    if (!alive_) {
-      return;
-    }
-    for (const GcdUpdate& update : msg.entries) {
-      if (pod_.GcdNodeFor(update.uid) == self_) {
-        ApplyGcdAsOwner(update);
-      }
-    }
-  });
-}
-
-void GmsAgent::SendHeartbeats() {
-  if (!alive_ || master_ != self_) {
-    return;
-  }
-  hb_seq_++;
-  std::vector<NodeId> dead;
-  for (NodeId node : pod_.table().live) {
-    if (node == self_) {
-      continue;
-    }
-    const uint64_t acked = hb_acked_.contains(node.value)
-                               ? hb_acked_[node.value]
-                               : hb_seq_ - 1;  // grace for new members
-    if (hb_seq_ > acked + static_cast<uint64_t>(config_.heartbeat_miss_limit)) {
-      dead.push_back(node);
-      continue;
-    }
-    Send(node, kMsgHeartbeat, config_.costs.small_message_bytes(),
-         Heartbeat{hb_seq_, pod_.version()});
-  }
-  if (!dead.empty()) {
-    std::vector<NodeId> live;
-    for (NodeId node : pod_.table().live) {
-      if (std::find(dead.begin(), dead.end(), node) == dead.end()) {
-        live.push_back(node);
-      }
-    }
-    for (NodeId node : dead) {
-      GMS_LOG_INFO("master %u: node %u declared dead", self_.value, node.value);
-      hb_acked_.erase(node.value);
-    }
-    MasterReconfigure(std::move(live));
-  }
-  hb_timer_ = sim_->ScheduleTimer(config_.heartbeat_interval,
-                                  [this] { SendHeartbeats(); });
-}
-
-void GmsAgent::HandleHeartbeat(const Heartbeat& msg, NodeId from) {
-  if (config_.enable_master_election && from == master_) {
-    ArmMasterWatchdog();
-  }
-  Send(from, kMsgHeartbeatAck, config_.costs.small_message_bytes(),
-       HeartbeatAck{msg.seq, self_, pod_.version()});
-}
-
-void GmsAgent::ArmMasterWatchdog() {
-  sim_->CancelTimer(master_watchdog_);
-  const SimTime window = config_.heartbeat_interval *
-                         static_cast<SimTime>(config_.heartbeat_miss_limit + 2);
-  master_watchdog_ = sim_->ScheduleTimer(window, [this] { OnMasterSilent(); });
-}
-
-void GmsAgent::OnMasterSilent() {
-  if (!alive_ || master_ == self_) {
-    return;
-  }
-  // The master went quiet. Succession order is the lowest surviving id
-  // (deterministic, no coordination needed on a reliable network: every
-  // survivor computes the same successor).
-  NodeId successor = kInvalidNode;
-  for (NodeId node : pod_.table().live) {
-    if (node != master_ &&
-        (!successor.valid() || node.value < successor.value)) {
-      successor = node;
-    }
-  }
-  if (successor != self_) {
-    // Not us: keep watching; the successor's MemberUpdate (as new master)
-    // will re-arm the watchdog against the new master.
-    ArmMasterWatchdog();
-    return;
-  }
-  GMS_LOG_INFO("node %u: master %u silent, taking over", self_.value,
-               master_.value);
-  const NodeId old_master = master_;
-  master_ = self_;
-  std::vector<NodeId> live;
-  for (NodeId node : pod_.table().live) {
-    if (node != old_master) {
-      live.push_back(node);
-    }
-  }
-  MasterReconfigure(std::move(live));
-  hb_timer_ = sim_->ScheduleTimer(config_.heartbeat_interval,
-                                  [this] { SendHeartbeats(); });
-}
-
-void GmsAgent::HandleHeartbeatAck(const HeartbeatAck& msg) {
-  uint64_t& acked = hb_acked_[msg.node.value];
-  acked = std::max(acked, msg.seq);
-  if (msg.pod_version < pod_.version() && master_ == self_ &&
-      pod_.IsLive(msg.node)) {
-    // The node is answering heartbeats but runs an old POD — its
-    // MemberUpdate was lost. Catch it up.
-    Send(msg.node, kMsgMemberUpdate,
-         MemberUpdateBytes(config_.costs.header_size, pod_.table().live.size(),
-                           pod_.table().buckets.size()),
-         MemberUpdate{pod_.table(), self_});
-  }
-}
-
-// ---------------------------------------------------------------------------
-// dispatch
-// ---------------------------------------------------------------------------
-
-void GmsAgent::OnDatagram(Datagram dgram) {
-  if (!alive_) {
-    return;
-  }
-  // Fork a receive span at arrival time, rewriting the message's embedded
-  // context in place — the closure below captures the datagram by value and
-  // is frozen at exactly the inline-callable size, so the fork must happen
-  // before capture. Each redelivery of a retried message forks a sibling.
-  if (SpanRef* slot = MutablePayloadSpan(dgram.type, dgram.payload)) {
-    *slot = SpanBegin(tracer_, sim_->now(), self_, *slot, dgram.type);
-  }
-  // Interrupt + protocol-stack cost for every received datagram.
-  auto receive = [this, dgram = std::move(dgram)] {
-    if (!alive_) {
-      return;
-    }
-    if (const SpanRef* slot = PayloadSpan(dgram.type, dgram.payload)) {
-      // Closes [arrival, now]: time spent behind the service CPU queue plus
-      // the ISR itself.
-      SpanStep(tracer_, sim_->now(), self_, *slot, SpanComp::kQueueIsr);
-    }
-    if (config_.retry.enabled && dgram.src != self_) {
-      uint64_t seq = 0;
-      switch (dgram.type) {
-        case kMsgPutPage:
-          seq = dgram.payload.get<PutPage>().seq;
-          break;
-        case kMsgGcdUpdate:
-          seq = dgram.payload.get<GcdUpdate>().seq;
-          break;
-        case kMsgGcdInvalidate:
-          seq = dgram.payload.get<GcdInvalidate>().seq;
-          break;
-        case kMsgGetPageFwd:
-          seq = dgram.payload.get<GetPageFwd>().seq;
-          break;
-        case kMsgRepublish:
-          seq = dgram.payload.get<Republish>().seq;
-          break;
-        default:
-          break;
-      }
-      if (seq != 0) {
-        ReceiveSequenced(dgram.src, seq, std::move(dgram));
-        return;
-      }
-    }
-    Dispatch(dgram);
-  };
-  // Per-message hot path: the receive closure must stay inline.
-  static_assert(EventFn::kFitsInline<decltype(receive)>);
-  cpu_->SubmitKernel(config_.costs.receive_isr, CpuCategory::kService,
-                     std::move(receive));
-}
-
-void GmsAgent::Dispatch(const Datagram& dgram) {
-  switch (dgram.type) {
-    case kMsgGetPageReq:
-      HandleGetPageReq(dgram.payload.get<GetPageReq>());
-      break;
-    case kMsgGetPageFwd:
-      HandleGetPageFwd(dgram.payload.get<GetPageFwd>());
-      break;
-    case kMsgGetPageReply:
-      HandleGetPageReply(dgram.payload.get<GetPageReply>());
-      break;
-    case kMsgGetPageMiss:
-      HandleGetPageMiss(dgram.payload.get<GetPageMiss>());
-      break;
-    case kMsgPutPage:
-      HandlePutPage(dgram.payload.get<PutPage>());
-      break;
-    case kMsgGcdUpdate:
-      HandleGcdUpdate(dgram.payload.get<GcdUpdate>());
-      break;
-    case kMsgGcdInvalidate:
-      HandleGcdInvalidate(dgram.payload.get<GcdInvalidate>());
-      break;
-    case kMsgEpochSummaryReq:
-      HandleEpochSummaryReq(
-          dgram.payload.get<EpochSummaryReq>());
-      break;
-    case kMsgEpochSummary:
-      HandleEpochSummary(*dgram.payload.get<Boxed<EpochSummary>>());
-      break;
-    case kMsgEpochParams:
-      HandleEpochParams(dgram.payload.get<EpochParams>());
-      break;
-    case kMsgEpochStale:
-      HandleEpochStale(dgram.payload.get<EpochStale>());
-      break;
-    case kMsgJoinReq:
-      HandleJoinReq(dgram.payload.get<JoinReq>());
-      break;
-    case kMsgMemberUpdate:
-      HandleMemberUpdate(dgram.payload.get<MemberUpdate>());
-      break;
-    case kMsgHeartbeat:
-      HandleHeartbeat(dgram.payload.get<Heartbeat>(),
-                      dgram.src);
-      break;
-    case kMsgHeartbeatAck:
-      HandleHeartbeatAck(dgram.payload.get<HeartbeatAck>());
-      break;
-    case kMsgRepublish:
-      HandleRepublish(dgram.payload.get<Republish>());
-      break;
-    case kMsgProtoAck:
-      HandleProtoAck(dgram.payload.get<ProtoAck>());
-      break;
-    default:
-      GMS_LOG_WARN("node %u: unknown message type %u", self_.value,
-                   dgram.type);
-      break;
-  }
-}
+    : CacheEngine(sim, net, cpu, frames, self, GmsEngineConfig(config),
+                  std::make_unique<GmsPolicy>(seed, config)),
+      policy_(static_cast<GmsPolicy*>(policy())) {}
 
 }  // namespace gms

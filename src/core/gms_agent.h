@@ -1,102 +1,22 @@
-// The per-node GMS engine: the paper's algorithm (sections 3 and 4).
+// The per-node GMS agent: the shared cache engine bound to the paper's
+// epoch/MinAge replacement policy (sections 3 and 4).
 //
-// One GmsAgent runs on every cluster node. It owns that node's slice of the
-// distributed state:
-//   * the node's frame metadata (page-frame-directory role),
-//   * one partition of the global-cache-directory,
-//   * a replica of the page-ownership-directory,
-//   * the node's view of the current epoch (MinAge, weights, sampler),
-// and implements the getpage/putpage protocol, the epoch state machine
-// (initiator + participant sides), and master-driven membership.
-//
-// Threading: none. The agent is driven entirely by simulator events; all
-// CPU costs are charged to the node's Cpu so that serving remote memory
-// contends with local computation (Figures 10/13).
+// One GmsAgent runs on every cluster node. The engine half (CacheEngine)
+// owns the node's GCD partition, POD replica, and the getpage/putpage
+// protocol; the policy half (GmsPolicy) owns the epoch state machine,
+// eviction targeting, and membership. This class is the two bolted
+// together plus the GMS-specific boot/introspection surface.
 #ifndef SRC_CORE_GMS_AGENT_H_
 #define SRC_CORE_GMS_AGENT_H_
 
-#include <algorithm>
 #include <cstdint>
-#include <optional>
-#include <unordered_map>
-#include <utility>
-#include <vector>
 
-#include "src/common/alias.h"
-#include "src/common/node_id.h"
-#include "src/common/rng.h"
-#include "src/common/uid.h"
-#include "src/core/cost_model.h"
-#include "src/core/directory.h"
-#include "src/core/epoch.h"
-#include "src/core/memory_service.h"
-#include "src/core/messages.h"
-#include "src/mem/frame_table.h"
-#include "src/net/network.h"
-#include "src/obs/trace.h"
-#include "src/sim/cpu.h"
-#include "src/sim/simulator.h"
+#include "src/core/cache_engine.h"
+#include "src/core/gms_policy.h"
 
 namespace gms {
 
-struct GmsConfig {
-  CostModel costs;
-  EpochConfig epoch;
-  // A getpage with no reply within this window is treated as a miss (the
-  // housing node crashed); the faulting node falls back to disk.
-  SimTime getpage_timeout = Milliseconds(100);
-  // Bounded-retry reliability layer, for running over a lossy network
-  // (src/net fault injection). Off by default — the paper assumes a
-  // reliable fabric, and with `enabled == false` the protocol is
-  // bit-identical to the unhardened one. When enabled:
-  //   * GcdUpdate / PutPage / GcdInvalidate / Republish carry sequence
-  //     numbers and are retransmitted with exponential backoff until acked
-  //     (receivers ack and dedup, so every handler runs exactly once);
-  //   * getpage uses shorter per-attempt timeouts and re-issues the request
-  //     up to max_attempts times before declaring a miss;
-  //   * epoch collection re-requests missing summaries, participants
-  //     watchdog a silent initiator, and join requests are re-sent.
-  struct RetryPolicy {
-    bool enabled = false;
-    int max_attempts = 6;
-    SimTime initial_timeout = Milliseconds(5);
-    double backoff = 2.0;
-    SimTime max_timeout = Milliseconds(200);
-  };
-  RetryPolicy retry;
-  // Master liveness checking. Off by default: the experiment harness manages
-  // membership explicitly; the membership tests and the churn example turn
-  // it on.
-  bool enable_heartbeats = false;
-  SimTime heartbeat_interval = Seconds(1);
-  int heartbeat_miss_limit = 3;
-  // Master failover (paper section 6: "simple algorithms exist for the
-  // remaining nodes to elect a replacement"): when heartbeats from the
-  // master stop, the lowest-id surviving node takes over, removes the dead
-  // master from the membership, and distributes a new POD.
-  bool enable_master_election = false;
-  // Start-of-world delay before the first epoch.
-  SimTime first_epoch_delay = Milliseconds(1);
-
-  // Dirty-global extension (paper section 6, future work): dirty pages may
-  // be sent to global memory without first being written to disk, at the
-  // risk of data loss on failure — mitigated by replicating each dirty page
-  // in the global memory of `dirty_replicas` nodes. A holder evicting a
-  // dirty global page returns it to the backing node for write-back.
-  bool dirty_global = false;
-  uint32_t dirty_replicas = 2;
-};
-
-struct EpochView {
-  uint64_t epoch = 0;
-  SimTime min_age = 0;
-  uint64_t budget = 0;
-  SimTime duration = 0;
-  NodeId next_initiator;
-  double my_weight = 0;
-};
-
-class GmsAgent final : public MemoryService {
+class GmsAgent final : public CacheEngine {
  public:
   GmsAgent(Simulator* sim, Network* net, Cpu* cpu, FrameTable* frames,
            NodeId self, uint64_t seed, GmsConfig config = {});
@@ -105,279 +25,24 @@ class GmsAgent final : public MemoryService {
   // designated first initiator kicks off epoch 1; the master (if heartbeats
   // are enabled) starts liveness checks. Must be called exactly once per
   // boot.
-  void Start(const PodTable& pod, NodeId master, NodeId first_initiator);
-
-  // --- MemoryService ---
-  void GetPage(const Uid& uid, GetPageCallback callback,
-               SpanRef parent = {}) override;
-  void EvictClean(Frame* frame) override;
-  void OnPageLoaded(Frame* frame) override;
-  bool EvictDirty(Frame* frame) override;
-
-  // Called by the cluster when this node crashes (stops timers; the network
-  // is taken down separately) or reboots.
-  void SetAlive(bool alive);
-  bool alive() const { return alive_; }
+  void Start(const PodTable& pod, NodeId master, NodeId first_initiator) {
+    policy_->PrepareStart(master, first_initiator);
+    CacheEngine::Start(pod);
+  }
 
   // A rebooted or new node announces itself to the master.
-  void Join(NodeId master);
+  void Join(NodeId master) { policy_->Join(master); }
 
   // Administrative removal of a node (master only): rebuilds and distributes
   // the POD as if the node had been declared dead by liveness checking.
-  void MasterRemoveNode(NodeId node);
+  void MasterRemoveNode(NodeId node) { policy_->MasterRemoveNode(node); }
 
-  // Protocol entry point; the cluster's per-node dispatcher routes all
-  // non-NFS datagrams here.
-  void OnDatagram(Datagram dgram);
-
-  // Observability: getpage issue/resolution, putpage send/receive, and epoch
-  // transitions are traced. Re-wired by the cluster after every reboot (a
-  // fresh agent starts tracer-less).
-  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
-
-  // --- introspection (tests, benches) ---
-  // Direct GCD mutation for white-box microbenchmark setup (placing a page
-  // in a chosen state before timing one operation). Not part of the
-  // protocol.
-  void ApplyGcdLocal(const GcdUpdate& update) { gcd_.Apply(update); }
-  const Pod& pod() const { return pod_; }
-  const GcdTable& gcd() const { return gcd_; }
-  // True when the agent has no protocol work outstanding: no unacked
-  // control messages, no pending getpages, no summary collection. Together
-  // with Network::in_flight() == 0 this defines a cluster quiesce (the
-  // precondition for the invariant checker).
-  bool Quiescent() const {
-    if (!unacked_.empty() || !pending_gets_.empty() || collecting_) {
-      return false;
-    }
-    for (const auto& [node, window] : seen_seqs_) {
-      if (!window.held.empty()) {
-        return false;  // sequenced messages buffered behind a gap
-      }
-    }
-    return true;
-  }
-  const EpochView& epoch_view() const { return view_; }
-  FrameTable& frames() { return *frames_; }
-  NodeId self() const { return self_; }
-  NodeId master() const { return master_; }
-  double remaining_weight() const { return remaining_weight_; }
+  const EpochView& epoch_view() const { return policy_->epoch_view(); }
+  NodeId master() const { return policy_->master(); }
+  double remaining_weight() const { return policy_->remaining_weight(); }
 
  private:
-  struct PendingGet {
-    Uid uid;
-    GetPageCallback callback;
-    TimerId timer = 0;
-    int attempts = 0;
-    SimTime started = 0;  // for the getpage latency histograms
-    // Causal tracing: the requester-side span every attempt stamps its
-    // request-generation and retry-wait segments on. Owned when GetPage
-    // rooted a fresh trace (no enclosing fault) — then ResolveGet also ends
-    // it.
-    SpanRef span;
-    bool owns_trace = false;
-  };
-
-  // One sequence-numbered control message awaiting a ProtoAck.
-  struct UnackedControl {
-    NodeId dst;
-    uint32_t type = 0;
-    uint32_t bytes = 0;
-    MessagePayload payload;
-    int attempts = 1;
-    TimerId timer = 0;
-    Uid uid;  // page involved, for give-up directory cleanup
-    // The message is a putpage and `dst` must be de-registered if the
-    // transfer is never confirmed (vs. an update where giving up is final).
-    bool putpage_target = false;
-  };
-
-  // Per-sender receive window: sequence-number dedup plus in-order delivery.
-  // Sequenced messages dispatch in per-sender seq order; out-of-order
-  // arrivals are buffered in `held` until the gap fills (the sender retries
-  // every sequenced message) or the gap timer concedes the sender gave up
-  // and skips past it. Ordering matters: a partition backlog of directory
-  // updates for the same page, replayed scrambled, would leave the GCD in
-  // whatever state the last-timer-to-fire happened to carry.
-  struct SeqWindow {
-    uint64_t max_contig = 0;  // every seq <= this was seen and dispatched
-    // Out-of-order arrivals, sorted by seq. A flat sorted vector: the buffer
-    // holds at most a handful of datagrams behind a loss gap, and it is hot
-    // under loss — a node-based std::map paid an allocation per buffered
-    // message.
-    std::vector<std::pair<uint64_t, Datagram>> held;
-    TimerId gap_timer = 0;
-    // First message from a sender fixes the stream base: a fresh receiver
-    // (or a sender's fresh incarnation) cannot know how much history came
-    // before it.
-    bool initialized = false;
-
-    bool Holds(uint64_t seq) const {
-      auto it = std::lower_bound(
-          held.begin(), held.end(), seq,
-          [](const auto& entry, uint64_t s) { return entry.first < s; });
-      return it != held.end() && it->first == seq;
-    }
-    void Hold(uint64_t seq, Datagram dgram) {
-      auto it = std::lower_bound(
-          held.begin(), held.end(), seq,
-          [](const auto& entry, uint64_t s) { return entry.first < s; });
-      held.emplace(it, seq, std::move(dgram));
-    }
-    uint64_t MinSeq() const { return held.front().first; }
-    Datagram TakeMin() {
-      Datagram d = std::move(held.front().second);
-      held.erase(held.begin());
-      return d;
-    }
-  };
-
-  // Message dispatch.
-  void HandleGetPageReq(const GetPageReq& msg);
-  void HandleGetPageFwd(const GetPageFwd& msg);
-  void HandleGetPageReply(const GetPageReply& msg);
-  void HandleGetPageMiss(const GetPageMiss& msg);
-  void HandlePutPage(const PutPage& msg);
-  void HandleGcdUpdate(const GcdUpdate& msg);
-  void HandleGcdInvalidate(const GcdInvalidate& msg);
-  // Applies a GCD mutation on this (GCD-owner) node; a kReplace that
-  // supersedes a surviving global holder triggers an invalidation to it.
-  void ApplyGcdAsOwner(const GcdUpdate& update);
-  void HandleEpochSummaryReq(const EpochSummaryReq& msg);
-  void HandleEpochSummary(const EpochSummary& msg);
-  void HandleEpochParams(const EpochParams& msg);
-  void HandleEpochStale(const EpochStale& msg);
-  void HandleJoinReq(const JoinReq& msg);
-  void HandleMemberUpdate(const MemberUpdate& msg);
-  void HandleHeartbeat(const Heartbeat& msg, NodeId from);
-  void HandleHeartbeatAck(const HeartbeatAck& msg);
-  void HandleRepublish(const Republish& msg);
-
-  // Getpage plumbing.
-  void IssueGetPage(const Uid& uid, uint64_t op_id, SpanRef span);
-  void OnGetPageTimeout(uint64_t op_id);
-  void ResolveGet(uint64_t op_id, GetPageResult result);
-  void LookupInGcd(const Uid& uid, NodeId requester, uint64_t op_id,
-                   SpanRef span);
-
-  // Reliable-control plumbing (active only when config_.retry.enabled).
-  SimTime RetryTimeoutFor(int attempts) const;
-  // Per-destination sequence counter: streams are FIFO per (sender, dst)
-  // pair, so a receiver can tell a delivery gap from traffic that simply
-  // went to another node.
-  uint64_t NextCtlSeq(NodeId dst) { return ++next_ctl_seq_[dst.value]; }
-  // Key for the unacked map and ProtoAck matching: (peer, seq) is unique
-  // because seqs are per destination.
-  static uint64_t AckKey(NodeId peer, uint64_t seq) {
-    return (static_cast<uint64_t>(peer.value) << 40) | seq;
-  }
-  void SendReliable(NodeId dst, uint32_t type, uint32_t bytes,
-                    MessagePayload payload, uint64_t seq, const Uid& uid,
-                    bool putpage_target);
-  void RetryControl(uint64_t key);
-  void HandleProtoAck(const ProtoAck& msg);
-  // Receive side of sequenced delivery: ack (even duplicates), dedup, and
-  // dispatch in per-sender order, buffering past gaps.
-  void ReceiveSequenced(NodeId from, uint64_t seq, Datagram dgram);
-  void DrainWindow(NodeId from);
-  void OnSeqGapTimeout(NodeId from);
-  // Worst-case span of a sender's full retry schedule: after this long a
-  // missing seq is never coming (the sender gave up or died).
-  SimTime GapSkipTimeout() const;
-  // Routes one datagram to its protocol handler (post dedup/ordering).
-  void Dispatch(const Datagram& dgram);
-  void RetryJoin();
-  void ArmEpochWatchdog();
-  void OnEpochSilent();
-
-  // Putpage plumbing.
-  void SendPutPage(Frame* frame, NodeId target);
-  void DiscardFrame(Frame* frame);
-  std::optional<NodeId> SampleEvictionTarget();
-  void RebuildSampler();
-  void SendGcdUpdate(const Uid& uid, GcdUpdate::Op op, NodeId holder,
-                     bool global, NodeId prev = kInvalidNode,
-                     SpanRef span = {});
-  void ReportStaleWeights();
-
-  // Epoch machinery.
-  void StartEpochAsInitiator();
-  void FinishSummaryCollection();
-  void BuildOwnSummary(uint64_t epoch, EpochSummary* out) const;
-  void AdoptEpochParams(const EpochParams& params);
-
-  // Membership machinery (master side).
-  void MasterReconfigure(std::vector<NodeId> live,
-                         NodeId joined = kInvalidNode);
-  void SendHeartbeats();
-  void RepublishAfterPodChange();
-  void ArmMasterWatchdog();
-  void OnMasterSilent();
-
-  // Helpers.
-  void Send(NodeId dst, uint32_t type, uint32_t bytes, MessagePayload payload);
-  SimTime EffectiveAge(const Frame& frame) const;
-
-  Simulator* sim_;
-  Network* net_;
-  Cpu* cpu_;
-  FrameTable* frames_;
-  NodeId self_;
-  GmsConfig config_;
-  Rng rng_;
-  Tracer* tracer_ = nullptr;
-  bool alive_ = false;
-
-  // Directories.
-  Pod pod_;
-  GcdTable gcd_;
-  NodeId master_;
-
-  // Epoch participant state.
-  EpochView view_;
-  std::vector<double> weights_;
-  AliasSampler sampler_;
-  double remaining_weight_ = 0;
-  uint64_t putpages_this_epoch_ = 0;  // absorbed by us (next-initiator side)
-  uint32_t evictions_since_summary_ = 0;
-  bool stale_reported_ = false;
-  TimerId epoch_timer_ = 0;
-
-  // Epoch initiator state.
-  bool collecting_ = false;
-  uint64_t collecting_epoch_ = 0;
-  std::vector<EpochSummary> summaries_;
-  TimerId collect_timer_ = 0;
-  SimTime epoch_started_at_ = 0;
-  SimTime prev_epoch_duration_ = 0;
-  // Root span of the epoch round this node initiated (trace id derived from
-  // the epoch number, so participants join the same trace without any new
-  // fields in the size-capped epoch messages).
-  SpanRef epoch_span_;
-
-  // Getpage state.
-  uint64_t next_op_id_ = 1;
-  std::unordered_map<uint64_t, PendingGet> pending_gets_;
-
-  // Reliable-control state (idle unless config_.retry.enabled).
-  std::unordered_map<uint32_t, uint64_t> next_ctl_seq_;  // by destination id
-  std::unordered_map<uint64_t, UnackedControl> unacked_;  // by AckKey
-  std::unordered_map<uint32_t, SeqWindow> seen_seqs_;  // by sender node id
-  TimerId join_retry_timer_ = 0;
-  int join_attempts_ = 0;
-  TimerId epoch_watchdog_ = 0;
-  uint64_t watchdog_epoch_ = 0;
-  int epoch_watchdog_fires_ = 0;
-  bool summaries_rerequested_ = false;
-  uint64_t highest_epoch_seen_ = 0;
-  TimerId stale_clear_timer_ = 0;
-
-  // Heartbeat state (master side).
-  uint64_t hb_seq_ = 0;
-  std::unordered_map<uint32_t, int> hb_misses_;
-  std::unordered_map<uint32_t, uint64_t> hb_acked_;
-  TimerId hb_timer_ = 0;
-  TimerId master_watchdog_ = 0;
+  GmsPolicy* policy_;  // owned by CacheEngine; typed view for the API above
 };
 
 }  // namespace gms

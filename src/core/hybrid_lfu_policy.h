@@ -1,0 +1,81 @@
+// HybridLfuPolicy: frequency-aware global-cache forwarding, inspired by
+// EEvA's expert-based eviction (arXiv:2405.00154) — recency decides *when* a
+// page leaves local memory (the pageout daemon's LRU), estimated frequency
+// decides *whether it is worth a network transfer* and *which remote victim
+// it may displace*.
+//
+// Frequency is tracked with a tiny two-row count-min sketch over fault UIDs
+// (constant memory, no per-page state). On eviction, pages whose estimate
+// clears `forward_threshold` are forwarded to a uniformly random peer with
+// the estimate riding in PutPage::freq; cold pages drop straight to disk,
+// saving the wire for pages likely to be faulted again. A receiver absorbing
+// a forwarded page may displace a clean global page whose own estimate is no
+// higher.
+//
+// Compared to GmsPolicy this needs no epochs, no weights, and no extra
+// message types — an existence proof that the ReplacementPolicy seam can
+// host an algorithm the original monoliths never contemplated.
+#ifndef SRC_CORE_HYBRID_LFU_POLICY_H_
+#define SRC_CORE_HYBRID_LFU_POLICY_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/cache_engine.h"
+
+namespace gms {
+
+struct HybridLfuConfig {
+  CostModel costs;
+  // Minimum sketch estimate for a page to earn a network forward instead of
+  // a disk drop. 2 keeps one-touch (scan) pages off the wire.
+  uint8_t forward_threshold = 2;
+};
+
+class HybridLfuPolicy final : public ReplacementPolicy {
+ public:
+  HybridLfuPolicy(uint64_t seed, HybridLfuConfig config = {})
+      : config_(config), rng_(seed) {}
+
+  void EvictClean(Frame* frame) override;
+  bool HandleMessage(const Datagram& dgram) override;
+
+  // Every fault bumps the sketch (before the getpage is issued).
+  bool WantsFaultEvents() const override { return true; }
+  void OnPageFault(const Uid& uid) override { Bump(uid); }
+
+  // Exposed for tests: the sketch's current estimate for a page.
+  uint8_t Estimate(const Uid& uid) const;
+
+ private:
+  // Two-row count-min sketch, 4096 saturating uint8 cells per row. When any
+  // cell saturates, every cell is halved — cheap exponential aging that
+  // keeps estimates comparable across workload phases.
+  static constexpr size_t kCells = 4096;
+
+  static uint64_t Hash2(uint64_t h1) {
+    return (h1 * 0x9e3779b97f4a7c15ULL) ^ (h1 >> 32);
+  }
+  uint8_t& Cell(size_t row, uint64_t hash) {
+    return sketch_[row * kCells + (hash & (kCells - 1))];
+  }
+  const uint8_t& Cell(size_t row, uint64_t hash) const {
+    return sketch_[row * kCells + (hash & (kCells - 1))];
+  }
+  void Bump(const Uid& uid);
+
+  void HandlePutPage(const PutPage& msg);
+  // Uniformly random live peer, or nullopt when this node is alone.
+  std::optional<NodeId> RandomTarget();
+
+  HybridLfuConfig config_;
+  Rng rng_;
+  std::array<uint8_t, 2 * kCells> sketch_{};
+};
+
+}  // namespace gms
+
+#endif  // SRC_CORE_HYBRID_LFU_POLICY_H_

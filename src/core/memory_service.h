@@ -1,10 +1,11 @@
 // The node-facing interface to a cluster memory policy.
 //
-// The node/OS layer (src/node) is written against this interface; three
+// The node/OS layer (src/node) is written against this interface. Two
 // implementations exist:
-//   * GmsAgent (src/core)     — the paper's algorithm,
-//   * NchanceAgent (src/nchance) — the comparison baseline of section 5.5,
-//   * NullMemoryService       — no cluster memory at all ("native OSF/1"),
+//   * CacheEngine (src/core/cache_engine.h) — the shared protocol mechanism,
+//     specialized by a pluggable ReplacementPolicy (GMS, N-chance,
+//     local-LRU, hybrid-LFU; see src/core/replacement_policy.h),
+//   * NullMemoryService — no cluster memory at all ("native OSF/1"),
 //     the denominator of every speedup the paper reports.
 #ifndef SRC_CORE_MEMORY_SERVICE_H_
 #define SRC_CORE_MEMORY_SERVICE_H_

@@ -1,477 +1,30 @@
 #include "src/nchance/nchance_agent.h"
 
-#include <cassert>
-#include <utility>
-
-#include "src/common/log.h"
+#include <memory>
 
 namespace gms {
+namespace {
+
+// The policy-independent slice of the N-chance configuration. Retries stay
+// disabled (the OSDI '94 baseline pre-dates the reliability layer and the
+// comparison keeps its original lossy semantics) and served pages never
+// propagate dirty bits — that is the GMS dirty-global extension.
+EngineConfig NchanceEngineConfig(const NchanceConfig& config) {
+  EngineConfig engine;
+  engine.costs = config.costs;
+  engine.getpage_timeout = config.getpage_timeout;
+  engine.global_age_boost = config.global_age_boost;
+  engine.propagate_dirty = false;
+  return engine;
+}
+
+}  // namespace
 
 NchanceAgent::NchanceAgent(Simulator* sim, Network* net, Cpu* cpu,
                            FrameTable* frames, NodeId self, uint64_t seed,
                            NchanceConfig config)
-    : sim_(sim), net_(net), cpu_(cpu), frames_(frames), self_(self),
-      config_(config), rng_(seed) {}
-
-void NchanceAgent::Start(const PodTable& pod) {
-  alive_ = true;
-  pod_.Adopt(pod);
-}
-
-void NchanceAgent::SetAlive(bool alive) {
-  alive_ = alive;
-  if (!alive) {
-    for (auto& [id, pending] : pending_gets_) {
-      sim_->CancelTimer(pending.timer);
-    }
-    pending_gets_.clear();
-  }
-}
-
-void NchanceAgent::Send(NodeId dst, uint32_t type, uint32_t bytes,
-                        MessagePayload payload) {
-  net_->Send(Datagram{self_, dst, bytes, type, std::move(payload)});
-}
-
-// ---------------------------------------------------------------------------
-// getpage: identical directory path to GMS (shared lookup infrastructure)
-// ---------------------------------------------------------------------------
-
-void NchanceAgent::GetPage(const Uid& uid, GetPageCallback callback,
-                           SpanRef parent) {
-  stats_.getpage_attempts++;
-  TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kGetPageIssue, uid,
-             0);
-  const uint64_t op_id = next_op_id_++;
-  PendingGet pending;
-  pending.uid = uid;
-  pending.callback = std::move(callback);
-  pending.started = sim_->now();
-  if (parent.trace != 0) {
-    pending.span = parent;
-  } else {
-    pending.span = TraceBegin(tracer_, sim_->now(), self_, SpanOp::kGetPage);
-    pending.owns_trace = true;
-  }
-  const SpanRef span = pending.span;
-  pending.timer = sim_->ScheduleTimer(config_.getpage_timeout, [this, op_id] {
-    stats_.getpage_timeouts++;
-    auto it = pending_gets_.find(op_id);
-    if (it == pending_gets_.end()) {
-      return;
-    }
-    SpanStep(tracer_, sim_->now(), self_, it->second.span,
-             SpanComp::kRetryWait);
-    GetPageResult result;
-    result.span = it->second.span;
-    ResolveGet(op_id, result);
-  });
-  pending_gets_.emplace(op_id, std::move(pending));
-
-  cpu_->SubmitKernel(config_.costs.get_request_local, CpuCategory::kFault,
-                     [this, uid, op_id, span] {
-    if (!alive_) {
-      return;
-    }
-    SpanStep(tracer_, sim_->now(), self_, span, SpanComp::kReqGen);
-    const NodeId gcd_node = pod_.GcdNodeFor(uid);
-    if (gcd_node == self_) {
-      LookupInGcd(uid, self_, op_id, span);
-      return;
-    }
-    cpu_->SubmitKernel(config_.costs.get_request_remote_extra,
-                       CpuCategory::kFault, [this, uid, op_id, gcd_node, span] {
-      if (alive_) {
-        SpanStep(tracer_, sim_->now(), self_, span, SpanComp::kReqGen,
-                 gcd_node.value);
-        GetPageReq req{uid, self_, op_id};
-        req.span = span;
-        Send(gcd_node, kMsgGetPageReq, config_.costs.small_message_bytes(),
-             req);
-      }
-    });
-  });
-}
-
-void NchanceAgent::LookupInGcd(const Uid& uid, NodeId requester,
-                               uint64_t op_id, SpanRef span) {
-  const CpuCategory category =
-      requester == self_ ? CpuCategory::kFault : CpuCategory::kService;
-  cpu_->SubmitKernel(config_.costs.gcd_lookup, category,
-                     [this, uid, requester, op_id, category, span] {
-    if (!alive_) {
-      return;
-    }
-    stats_.gcd_lookups++;
-    SpanStep(tracer_, sim_->now(), self_, span, SpanComp::kService);
-    const std::optional<GcdTable::Holder> pick = gcd_.Pick(uid, requester);
-    if (!pick.has_value() || !pod_.IsLive(pick->node)) {
-      if (requester == self_) {
-        GetPageResult result;
-        result.span = span;
-        ResolveGet(op_id, result);
-      } else {
-        GetPageMiss miss{uid, op_id};
-        miss.span = span;
-        Send(requester, kMsgGetPageMiss, config_.costs.small_message_bytes(),
-             miss);
-      }
-      return;
-    }
-    if (pick->global) {
-      gcd_.Apply(GcdUpdate{uid, GcdUpdate::kRemove, pick->node, true});
-    }
-    gcd_.Apply(GcdUpdate{uid, GcdUpdate::kAdd, requester, false});
-    cpu_->SubmitKernel(config_.costs.gcd_forward_extra, category,
-                       [this, uid, requester, op_id, holder = pick->node,
-                        span] {
-      if (alive_) {
-        SpanStep(tracer_, sim_->now(), self_, span, SpanComp::kService,
-                 holder.value);
-        GetPageFwd fwd{uid, requester, op_id};
-        fwd.span = span;
-        Send(holder, kMsgGetPageFwd, config_.costs.small_message_bytes(), fwd);
-      }
-    });
-  });
-}
-
-void NchanceAgent::HandleGetPageReq(const GetPageReq& msg) {
-  LookupInGcd(msg.uid, msg.requester, msg.op_id, msg.span);
-}
-
-void NchanceAgent::HandleGetPageFwd(const GetPageFwd& msg) {
-  cpu_->SubmitKernel(config_.costs.get_target, CpuCategory::kService,
-                     [this, msg] {
-    if (!alive_) {
-      return;
-    }
-    SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kService);
-    Frame* frame = frames_->Lookup(msg.uid);
-    if (frame == nullptr || frame->pinned) {
-      GetPageMiss miss{msg.uid, msg.op_id};
-      miss.span = msg.span;
-      Send(msg.requester, kMsgGetPageMiss, config_.costs.small_message_bytes(),
-           miss);
-      return;
-    }
-    GetPageReply reply{msg.uid, msg.op_id, false};
-    reply.span = msg.span;
-    if (frame->location == PageLocation::kGlobal) {
-      reply.was_global = true;
-      stats_.global_hits_served++;
-      frames_->Free(frame);
-    } else {
-      frame->duplicated = true;
-    }
-    Send(msg.requester, kMsgGetPageReply, config_.costs.page_message_bytes(),
-         reply);
-  });
-}
-
-void NchanceAgent::HandleGetPageReply(const GetPageReply& msg) {
-  cpu_->SubmitKernel(config_.costs.get_reply_receipt_data, CpuCategory::kFault,
-                     [this, msg] {
-    if (alive_) {
-      SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kService);
-      GetPageResult result{true, !msg.was_global};
-      result.span = msg.span;
-      ResolveGet(msg.op_id, result);
-    }
-  });
-}
-
-void NchanceAgent::HandleGetPageMiss(const GetPageMiss& msg) {
-  cpu_->SubmitKernel(config_.costs.get_reply_receipt_miss, CpuCategory::kFault,
-                     [this, msg] {
-    if (alive_) {
-      SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kService);
-      GetPageResult result;
-      result.span = msg.span;
-      ResolveGet(msg.op_id, result);
-    }
-  });
-}
-
-void NchanceAgent::ResolveGet(uint64_t op_id, GetPageResult result) {
-  auto it = pending_gets_.find(op_id);
-  if (it == pending_gets_.end()) {
-    return;
-  }
-  sim_->CancelTimer(it->second.timer);
-  GetPageCallback callback = std::move(it->second.callback);
-  const Uid uid = it->second.uid;
-  const SimTime latency = sim_->now() - it->second.started;
-  const bool owns_trace = it->second.owns_trace;
-  pending_gets_.erase(it);
-  if (result.hit) {
-    stats_.getpage_hits++;
-    stats_.getpage_hit_ns.Record(latency);
-    TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kGetPageHit, uid,
-               static_cast<uint64_t>(latency));
-  } else {
-    stats_.getpage_misses++;
-    stats_.getpage_miss_ns.Record(latency);
-    TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kGetPageMiss, uid,
-               static_cast<uint64_t>(latency));
-  }
-  if (owns_trace) {
-    SpanEnd(tracer_, sim_->now(), self_, result.span,
-            result.hit ? SpanStatus::kHit : SpanStatus::kMiss,
-            static_cast<uint64_t>(latency));
-  }
-  callback(result);
-}
-
-void NchanceAgent::OnPageLoaded(Frame* frame) {
-  SendGcdUpdate(frame->uid, GcdUpdate::kAdd, self_,
-                frame->location == PageLocation::kGlobal);
-}
-
-void NchanceAgent::SendGcdUpdate(const Uid& uid, GcdUpdate::Op op,
-                                 NodeId holder, bool global, NodeId prev) {
-  GcdUpdate update{uid, op, holder, global, prev};
-  const NodeId gcd_node = pod_.GcdNodeFor(uid);
-  if (gcd_node == self_) {
-    gcd_.Apply(update);
-    return;
-  }
-  Send(gcd_node, kMsgGcdUpdate, config_.costs.small_message_bytes(), update);
-}
-
-void NchanceAgent::HandleGcdUpdate(const GcdUpdate& msg) {
-  cpu_->SubmitKernel(config_.costs.put_gcd_processing, CpuCategory::kService,
-                     [this, msg] {
-    if (alive_) {
-      gcd_.Apply(msg);
-    }
-  });
-}
-
-// ---------------------------------------------------------------------------
-// N-chance replacement
-// ---------------------------------------------------------------------------
-
-void NchanceAgent::EvictClean(Frame* frame) {
-  assert(frame != nullptr && frame->in_use() && !frame->dirty);
-
-  // Non-singlets are simply discarded.
-  if (frame->duplicated) {
-    stats_.discards_duplicate++;
-    SendGcdUpdate(frame->uid, GcdUpdate::kRemove, self_,
-                  frame->location == PageLocation::kGlobal);
-    frames_->Free(frame);
-    return;
-  }
-
-  uint8_t count;
-  if (frame->location == PageLocation::kGlobal) {
-    // A recirculating page being evicted again: one hop consumed.
-    if (frame->recirculation <= 1) {
-      stats_.discards_old++;
-      nstats_.dropped_exhausted++;
-      SendGcdUpdate(frame->uid, GcdUpdate::kRemove, self_, true);
-      frames_->Free(frame);
-      return;
-    }
-    count = static_cast<uint8_t>(frame->recirculation - 1);
-  } else {
-    count = config_.recirculation;
-  }
-  // A fresh eviction roots its own trace (a re-forward continues the
-  // arriving message's trace instead — see HandleForward).
-  const SpanRef span =
-      TraceBegin(tracer_, sim_->now(), self_, SpanOp::kPutPage);
-  ForwardPage(frame->uid, frame->shared, sim_->now() - frame->last_access,
-              count, frame, span);
-}
-
-void NchanceAgent::ForwardPage(Uid uid, bool shared, SimTime age,
-                               uint8_t count, Frame* frame_to_free,
-                               SpanRef span) {
-  const std::optional<NodeId> target = RandomTarget();
-  if (!target.has_value()) {
-    stats_.discards_old++;
-    SendGcdUpdate(uid, GcdUpdate::kRemove, self_, true);
-    if (frame_to_free != nullptr) {
-      frames_->Free(frame_to_free);
-    }
-    SpanEnd(tracer_, sim_->now(), self_, span, SpanStatus::kBounced);
-    return;
-  }
-  nstats_.forwards_sent++;
-  stats_.putpages_sent++;
-  TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kPutPageSend, uid,
-             target->value);
-  if (frame_to_free != nullptr) {
-    frames_->Free(frame_to_free);  // copied to a network buffer
-  }
-  NchanceForward msg{uid, self_, age, shared, count};
-  msg.span = span;
-  cpu_->SubmitKernel(config_.costs.put_request, CpuCategory::kFault,
-                     [this, msg, target = *target] {
-    if (!alive_) {
-      return;
-    }
-    SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kReqGen);
-    Send(target, kMsgNchanceForward, config_.costs.page_message_bytes(), msg);
-    SendGcdUpdate(msg.uid, GcdUpdate::kReplace, target, true, self_);
-  });
-}
-
-std::optional<NodeId> NchanceAgent::RandomTarget() {
-  const auto& live = pod_.table().live;
-  if (live.size() < 2) {
-    return std::nullopt;
-  }
-  for (;;) {
-    const NodeId node = live[rng_.NextBelow(live.size())];
-    if (node != self_) {
-      return node;
-    }
-  }
-}
-
-void NchanceAgent::HandleForward(const NchanceForward& msg) {
-  cpu_->SubmitKernel(config_.costs.put_target, CpuCategory::kService,
-                     [this, msg] {
-    if (!alive_) {
-      return;
-    }
-    nstats_.forwards_received++;
-    stats_.putpages_received++;
-    TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kPutPageRecv,
-               msg.uid, static_cast<uint64_t>(ToMicroseconds(msg.age)));
-    SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kService);
-
-    if (frames_->Lookup(msg.uid) != nullptr) {
-      SendGcdUpdate(msg.uid, GcdUpdate::kAdd, self_, false);
-      SpanEnd(tracer_, sim_->now(), self_, msg.span, SpanStatus::kAbsorbed);
-      return;
-    }
-
-    auto install = [&]() -> bool {
-      // Dahlin: the received page is made the youngest on the LRU list.
-      Frame* frame = frames_->Allocate(msg.uid, PageLocation::kGlobal,
-                                       sim_->now());
-      if (frame == nullptr) {
-        return false;
-      }
-      frame->shared = msg.shared;
-      frame->recirculation = msg.recirculation;
-      return true;
-    };
-
-    // (1) a free page, if taking one will not trigger reclamation.
-    if (frames_->free_count() > config_.free_reserve && install()) {
-      SpanEnd(tracer_, sim_->now(), self_, msg.span, SpanStatus::kAbsorbed);
-      return;
-    }
-
-    // (2) the oldest duplicate — even a recently-used one. This is the
-    // documented flaw that displaces active shared pages on non-idle nodes.
-    Frame* victim = frames_->OldestMatching(
-        sim_->now(), config_.global_age_boost,
-        [](const Frame& f) { return f.duplicated && !f.dirty; });
-    if (victim != nullptr) {
-      nstats_.victims_duplicate++;
-    } else {
-      // (3) the oldest recirculating page.
-      victim = frames_->OldestMatching(
-          sim_->now(), config_.global_age_boost, [](const Frame& f) {
-            return f.recirculation > 0 && !f.dirty &&
-                   f.location == PageLocation::kGlobal;
-          });
-      if (victim != nullptr) {
-        nstats_.victims_recirculating++;
-      }
-    }
-    if (victim == nullptr) {
-      // (4) a very old singlet.
-      Frame* oldest = frames_->PickVictim(sim_->now(), config_.global_age_boost,
-                                          /*require_clean=*/true);
-      if (oldest != nullptr &&
-          sim_->now() - oldest->last_access >= config_.very_old_age) {
-        victim = oldest;
-        nstats_.victims_old_singlet++;
-      }
-    }
-
-    if (victim != nullptr) {
-      SendGcdUpdate(victim->uid, GcdUpdate::kRemove, self_,
-                    victim->location == PageLocation::kGlobal);
-      frames_->Free(victim);
-      const bool ok = install();
-      assert(ok);
-      (void)ok;
-      SpanEnd(tracer_, sim_->now(), self_, msg.span, SpanStatus::kAbsorbed);
-      return;
-    }
-
-    // No victim: decrement and re-forward, or drop at zero.
-    if (msg.recirculation <= 1) {
-      nstats_.dropped_exhausted++;
-      stats_.putpages_bounced++;
-      SendGcdUpdate(msg.uid, GcdUpdate::kRemove, self_, true);
-      SpanEnd(tracer_, sim_->now(), self_, msg.span, SpanStatus::kBounced);
-      return;
-    }
-    nstats_.reforwards++;
-    // The re-forward continues the same trace: the next receiver's span
-    // forks off this hop's span, so the whole recirculation chain is one
-    // tree.
-    ForwardPage(msg.uid, msg.shared, msg.age,
-                static_cast<uint8_t>(msg.recirculation - 1), nullptr,
-                msg.span);
-  });
-}
-
-// ---------------------------------------------------------------------------
-// dispatch
-// ---------------------------------------------------------------------------
-
-void NchanceAgent::OnDatagram(Datagram dgram) {
-  if (!alive_) {
-    return;
-  }
-  // Same receive-span fork as the GMS agent: rewrite the embedded context in
-  // place before the datagram is captured by the ISR closure.
-  if (SpanRef* slot = MutablePayloadSpan(dgram.type, dgram.payload)) {
-    *slot = SpanBegin(tracer_, sim_->now(), self_, *slot, dgram.type);
-  }
-  cpu_->SubmitKernel(config_.costs.receive_isr, CpuCategory::kService,
-                     [this, dgram = std::move(dgram)] {
-    if (!alive_) {
-      return;
-    }
-    if (const SpanRef* slot = PayloadSpan(dgram.type, dgram.payload)) {
-      SpanStep(tracer_, sim_->now(), self_, *slot, SpanComp::kQueueIsr);
-    }
-    switch (dgram.type) {
-      case kMsgGetPageReq:
-        HandleGetPageReq(dgram.payload.get<GetPageReq>());
-        break;
-      case kMsgGetPageFwd:
-        HandleGetPageFwd(dgram.payload.get<GetPageFwd>());
-        break;
-      case kMsgGetPageReply:
-        HandleGetPageReply(dgram.payload.get<GetPageReply>());
-        break;
-      case kMsgGetPageMiss:
-        HandleGetPageMiss(dgram.payload.get<GetPageMiss>());
-        break;
-      case kMsgNchanceForward:
-        HandleForward(dgram.payload.get<NchanceForward>());
-        break;
-      case kMsgGcdUpdate:
-        HandleGcdUpdate(dgram.payload.get<GcdUpdate>());
-        break;
-      default:
-        GMS_LOG_WARN("nchance node %u: unknown message type %u", self_.value,
-                     dgram.type);
-        break;
-    }
-  });
-}
+    : CacheEngine(sim, net, cpu, frames, self, NchanceEngineConfig(config),
+                  std::make_unique<NchancePolicy>(seed, config)),
+      policy_(static_cast<NchancePolicy*>(policy())) {}
 
 }  // namespace gms

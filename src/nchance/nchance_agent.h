@@ -1,130 +1,26 @@
-// N-chance forwarding (Dahlin et al., OSDI '94) — the comparison baseline of
-// section 5.5, with the paper's OSF/1 modifications.
-//
-// Eviction policy: a node about to replace a page checks whether it is the
-// last cached copy in the cluster (a "singlet"); duplicates are discarded,
-// singlets are forwarded to a RANDOM node with a recirculation count of
-// N = 2. A node receiving a forwarded page picks a victim in this order
-// (paper section 5.5): a free page (if allocating one would not trigger
-// reclamation), the oldest duplicate, the oldest recirculating page, a very
-// old singlet; failing all of those, the forwarded page's count is
-// decremented and it is re-forwarded, or dropped at zero. Received pages are
-// made the youngest on the receiving node's LRU list.
-//
-// The two deliberate contrasts with GMS: (1) the target node is chosen at
-// random with no global knowledge, and (2) singlets are kept in the cluster
-// at the expense of duplicates even when the duplicates are in active use —
-// the source of the interference measured in Figures 9-11.
-//
-// Page location (getpage) uses the same POD/GCD directories and cost model
-// as GMS so the comparison isolates the replacement/targeting policy.
+// The N-chance node agent: the shared CacheEngine mechanism (getpage
+// redirect, POD/GCD directories, dispatch) bound to NchancePolicy. See
+// nchance_policy.h for the algorithm.
 #ifndef SRC_NCHANCE_NCHANCE_AGENT_H_
 #define SRC_NCHANCE_NCHANCE_AGENT_H_
 
 #include <cstdint>
-#include <optional>
-#include <unordered_map>
 
 #include "src/common/node_id.h"
-#include "src/common/rng.h"
-#include "src/common/uid.h"
-#include "src/core/cost_model.h"
-#include "src/core/directory.h"
-#include "src/core/memory_service.h"
-#include "src/core/messages.h"
-#include "src/mem/frame_table.h"
-#include "src/net/network.h"
-#include "src/sim/cpu.h"
-#include "src/sim/simulator.h"
+#include "src/core/cache_engine.h"
+#include "src/nchance/nchance_policy.h"
 
 namespace gms {
 
-struct NchanceConfig {
-  CostModel costs;
-  uint8_t recirculation = 2;  // N
-  // "Very old singlet" victim threshold.
-  SimTime very_old_age = Seconds(60);
-  // Accept a forward into a free frame only while doing so would not trigger
-  // reclamation (stay above this many free frames).
-  uint32_t free_reserve = 4;
-  SimTime getpage_timeout = Milliseconds(100);
-  double global_age_boost = 1.0;  // N-chance has no age boosting
-};
-
-class NchanceAgent final : public MemoryService {
+class NchanceAgent final : public CacheEngine {
  public:
   NchanceAgent(Simulator* sim, Network* net, Cpu* cpu, FrameTable* frames,
                NodeId self, uint64_t seed, NchanceConfig config = {});
 
-  void Start(const PodTable& pod);
-
-  // --- MemoryService ---
-  void GetPage(const Uid& uid, GetPageCallback callback,
-               SpanRef parent = {}) override;
-  void EvictClean(Frame* frame) override;
-  void OnPageLoaded(Frame* frame) override;
-
-  void OnDatagram(Datagram dgram);
-  void SetAlive(bool alive);
-
-  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
-
-  const Pod& pod() const { return pod_; }
-  const GcdTable& gcd() const { return gcd_; }
-
-  struct NchanceStats {
-    uint64_t forwards_sent = 0;
-    uint64_t forwards_received = 0;
-    uint64_t reforwards = 0;       // bounced onward for lack of a victim
-    uint64_t dropped_exhausted = 0;  // recirculation count hit zero
-    uint64_t victims_duplicate = 0;
-    uint64_t victims_recirculating = 0;
-    uint64_t victims_old_singlet = 0;
-  };
-  const NchanceStats& nchance_stats() const { return nstats_; }
+  const NchanceStats& nchance_stats() const { return policy_->nchance_stats(); }
 
  private:
-  struct PendingGet {
-    Uid uid;
-    GetPageCallback callback;
-    TimerId timer = 0;
-    SimTime started = 0;
-    SpanRef span;            // caller's span, or our own root
-    bool owns_trace = false; // no enclosing fault: we emit the SpanEnd
-  };
-
-  void HandleGetPageReq(const GetPageReq& msg);
-  void HandleGetPageFwd(const GetPageFwd& msg);
-  void HandleGetPageReply(const GetPageReply& msg);
-  void HandleGetPageMiss(const GetPageMiss& msg);
-  void HandleForward(const NchanceForward& msg);
-  void HandleGcdUpdate(const GcdUpdate& msg);
-  void LookupInGcd(const Uid& uid, NodeId requester, uint64_t op_id,
-                   SpanRef span);
-  void ResolveGet(uint64_t op_id, GetPageResult result);
-  void ForwardPage(Uid uid, bool shared, SimTime age, uint8_t count,
-                   Frame* frame_to_free, SpanRef span);
-  void SendGcdUpdate(const Uid& uid, GcdUpdate::Op op, NodeId holder,
-                     bool global, NodeId prev = kInvalidNode);
-  std::optional<NodeId> RandomTarget();
-  void Send(NodeId dst, uint32_t type, uint32_t bytes, MessagePayload payload);
-
-  Simulator* sim_;
-  Network* net_;
-  Cpu* cpu_;
-  FrameTable* frames_;
-  NodeId self_;
-  NchanceConfig config_;
-  Rng rng_;
-  bool alive_ = false;
-  Tracer* tracer_ = nullptr;
-
-  Pod pod_;
-  GcdTable gcd_;
-
-  uint64_t next_op_id_ = 1;
-  std::unordered_map<uint64_t, PendingGet> pending_gets_;
-  NchanceStats nstats_;
+  NchancePolicy* policy_;
 };
 
 }  // namespace gms

@@ -22,10 +22,15 @@
 #include <utility>
 
 #include "src/common/node_id.h"
+#include "src/core/cache_engine.h"
+#include "src/core/directory.h"
+#include "src/core/hybrid_lfu_policy.h"
 #include "src/core/messages.h"
+#include "src/mem/frame_table.h"
 #include "src/net/network.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/sim/cpu.h"
 #include "src/sim/simulator.h"
 
 namespace {
@@ -321,6 +326,55 @@ TEST(AllocTest, MessageSendWithTracingIsAllocationFreeAtSteadyState) {
   EXPECT_GT(tracer.records_recorded(), 8192u);  // tracing actually happened
   EXPECT_EQ(window.allocs(), 0u)
       << "a traced message trip allocated at steady state";
+  EXPECT_EQ(window.frees(), 0u);
+}
+
+// The shared cache engine's per-message path: OnDatagram (receive-span fork
+// slot check, ISR kernel whose closure is static_asserted inline), the
+// virtual Dispatch into a protocol handler, the handler's own CPU kernel,
+// and a GCD probe that misses. A GetPageReq/GetPageMiss ping-pong between a
+// plain driver node and a live engine walks all of it every trip; after
+// warm-up the engine may not touch the allocator — the policy seam's
+// virtual dispatch and the engine's maps must all be steady-state clean.
+TEST(AllocTest, EngineDispatchIsAllocationFreeAtSteadyState) {
+  Simulator sim;
+  Network net(&sim, 2);
+  Cpu cpu(&sim);
+  FrameTable frames(16);
+  CacheEngine engine(&sim, &net, &cpu, &frames, NodeId{1}, EngineConfig{},
+                     std::make_unique<HybridLfuPolicy>(/*seed=*/1));
+  engine.Start(Pod::Build(1, {NodeId{0}, NodeId{1}}));
+  net.Attach(NodeId{1},
+             [&engine](Datagram&& d) { engine.OnDatagram(std::move(d)); });
+  uint64_t remaining = 0;
+  uint64_t round_trips = 0;
+  const Uid uid = MakeAnonUid(NodeId{0}, 1, 0);
+  // Driver: every GetPageMiss the engine sends back becomes the next
+  // GetPageReq. The engine side runs the real protocol: receive ISR,
+  // Dispatch, LookupInGcd kernel, directory miss, miss reply.
+  net.Attach(NodeId{0}, [&](Datagram&& d) {
+    round_trips++;
+    if (remaining > 0) {
+      remaining--;
+      const uint64_t op = d.payload.get<GetPageMiss>().op_id + 1;
+      net.Send(Datagram{NodeId{0}, NodeId{1}, 64, kMsgGetPageReq,
+                        GetPageReq{uid, NodeId{0}, op, {}}});
+    }
+  });
+  auto run_trips = [&](uint64_t trips) {
+    remaining = trips;
+    net.Send(Datagram{NodeId{0}, NodeId{1}, 64, kMsgGetPageReq,
+                      GetPageReq{uid, NodeId{0}, 1, {}}});
+    sim.Run();
+  };
+  run_trips(4096);  // warm-up: CPU queues, gcd table buckets, net counters
+  const AllocWindow window;
+  const uint64_t before = round_trips;
+  run_trips(4096);
+  EXPECT_GE(round_trips - before, 4096u);
+  EXPECT_GT(engine.stats().gcd_lookups, 8192u);  // the engine really ran
+  EXPECT_EQ(window.allocs(), 0u)
+      << "an engine receive->dispatch->handle trip allocated at steady state";
   EXPECT_EQ(window.frees(), 0u);
 }
 

@@ -86,25 +86,21 @@ TEST_P(ClusterPropertyTest, DirectoryPointsAtRealHolders) {
   if (GetParam().policy == PolicyKind::kNone) {
     GTEST_SKIP() << "no directory without a policy";
   }
+  if (GetParam().policy == PolicyKind::kLocalLru) {
+    GTEST_SKIP() << "no directory registrations without a global cache";
+  }
   auto cluster = RunMixedCluster(GetParam().seed, GetParam().policy);
   uint64_t entries = 0;
   uint64_t stale = 0;
   for (uint32_t n = 0; n < cluster->num_nodes(); n++) {
-    const GcdTable* gcd = nullptr;
-    if (auto* agent = cluster->gms_agent(NodeId{n})) {
-      gcd = &agent->gcd();
-    } else if (auto* agent = cluster->nchance_agent(NodeId{n})) {
-      gcd = &agent->gcd();
-    }
-    ASSERT_NE(gcd, nullptr);
+    CacheEngine* engine = cluster->cache_engine(NodeId{n});
+    ASSERT_NE(engine, nullptr);
+    const GcdTable* gcd = &engine->gcd();
     // Walk the directory via the frames of every node: for each cached page
     // whose GCD section is node n, the entry must list that holder.
     for (uint32_t holder = 0; holder < cluster->num_nodes(); holder++) {
       cluster->frames(NodeId{holder}).ForEach([&](const Frame& f) {
-        Pod const* pod = cluster->gms_agent(NodeId{n}) != nullptr
-                             ? &cluster->gms_agent(NodeId{n})->pod()
-                             : &cluster->nchance_agent(NodeId{n})->pod();
-        if (pod->GcdNodeFor(f.uid) != NodeId{n}) {
+        if (engine->pod().GcdNodeFor(f.uid) != NodeId{n}) {
           return;
         }
         entries++;
@@ -174,12 +170,17 @@ INSTANTIATE_TEST_SUITE_P(
                       PropertyCase{PolicyKind::kGms, 99},
                       PropertyCase{PolicyKind::kNchance, 1},
                       PropertyCase{PolicyKind::kNchance, 7},
+                      PropertyCase{PolicyKind::kLocalLru, 1},
+                      PropertyCase{PolicyKind::kHybridLfu, 1},
+                      PropertyCase{PolicyKind::kHybridLfu, 7},
                       PropertyCase{PolicyKind::kNone, 1}),
     [](const auto& info) {
       std::string name;
       switch (info.param.policy) {
         case PolicyKind::kGms: name = "Gms"; break;
         case PolicyKind::kNchance: name = "Nchance"; break;
+        case PolicyKind::kLocalLru: name = "Local"; break;
+        case PolicyKind::kHybridLfu: name = "Lfu"; break;
         case PolicyKind::kNone: name = "None"; break;
       }
       return name + "Seed" + std::to_string(info.param.seed);

@@ -1,0 +1,164 @@
+// Tests for the MemoryService interface contract itself: the EvictDirty
+// default (dirty pages go to disk unless a policy opts in), and the
+// NullMemoryService baseline ("native OSF/1") that every speedup in the
+// paper is measured against. These are the semantics the node/OS layer
+// relies on regardless of which policy is plugged in.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/cache_engine.h"
+#include "src/core/directory.h"
+#include "src/core/local_lru_policy.h"
+#include "src/core/memory_service.h"
+#include "src/mem/frame_table.h"
+#include "src/net/network.h"
+#include "src/sim/cpu.h"
+#include "src/sim/simulator.h"
+
+namespace gms {
+namespace {
+
+class NullMemoryServiceTest : public ::testing::Test {
+ protected:
+  Simulator sim_;
+  FrameTable frames_{8};
+  NullMemoryService svc_{&sim_, &frames_};
+};
+
+TEST_F(NullMemoryServiceTest, GetPageAlwaysMissesAsynchronously) {
+  const Uid uid = MakeAnonUid(NodeId{0}, 1, 0);
+  bool fired = false;
+  GetPageResult got;
+  svc_.GetPage(uid, [&](GetPageResult r) {
+    fired = true;
+    got = r;
+  });
+  // The callback must never run inside GetPage itself (callers would
+  // re-enter their own fault path); it fires from a simulator event.
+  EXPECT_FALSE(fired);
+  sim_.RunFor(Milliseconds(1));
+  ASSERT_TRUE(fired);
+  EXPECT_FALSE(got.hit);
+  EXPECT_FALSE(got.duplicate);
+  EXPECT_FALSE(got.dirty);
+  EXPECT_EQ(svc_.stats().getpage_attempts, 1u);
+  EXPECT_EQ(svc_.stats().getpage_misses, 1u);
+  EXPECT_EQ(svc_.stats().getpage_hits, 0u);
+}
+
+TEST_F(NullMemoryServiceTest, GetPageResolvesOnTheCallersSpan) {
+  // The miss lands back on the caller's fault span so disk fallback keeps
+  // stamping there — NullMemoryService must pass the parent through
+  // untouched rather than rooting a trace of its own.
+  SpanRef parent;
+  parent.trace = 0x1234;
+  parent.span = 7;
+  SpanRef landed;
+  svc_.GetPage(MakeAnonUid(NodeId{0}, 1, 1),
+               [&](GetPageResult r) { landed = r.span; }, parent);
+  sim_.RunFor(Milliseconds(1));
+  EXPECT_EQ(landed.trace, parent.trace);
+  EXPECT_EQ(landed.span, parent.span);
+}
+
+TEST_F(NullMemoryServiceTest, EvictCleanFreesTheFrame) {
+  const Uid uid = MakeAnonUid(NodeId{0}, 1, 2);
+  Frame* frame = frames_.Allocate(uid, PageLocation::kLocal, sim_.now());
+  ASSERT_NE(frame, nullptr);
+  const uint32_t free_before = frames_.free_count();
+  svc_.EvictClean(frame);
+  EXPECT_EQ(frames_.free_count(), free_before + 1);
+  EXPECT_EQ(frames_.Lookup(uid), nullptr);
+}
+
+TEST_F(NullMemoryServiceTest, OnPageLoadedIsANoOp) {
+  const Uid uid = MakeAnonUid(NodeId{0}, 1, 3);
+  Frame* frame = frames_.Allocate(uid, PageLocation::kLocal, sim_.now());
+  ASSERT_NE(frame, nullptr);
+  svc_.OnPageLoaded(frame);
+  // No directory exists; the frame is untouched and nothing was counted.
+  EXPECT_EQ(frames_.Lookup(uid), frame);
+  EXPECT_EQ(svc_.stats().getpage_attempts, 0u);
+  EXPECT_EQ(svc_.stats().putpages_sent, 0u);
+}
+
+TEST_F(NullMemoryServiceTest, EvictDirtyDefaultsToDiskWriteBack) {
+  // The base-class default: the service declines the dirty frame, the
+  // caller performs the ordinary disk write-back. The frame must NOT be
+  // freed — the caller still owns it until the write completes.
+  const Uid uid = MakeAnonUid(NodeId{0}, 1, 4);
+  Frame* frame = frames_.Allocate(uid, PageLocation::kLocal, sim_.now());
+  ASSERT_NE(frame, nullptr);
+  frame->dirty = true;
+  EXPECT_FALSE(svc_.EvictDirty(frame));
+  EXPECT_EQ(frames_.Lookup(uid), frame);
+  EXPECT_TRUE(frame->dirty);
+}
+
+TEST_F(NullMemoryServiceTest, ResetStatsClearsCounters) {
+  svc_.GetPage(MakeAnonUid(NodeId{0}, 1, 5), [](GetPageResult) {});
+  sim_.RunFor(Milliseconds(1));
+  ASSERT_EQ(svc_.stats().getpage_attempts, 1u);
+  svc_.ResetStats();
+  EXPECT_EQ(svc_.stats().getpage_attempts, 0u);
+  EXPECT_EQ(svc_.stats().getpage_misses, 0u);
+}
+
+// The engine delegates EvictDirty straight to the policy, and the policy
+// interface's own default is the same "write it back yourself" answer —
+// a policy that never heard of dirty globals composes with the engine into
+// exactly the base MemoryService behaviour.
+TEST(CacheEngineEvictDirtyTest, PolicyDefaultDeclinesDirtyFrames) {
+  Simulator sim;
+  Network net(&sim, 1);
+  Cpu cpu(&sim);
+  FrameTable frames(8);
+  CacheEngine engine(&sim, &net, &cpu, &frames, NodeId{0}, EngineConfig{},
+                     std::make_unique<LocalLruPolicy>());
+  engine.Start(Pod::Build(1, {NodeId{0}}));
+  const Uid uid = MakeAnonUid(NodeId{0}, 1, 0);
+  Frame* frame = frames.Allocate(uid, PageLocation::kLocal, sim.now());
+  ASSERT_NE(frame, nullptr);
+  frame->dirty = true;
+  MemoryService& svc = engine;  // through the interface, like NodeOs does
+  EXPECT_FALSE(svc.EvictDirty(frame));
+  EXPECT_EQ(frames.Lookup(uid), frame);
+}
+
+// The no-remote-cache short circuit: `--policy=local` must count and behave
+// exactly like NullMemoryService so the two baselines are interchangeable
+// denominators.
+TEST(CacheEngineEvictDirtyTest, LocalPolicyGetPageMatchesNullService) {
+  Simulator sim;
+  Network net(&sim, 1);
+  Cpu cpu(&sim);
+  FrameTable frames(8);
+  CacheEngine engine(&sim, &net, &cpu, &frames, NodeId{0}, EngineConfig{},
+                     std::make_unique<LocalLruPolicy>());
+  engine.Start(Pod::Build(1, {NodeId{0}}));
+  bool fired = false;
+  GetPageResult got;
+  SpanRef parent;
+  parent.trace = 0x42;
+  parent.span = 3;
+  engine.GetPage(MakeAnonUid(NodeId{0}, 1, 0),
+                 [&](GetPageResult r) {
+                   fired = true;
+                   got = r;
+                 },
+                 parent);
+  EXPECT_FALSE(fired);  // asynchronous, like every real service
+  sim.RunFor(Milliseconds(1));
+  ASSERT_TRUE(fired);
+  EXPECT_FALSE(got.hit);
+  EXPECT_EQ(got.span.trace, parent.trace);
+  EXPECT_EQ(got.span.span, parent.span);
+  EXPECT_EQ(engine.stats().getpage_attempts, 1u);
+  EXPECT_EQ(engine.stats().getpage_misses, 1u);
+  // No directory traffic was generated: nothing on the wire at all.
+  EXPECT_EQ(net.total_traffic().events, 0u);
+}
+
+}  // namespace
+}  // namespace gms

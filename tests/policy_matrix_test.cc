@@ -1,0 +1,104 @@
+// End-to-end smoke over every registered replacement policy: the same
+// overflow workload (one small node spilling into two idle donors) must run
+// to completion, quiesce, and keep the node-level accounting consistent
+// under each policy. This is the seam's contract — a policy added to the
+// registry is a policy the whole cluster stack can drive.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <string>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/policy_registry.h"
+#include "src/core/directory.h"
+#include "src/workload/patterns.h"
+
+namespace gms {
+namespace {
+
+struct MatrixCase {
+  PolicyKind policy;
+  bool remote_cache;  // does the policy serve getpage hits from peers?
+};
+
+class PolicyMatrixTest : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(PolicyMatrixTest, OverflowWorkloadCompletesAndQuiesces) {
+  const MatrixCase& c = GetParam();
+  ClusterConfig config;
+  config.num_nodes = 3;
+  config.policy = c.policy;
+  config.frames_per_node = {64, 512, 512};
+  config.frames = 64;
+  config.seed = 7;
+  Cluster cluster(config);
+  cluster.Start();
+
+  // Working set ~3x node 0's memory, revisited several times: plenty of
+  // evictions (putpage/forward/drop traffic) and re-faults (getpage).
+  const uint64_t footprint = 192;
+  cluster.AddWorkload(
+      NodeId{0},
+      std::make_unique<UniformRandomPattern>(
+          PageSet{MakeAnonUid(NodeId{0}, 1, 0), footprint}, footprint * 6,
+          Microseconds(30), /*write_fraction=*/0.2),
+      "overflow");
+  cluster.StartWorkloads();
+  ASSERT_TRUE(cluster.RunUntilWorkloadsDone(Seconds(120)));
+  EXPECT_TRUE(cluster.RunUntilQuiescent(Seconds(10)));
+
+  const Cluster::Totals t = cluster.totals();
+  EXPECT_EQ(t.accesses, footprint * 6);
+  EXPECT_GT(t.faults, 0u);
+  // Every remote hit and every disk read was triggered by some fault (the
+  // remainder are first-touch zero-fills of anonymous pages).
+  EXPECT_LE(t.getpage_hits + t.disk_reads, t.faults);
+
+  const MemoryServiceStats& s0 = cluster.service(NodeId{0}).stats();
+  EXPECT_EQ(s0.getpage_attempts, s0.getpage_hits + s0.getpage_misses);
+  if (c.remote_cache) {
+    // A policy with a global cache must actually use it on this workload.
+    EXPECT_GT(t.getpage_hits, 0u)
+        << PolicyName(c.policy) << " never served a remote hit";
+    EXPECT_GT(s0.putpages_sent, 0u)
+        << PolicyName(c.policy) << " never exported an evicted page";
+  } else {
+    // The baselines must generate no cluster-memory traffic at all.
+    EXPECT_EQ(t.getpage_hits, 0u);
+    EXPECT_EQ(s0.putpages_sent, 0u);
+  }
+}
+
+TEST(PolicyRegistryTest, NamesRoundTrip) {
+  // Every kind the registry exposes parses back to itself, so --policy
+  // flags, CI matrix entries, and printed headers stay in sync.
+  for (const char* name : {"gms", "nchance", "local", "lfu", "none"}) {
+    auto kind = ParsePolicyName(name);
+    ASSERT_TRUE(kind.has_value()) << name;
+    EXPECT_STREQ(PolicyName(*kind), name);
+  }
+  EXPECT_FALSE(ParsePolicyName("lru").has_value());
+  EXPECT_FALSE(ParsePolicyName("").has_value());
+  // The help string mentions every parseable name.
+  const std::string known = KnownPolicyNames();
+  for (const char* name : {"gms", "nchance", "local", "lfu", "none"}) {
+    EXPECT_NE(known.find(name), std::string::npos) << known;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyMatrixTest,
+    ::testing::Values(MatrixCase{PolicyKind::kGms, true},
+                      MatrixCase{PolicyKind::kNchance, true},
+                      MatrixCase{PolicyKind::kHybridLfu, true},
+                      MatrixCase{PolicyKind::kLocalLru, false},
+                      MatrixCase{PolicyKind::kNone, false}),
+    [](const ::testing::TestParamInfo<MatrixCase>& info) {
+      std::string name = PolicyName(info.param.policy);
+      name[0] = static_cast<char>(std::toupper(name[0]));
+      return name;
+    });
+
+}  // namespace
+}  // namespace gms

@@ -1,0 +1,153 @@
+// Seed-diff goldens for the policy/mechanism split: the stats dump and the
+// event-trace digest of fixed gms and nchance scenarios are pure functions
+// of (config, seed), so their FNV-1a hashes are committed here as constants
+// captured at the pre-refactor HEAD. The cache-engine extraction must keep
+// `--policy=gms` and `--policy=nchance` byte-identical to those baselines —
+// any drift in message ordering, RNG consumption, timer scheduling, or stats
+// accounting shows up as a hash mismatch.
+//
+// The scenarios deliberately avoid RunUntilQuiescent: a fixed RunFor drain
+// keeps `now=` a pure function of workload completion, independent of how
+// quiescence is probed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "src/cluster/chaos_scenario.h"
+#include "src/cluster/cluster.h"
+#include "src/common/time.h"
+#include "src/core/directory.h"
+#include "src/obs/trace.h"
+#include "src/workload/patterns.h"
+
+namespace gms {
+namespace {
+
+// Baselines captured at the pre-refactor HEAD. Regenerate with:
+//   build/tests/policy_seed_diff_test --gtest_filter='*PrintsBaselines*'
+// and update only for deliberate simulation changes (note them in DESIGN.md).
+constexpr uint64_t kGmsCleanDumpHash = 0x1fde3f588af1ddbbULL;
+constexpr uint64_t kGmsLossyDumpHash = 0x1fd556a6bcd5d3aaULL;
+constexpr uint64_t kNchanceDumpHash = 0xe8f7b9845c8bb984ULL;
+constexpr char kGmsCleanDigest[] = "fnv1a:963f9aa85619f3a2:519730";
+constexpr char kNchanceDigest[] = "fnv1a:3c4f59435624461b:338424";
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+struct PointResult {
+  std::string dump;
+  std::string digest;  // empty when the tracer is compiled out
+};
+
+PointResult Drain(Cluster& cluster) {
+  cluster.StartWorkloads();
+  EXPECT_TRUE(cluster.RunUntilWorkloadsDone(Seconds(600)));
+  // Fixed-length drain instead of a quiescence probe: `now=` in the dump is
+  // then exactly workload-finish time (quantized by the 50 ms run chunks)
+  // plus five seconds, however the quiescence check evolves.
+  cluster.sim().RunFor(Seconds(5));
+  PointResult result;
+  result.dump = ChaosStatsDump(cluster);
+  if (Tracer* tracer = cluster.tracer()) {
+    tracer->Finish();
+    result.digest = tracer->digest().ToString();
+  }
+  return result;
+}
+
+PointResult RunGmsPoint(uint64_t seed, double loss) {
+  ObsConfig obs;
+  obs.trace = true;  // digest-only; no observer effect (golden_trace_test)
+  auto cluster = BuildChaosCluster(ChaosCase{seed, loss},
+                                   /*with_partition=*/true, obs);
+  return Drain(*cluster);
+}
+
+// The nchance twin of the chaos scenario: same node shapes and workloads,
+// but no fault injection or partition (the baseline has no retry layer to
+// harden it against loss).
+PointResult RunNchancePoint(uint64_t seed) {
+  ClusterConfig config;
+  config.obs.trace = true;
+  config.num_nodes = 4;
+  config.policy = PolicyKind::kNchance;
+  config.frames_per_node = {256, 320, 1024, 768};
+  config.frames = 256;
+  config.seed = seed;
+  Cluster cluster(config);
+  cluster.Start();
+  cluster.AddWorkload(
+      NodeId{0},
+      std::make_unique<UniformRandomPattern>(
+          PageSet{MakeFileUid(NodeId{0}, 1, 0), 700}, 6000, Microseconds(40),
+          /*write_fraction=*/0.1),
+      "w0");
+  cluster.AddWorkload(
+      NodeId{1},
+      std::make_unique<InterleavePattern>(
+          std::make_unique<SequentialPattern>(
+              PageSet{MakeAnonUid(NodeId{1}, 2, 0), 500}, 5000,
+              Microseconds(40), 0.3),
+          std::make_unique<ZipfPattern>(PageSet{MakeFileUid(NodeId{1}, 9, 0),
+                                                400},
+                                        5000, Microseconds(40), 0.6),
+          0.5),
+      "w1");
+  return Drain(cluster);
+}
+
+TEST(PolicySeedDiffTest, GmsCleanPointMatchesBaseline) {
+  const PointResult r = RunGmsPoint(1, 0.0);
+  EXPECT_EQ(Fnv1a(r.dump), kGmsCleanDumpHash)
+      << "gms stats dump drifted from the pre-refactor baseline:\n"
+      << r.dump;
+  if (kTraceCompiledIn) {
+    EXPECT_EQ(r.digest, kGmsCleanDigest);
+  }
+}
+
+TEST(PolicySeedDiffTest, GmsLossyPointMatchesBaseline) {
+  const PointResult r = RunGmsPoint(5, 0.01);
+  EXPECT_EQ(Fnv1a(r.dump), kGmsLossyDumpHash)
+      << "gms (lossy, retries active) stats dump drifted from the "
+         "pre-refactor baseline:\n"
+      << r.dump;
+}
+
+TEST(PolicySeedDiffTest, NchancePointMatchesBaseline) {
+  const PointResult r = RunNchancePoint(3);
+  EXPECT_EQ(Fnv1a(r.dump), kNchanceDumpHash)
+      << "nchance stats dump drifted from the pre-refactor baseline:\n"
+      << r.dump;
+  if (kTraceCompiledIn) {
+    EXPECT_EQ(r.digest, kNchanceDigest);
+  }
+}
+
+// Convenience target for regenerating the constants above; always passes.
+TEST(PolicySeedDiffTest, PrintsBaselinesForRegeneration) {
+  const PointResult clean = RunGmsPoint(1, 0.0);
+  const PointResult lossy = RunGmsPoint(5, 0.01);
+  const PointResult nchance = RunNchancePoint(3);
+  std::cout << std::hex << "kGmsCleanDumpHash = 0x" << Fnv1a(clean.dump)
+            << "\nkGmsLossyDumpHash = 0x" << Fnv1a(lossy.dump)
+            << "\nkNchanceDumpHash = 0x" << Fnv1a(nchance.dump) << std::dec
+            << "\nkGmsCleanDigest = " << clean.digest
+            << "\nkNchanceDigest = " << nchance.digest << "\n--- gms clean:\n"
+            << clean.dump << "--- gms lossy:\n"
+            << lossy.dump << "--- nchance:\n"
+            << nchance.dump;
+}
+
+}  // namespace
+}  // namespace gms
