@@ -52,6 +52,83 @@ inline PolicyKind BenchPolicy(int argc, char** argv,
   std::exit(1);
 }
 
+// Parses --epoch_fanout=: "flat" (or 0) selects the flat epoch protocol;
+// a number is the branching factor of the hierarchical aggregation tree.
+inline uint32_t BenchEpochFanout(int argc, char** argv,
+                                 uint32_t fallback = 0) {
+  const std::string v = FlagString(argc, argv, "epoch_fanout");
+  if (v.empty()) {
+    return fallback;
+  }
+  if (v == "flat") {
+    return 0;
+  }
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') {
+    std::fprintf(stderr, "bad --epoch_fanout=%s (want \"flat\" or a number)\n",
+                 v.c_str());
+    std::exit(1);
+  }
+  return static_cast<uint32_t>(parsed);
+}
+
+// One epoch scale-out measurement point: an idle N-node cluster (only free
+// frames, so summaries are cheap and time-invariant) run until the initiator
+// has completed `target_epochs` rounds. What scales with N vs fanout is the
+// question, so the result isolates the root's view: how many summary
+// messages it absorbed per round and how much CPU it burned in the epoch
+// category. Flat mode absorbs N-1 summaries per round at the root; tree
+// mode absorbs ~fanout partials.
+struct EpochScaleoutResult {
+  uint32_t nodes = 0;
+  uint32_t fanout = 0;
+  uint64_t epochs = 0;
+  double root_summary_msgs_per_epoch = 0;
+  double root_epoch_cpu_us_per_epoch = 0;
+  double sim_s = 0;  // simulated seconds consumed by the rounds
+};
+
+inline EpochScaleoutResult RunEpochScaleout(uint32_t nodes, uint32_t fanout,
+                                            uint64_t target_epochs = 3) {
+  ClusterConfig config;
+  config.num_nodes = nodes;
+  config.policy = PolicyKind::kGms;
+  config.frames = 16;
+  config.seed = 1;
+  config.gms.epoch.t_min = Milliseconds(200);
+  config.gms.epoch.t_max = Milliseconds(400);
+  config.gms.epoch.summary_timeout = Milliseconds(100);
+  config.gms.epoch.fanout = fanout;
+  Cluster cluster(config);
+  cluster.Start();
+
+  const GmsAgent* root = cluster.gms_agent(NodeId{0});
+  const SimTime deadline =
+      Seconds(2) * static_cast<SimTime>(target_epochs) + Seconds(5);
+  while (root->epoch_view().epoch < target_epochs &&
+         cluster.sim().now() < deadline) {
+    cluster.sim().RunFor(Milliseconds(50));
+  }
+
+  EpochScaleoutResult r;
+  r.nodes = nodes;
+  r.fanout = fanout;
+  r.epochs = root->epoch_view().epoch;
+  if (r.epochs > 0) {
+    const double epochs = static_cast<double>(r.epochs);
+    r.root_summary_msgs_per_epoch =
+        static_cast<double>(
+            cluster.service(NodeId{0}).stats().epoch_root_summary_msgs) /
+        epochs;
+    r.root_epoch_cpu_us_per_epoch =
+        ToSeconds(cluster.cpu(NodeId{0}).busy_time(CpuCategory::kEpoch)) *
+        1e6 / epochs;
+  }
+  r.sim_s = ToSeconds(cluster.sim().now());
+  return r;
+}
+
 inline void BenchHeader(const std::string& title, const PaperScale& s) {
   std::printf("=== %s ===\n", title.c_str());
   std::printf("(scale=%.3g seed=%llu; pass --scale=1 for paper-sized runs)\n\n",

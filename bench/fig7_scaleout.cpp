@@ -73,6 +73,56 @@ std::map<AppKind, double> RunGroups(uint32_t groups, PolicyKind policy,
 
 int main(int argc, char** argv) {
   using namespace gms;
+
+  // Epoch scale-out mode (--scaleout_nodes=1000..10000): instead of the
+  // figure's 5-20 node workload runs, size only the epoch machinery — an
+  // idle N-node cluster, measuring the initiator's summary traffic and CPU
+  // per round. With --epoch_fanout=flat the root absorbs N-1 summaries per
+  // epoch; with a tree it absorbs ~fanout partials regardless of N. The
+  // epoch-scale-smoke CI job gates the JSON emitted by --emit_bench_json
+  // through tools/check_bench_regression.py --max-epoch-root-cost.
+  const auto scaleout_nodes =
+      static_cast<uint32_t>(FlagValue(argc, argv, "scaleout_nodes", 0));
+  if (scaleout_nodes > 0) {
+    const uint32_t fanout = BenchEpochFanout(argc, argv, 16);
+    const auto epochs =
+        static_cast<uint64_t>(FlagValue(argc, argv, "epochs", 3));
+    const EpochScaleoutResult r =
+        RunEpochScaleout(scaleout_nodes, fanout, epochs);
+    std::printf("=== Epoch scale-out: %u nodes, fanout %u (0 = flat) ===\n",
+                r.nodes, r.fanout);
+    std::printf("epochs completed:           %llu (%.2f sim-s)\n",
+                static_cast<unsigned long long>(r.epochs), r.sim_s);
+    std::printf("root summary msgs / epoch:  %.1f\n",
+                r.root_summary_msgs_per_epoch);
+    std::printf("root epoch CPU / epoch:     %.1f us\n",
+                r.root_epoch_cpu_us_per_epoch);
+    if (r.epochs == 0) {
+      std::fprintf(stderr, "FAIL: no epoch completed\n");
+      return 1;
+    }
+    const std::string json_out = FlagString(argc, argv, "emit_bench_json");
+    if (!json_out.empty()) {
+      std::FILE* f = std::fopen(json_out.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", json_out.c_str());
+        return 1;
+      }
+      std::fprintf(
+          f,
+          "{\n  \"schema\": 2,\n  \"kind\": \"epoch_scaleout\",\n"
+          "  \"nodes\": %u,\n  \"fanout\": %u,\n  \"epochs\": %llu,\n"
+          "  \"root_summary_msgs_per_epoch\": %.3f,\n"
+          "  \"root_epoch_cpu_us_per_epoch\": %.3f,\n  \"sim_s\": %.3f\n}\n",
+          r.nodes, r.fanout, static_cast<unsigned long long>(r.epochs),
+          r.root_summary_msgs_per_epoch, r.root_epoch_cpu_us_per_epoch,
+          r.sim_s);
+      std::fclose(f);
+      std::printf("bench json -> %s\n", json_out.c_str());
+    }
+    return 0;
+  }
+
   PaperScale s = BenchScale(argc, argv);
   BenchHeader("Figure 7: speedup vs number of nodes (2/5 idle, 3 workloads)",
               s);

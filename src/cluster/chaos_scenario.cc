@@ -20,6 +20,7 @@ std::unique_ptr<Cluster> BuildChaosCluster(const ChaosCase& chaos,
   config.gms.epoch.t_max = Seconds(2);
   config.gms.epoch.m_min = 16;
   config.gms.epoch.summary_timeout = Milliseconds(100);
+  config.gms.epoch.fanout = chaos.epoch_fanout;
   config.gms.retry.enabled = true;
   // Every reliable send must be able to out-wait the partition: 10 attempts
   // at 5/10/20/.../200 ms spacing put several retries past the heal point.

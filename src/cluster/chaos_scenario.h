@@ -19,6 +19,10 @@ struct ChaosCase {
   // their original lossy semantics, so under loss they measure degradation
   // rather than recovery.
   PolicyKind policy = PolicyKind::kGms;
+  // Epoch aggregation fanout (0 = flat). Nonzero runs the hierarchical
+  // summary tree under the same fault injection — dropped/duplicated
+  // partials, crashed interior aggregators, straggler timeouts.
+  uint32_t epoch_fanout = 0;
 };
 
 // Builds the standard chaos cluster: 4 nodes (two busy, two idle), retries

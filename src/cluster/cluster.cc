@@ -145,6 +145,12 @@ void Cluster::RegisterNodeMetrics(uint32_t i) {
                          [svc] { return svc()->discards_old; });
   metrics_.RegisterValue(p + "svc/epochs_started",
                          [svc] { return svc()->epochs_started; });
+  metrics_.RegisterValue(p + "svc/epoch_partials_sent",
+                         [svc] { return svc()->epoch_partials_sent; });
+  metrics_.RegisterValue(p + "svc/epoch_partials_merged",
+                         [svc] { return svc()->epoch_partials_merged; });
+  metrics_.RegisterValue(p + "svc/epoch_root_summary_msgs",
+                         [svc] { return svc()->epoch_root_summary_msgs; });
   metrics_.RegisterLatency(p + "svc/getpage_hit_ns",
                            [svc] { return &svc()->getpage_hit_ns; });
   metrics_.RegisterLatency(p + "svc/getpage_miss_ns",

@@ -45,6 +45,16 @@ void LogHistogram::Add(uint64_t value, uint64_t count) {
   total_ += count;
 }
 
+void LogHistogram::AddBucket(int i, uint64_t count) {
+  if (i < 0) {
+    i = 0;
+  } else if (i >= kNumBuckets) {
+    i = kNumBuckets - 1;
+  }
+  buckets_[static_cast<size_t>(i)] += count;
+  total_ += count;
+}
+
 void LogHistogram::Merge(const LogHistogram& other) {
   for (int i = 0; i < kNumBuckets; i++) {
     buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];

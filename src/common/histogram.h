@@ -25,6 +25,11 @@ class LogHistogram {
   static constexpr uint64_t kUnit = 1024;
 
   void Add(uint64_t value, uint64_t count = 1);
+  // Adds directly into bucket `i` (no value-to-bucket mapping). Lets a
+  // sparse (bucket, count) representation — the epoch partial-aggregation
+  // wire format — round-trip losslessly: re-adding a histogram's nonzero
+  // buckets reproduces it bit for bit.
+  void AddBucket(int i, uint64_t count);
   void Merge(const LogHistogram& other);
   void Reset();
 

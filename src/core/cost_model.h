@@ -69,6 +69,9 @@ struct CostModel {
   SimTime epoch_request_per_node = Microseconds(45);
   SimTime epoch_weights_compute_per_node = Microseconds(35);
   SimTime epoch_params_marshal_per_node = Microseconds(45);
+  // Folding one child's EpochPartial at a tree aggregator (histogram merge
+  // + per-node stat append); unused by the flat protocol.
+  SimTime epoch_partial_merge = Microseconds(20);
 
   // --- NFS (Table 4) ---
   // Server-side RPC handling beyond the generic receive cost.

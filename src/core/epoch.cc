@@ -5,21 +5,114 @@
 
 namespace gms {
 
-EpochPlan ComputeEpochPlan(const EpochConfig& config, uint64_t epoch,
-                           uint32_t num_nodes,
-                           const std::vector<EpochSummary>& summaries,
-                           SimTime last_duration, NodeId fallback_initiator) {
+// ---------------------------------------------------------------------------
+// partial reduction
+// ---------------------------------------------------------------------------
+
+EpochNodeStat CompressSummary(const EpochSummary& summary) {
+  EpochNodeStat stat;
+  stat.node = summary.node;
+  stat.evictions = summary.evictions;
+  for (int i = 0; i < LogHistogram::kNumBuckets; i++) {
+    const uint64_t count = summary.ages.bucket(i);
+    if (count > 0) {
+      stat.buckets.emplace_back(static_cast<uint16_t>(i), count);
+    }
+  }
+  return stat;
+}
+
+LogHistogram ExpandAges(const EpochNodeStat& stat) {
+  LogHistogram ages;
+  for (const auto& [bucket, count] : stat.buckets) {
+    ages.AddBucket(bucket, count);
+  }
+  return ages;
+}
+
+uint64_t SparseCountAtOrAbove(const EpochNodeStat& stat, uint64_t threshold) {
+  uint64_t count = 0;
+  for (const auto& [bucket, c] : stat.buckets) {
+    if (LogHistogram::BucketLowerBound(bucket) >= threshold) {
+      count += c;
+    }
+  }
+  return count;
+}
+
+bool EpochPartial::Contains(NodeId node) const {
+  for (const EpochNodeStat& n : nodes) {
+    if (n.node == node) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool EpochPartial::MergeSummary(const EpochSummary& s) {
+  if (Contains(s.node)) {
+    return false;
+  }
+  ages.Merge(s.ages);
+  evictions += s.evictions;
+  nodes.push_back(CompressSummary(s));
+  return true;
+}
+
+bool EpochPartial::MergePartial(const EpochPartial& other) {
+  // Common case first: disjoint node sets merge wholesale (one histogram
+  // merge, no per-bucket expansion). Overlaps — a duplicated delivery, or a
+  // tree partial racing the root's direct re-request — fold only the new
+  // nodes, reconstructing their histogram contribution from the sparse
+  // stats; either path preserves the invariant that `ages`/`evictions` are
+  // exactly the sums over `nodes`.
+  bool overlap = false;
+  for (const EpochNodeStat& n : other.nodes) {
+    if (Contains(n.node)) {
+      overlap = true;
+      break;
+    }
+  }
+  if (!overlap) {
+    if (other.nodes.empty()) {
+      return false;
+    }
+    ages.Merge(other.ages);
+    evictions += other.evictions;
+    nodes.insert(nodes.end(), other.nodes.begin(), other.nodes.end());
+    return true;
+  }
+  bool any = false;
+  for (const EpochNodeStat& n : other.nodes) {
+    if (Contains(n.node)) {
+      continue;
+    }
+    for (const auto& [bucket, count] : n.buckets) {
+      ages.AddBucket(bucket, count);
+    }
+    evictions += n.evictions;
+    nodes.push_back(n);
+    any = true;
+  }
+  return any;
+}
+
+// ---------------------------------------------------------------------------
+// plan computation
+// ---------------------------------------------------------------------------
+
+EpochPlan ComputeEpochPlanFromPartial(const EpochConfig& config,
+                                      uint64_t epoch, uint32_t num_nodes,
+                                      const EpochPartial& partial,
+                                      SimTime last_duration,
+                                      NodeId fallback_initiator) {
   EpochPlan plan;
   plan.epoch = epoch;
   plan.weights.assign(num_nodes, 0.0);
   plan.next_initiator = fallback_initiator;
 
-  LogHistogram merged;
-  uint64_t total_evictions = 0;
-  for (const EpochSummary& s : summaries) {
-    merged.Merge(s.ages);
-    total_evictions += s.evictions;
-  }
+  const LogHistogram& merged = partial.ages;
+  const uint64_t total_evictions = partial.evictions;
 
   // Replacement-rate estimate (pages/second), floored so a quiet cluster
   // still plans a sane budget.
@@ -63,12 +156,16 @@ EpochPlan ComputeEpochPlan(const EpochConfig& config, uint64_t epoch,
     return plan;
   }
 
-  for (const EpochSummary& s : summaries) {
-    if (s.node.value >= num_nodes) {
+  // Per-node weights from the sparse stats: BucketLowerBound(i) >= min_age
+  // is the same predicate CountAtOrAbove applies to the full histogram, so
+  // this equals the flat computation exactly (min_age is always a bucket
+  // lower bound).
+  for (const EpochNodeStat& n : partial.nodes) {
+    if (n.node.value >= num_nodes) {
       continue;
     }
-    plan.weights[s.node.value] = static_cast<double>(
-        s.ages.CountAtOrAbove(static_cast<uint64_t>(plan.min_age)));
+    plan.weights[n.node.value] = static_cast<double>(
+        SparseCountAtOrAbove(n, static_cast<uint64_t>(plan.min_age)));
   }
   for (uint32_t i = 0; i < num_nodes; i++) {
     if (plan.weights[i] > plan.max_weight) {
@@ -77,6 +174,128 @@ EpochPlan ComputeEpochPlan(const EpochConfig& config, uint64_t epoch,
     }
   }
   return plan;
+}
+
+EpochPlan ComputeEpochPlan(const EpochConfig& config, uint64_t epoch,
+                           uint32_t num_nodes,
+                           const std::vector<EpochSummary>& summaries,
+                           SimTime last_duration, NodeId fallback_initiator) {
+  // Fold everything into one partial and delegate: the flat path is the
+  // single-partial case of the tree computation by construction.
+  EpochPartial partial;
+  partial.epoch = epoch;
+  for (const EpochSummary& s : summaries) {
+    partial.MergeSummary(s);
+  }
+  return ComputeEpochPlanFromPartial(config, epoch, num_nodes, partial,
+                                     last_duration, fallback_initiator);
+}
+
+// ---------------------------------------------------------------------------
+// aggregation tree
+// ---------------------------------------------------------------------------
+
+EpochTree EpochTree::Build(const std::vector<NodeId>& live, NodeId root,
+                           uint32_t fanout) {
+  EpochTree tree;
+  tree.fanout = fanout > 0 ? fanout : 1;
+  tree.order.reserve(live.size() + 1);
+  tree.order.push_back(root);
+  for (NodeId node : live) {
+    if (node != root) {
+      tree.order.push_back(node);
+    }
+  }
+  // Canonical shape regardless of membership join order: the tail is sorted
+  // by id, so every node — whose live vector is replicated verbatim — and
+  // every test derives the identical tree from (live set, root, fanout).
+  std::sort(tree.order.begin() + 1, tree.order.end(),
+            [](NodeId a, NodeId b) { return a.value < b.value; });
+  return tree;
+}
+
+size_t EpochTree::IndexOf(NodeId node) const {
+  if (order.empty()) {
+    return kNone;
+  }
+  if (order[0] == node) {
+    return 0;
+  }
+  const auto begin = order.begin() + 1;
+  const auto it = std::lower_bound(
+      begin, order.end(), node,
+      [](NodeId a, NodeId b) { return a.value < b.value; });
+  if (it != order.end() && *it == node) {
+    return static_cast<size_t>(it - order.begin());
+  }
+  return kNone;
+}
+
+NodeId EpochTree::Parent(NodeId node) const {
+  const size_t i = IndexOf(node);
+  if (i == kNone || i == 0) {
+    return kInvalidNode;
+  }
+  return order[(i - 1) / fanout];
+}
+
+std::vector<NodeId> EpochTree::Children(NodeId node) const {
+  std::vector<NodeId> children;
+  const size_t i = IndexOf(node);
+  if (i == kNone) {
+    return children;
+  }
+  const size_t first = i * fanout + 1;
+  for (size_t c = first; c < order.size() && c < first + fanout; c++) {
+    children.push_back(order[c]);
+  }
+  return children;
+}
+
+size_t EpochTree::SubtreeSize(NodeId node) const {
+  const size_t i = IndexOf(node);
+  if (i == kNone) {
+    return 0;
+  }
+  // The subtree of an f-ary heap position spans one contiguous index range
+  // per level: [lo, hi] starts at [i, i] and each level maps to
+  // [lo*f+1, hi*f+f].
+  size_t total = 0;
+  size_t lo = i;
+  size_t hi = i;
+  while (lo < order.size()) {
+    total += std::min(hi, order.size() - 1) - lo + 1;
+    lo = lo * fanout + 1;
+    hi = hi * fanout + fanout;
+  }
+  return total;
+}
+
+uint32_t EpochTree::SubtreeHeight(NodeId node) const {
+  const size_t i = IndexOf(node);
+  if (i == kNone) {
+    return 0;
+  }
+  uint32_t height = 0;
+  size_t lo = i;
+  while (lo * fanout + 1 < order.size()) {
+    lo = lo * fanout + 1;
+    height++;
+  }
+  return height;
+}
+
+uint32_t EpochTree::Depth(NodeId node) const {
+  size_t i = IndexOf(node);
+  if (i == kNone) {
+    return 0;
+  }
+  uint32_t depth = 0;
+  while (i > 0) {
+    i = (i - 1) / fanout;
+    depth++;
+  }
+  return depth;
 }
 
 }  // namespace gms

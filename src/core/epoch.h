@@ -44,7 +44,15 @@ struct EpochConfig {
   // any used page.
   SimTime free_frame_age = Seconds(3600);
   // How long the initiator waits for stragglers before computing the plan.
+  // In tree mode this is the per-level base: an aggregator with a subtree of
+  // height h waits TreeCollectTimeout(config, h) = summary_timeout * h, so a
+  // deep tree's root outlasts every descendant level instead of silently
+  // truncating their stragglers.
   SimTime summary_timeout = Milliseconds(500);
+  // Hierarchical epoch aggregation: branching factor of the summary
+  // reduction tree. 0 selects the flat protocol (every node replies straight
+  // to the initiator), which is byte-identical to the pre-tree behavior.
+  uint32_t fanout = 0;
 };
 
 struct EpochPlan {
@@ -66,6 +74,70 @@ EpochPlan ComputeEpochPlan(const EpochConfig& config, uint64_t epoch,
                            uint32_t num_nodes,
                            const std::vector<EpochSummary>& summaries,
                            SimTime last_duration, NodeId fallback_initiator);
+
+// --- hierarchical aggregation (partial reduction) --------------------------
+//
+// The tree protocol reduces summaries on the way to the root: every
+// aggregator folds its children's EpochPartials into one (messages.h). The
+// reduction is associative and commutative by construction — histogram
+// merges are integer bucket sums and the per-node stats are a set keyed by
+// node id — so the root's plan is bit-identical to the flat computation over
+// the same summary set, for any fanout and any partial-arrival order
+// (tests/epoch_tree_test.cc holds this across N, fanout, permutations).
+
+// The sparse wire form of one summary: its nonzero age buckets + evictions.
+EpochNodeStat CompressSummary(const EpochSummary& summary);
+
+// Rebuilds the histogram a stat was compressed from, bit for bit.
+LogHistogram ExpandAges(const EpochNodeStat& stat);
+
+// CountAtOrAbove over the sparse form; equals ExpandAges(stat)
+// .CountAtOrAbove(threshold) exactly (same bucket-lower-bound predicate).
+uint64_t SparseCountAtOrAbove(const EpochNodeStat& stat, uint64_t threshold);
+
+// Computes the plan from an already-reduced partial. ComputeEpochPlan is
+// implemented as a fold into one partial followed by this function, so the
+// two can never drift apart.
+EpochPlan ComputeEpochPlanFromPartial(const EpochConfig& config,
+                                      uint64_t epoch, uint32_t num_nodes,
+                                      const EpochPartial& partial,
+                                      SimTime last_duration,
+                                      NodeId fallback_initiator);
+
+// The aggregation tree for one epoch round: the initiator at position 0,
+// every other live node in ascending id order, connected as an implicit
+// f-ary heap (children of position i are positions i*f+1 .. i*f+f). Every
+// node derives the same tree from its replicated membership view, so the
+// tree needs no wire representation beyond (initiator, fanout).
+struct EpochTree {
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
+  static EpochTree Build(const std::vector<NodeId>& live, NodeId root,
+                         uint32_t fanout);
+
+  size_t size() const { return order.size(); }
+  // O(log n): position 0 is the root and the tail is sorted by id.
+  size_t IndexOf(NodeId node) const;
+  NodeId Parent(NodeId node) const;  // kInvalidNode for the root / unknown
+  std::vector<NodeId> Children(NodeId node) const;
+  size_t SubtreeSize(NodeId node) const;      // 0 when `node` is unknown
+  uint32_t SubtreeHeight(NodeId node) const;  // leaf (or unknown) = 0
+  uint32_t Depth(NodeId node) const;          // root = 0
+
+  std::vector<NodeId> order;  // position -> node; [0] is the root
+  uint32_t fanout = 1;
+};
+
+// Straggler window for an aggregator whose subtree has height
+// `subtree_height`: one summary_timeout per level below it, so each level
+// can absorb its children's full wait before its own timer fires. The flat
+// protocol (height 1 from the root's perspective) keeps summary_timeout
+// exactly.
+inline SimTime TreeCollectTimeout(const EpochConfig& config,
+                                  uint32_t subtree_height) {
+  return config.summary_timeout *
+         static_cast<SimTime>(subtree_height > 1 ? subtree_height : 1);
+}
 
 }  // namespace gms
 

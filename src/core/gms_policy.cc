@@ -44,6 +44,12 @@ void GmsPolicy::OnStop() {
   join_retry_timer_ = epoch_watchdog_ = stale_clear_timer_ = 0;
   epoch_watchdog_fires_ = 0;
   collecting_ = false;
+  sim_->CancelTimer(tree_timer_);
+  tree_timer_ = 0;
+  tree_collecting_ = false;
+  tree_sending_ = false;
+  tree_acc_ = EpochPartial{};
+  tree_span_ = SpanRef{};
 }
 
 void GmsPolicy::Join(NodeId master) {
@@ -459,6 +465,11 @@ void GmsPolicy::StartEpochAsInitiator() {
   epoch_span_ = SpanBegin(tracer_, sim_->now(), self_,
                           SpanRef{EpochTraceId(collecting_epoch_), 0});
 
+  if (config_.epoch.fanout > 0) {
+    StartTreeCollection();
+    return;
+  }
+
   const size_t live = pod().table().live.size();
   const SimTime request_cost =
       config_.costs.epoch_request_per_node * static_cast<SimTime>(live);
@@ -496,6 +507,58 @@ void GmsPolicy::StartEpochAsInitiator() {
   });
 }
 
+// Root half of the hierarchical protocol: request summaries from the tree
+// children only (they relay downward), accumulate their merged partials in
+// root_acc_, and wait one summary_timeout per tree level so the deepest
+// leaves' stragglers are not silently truncated.
+void GmsPolicy::StartTreeCollection() {
+  // Taking over as root supersedes any aggregation duty we held in an
+  // earlier round.
+  CancelTreeAggregation();
+  root_acc_ = EpochPartial{};
+  root_acc_.epoch = collecting_epoch_;
+  root_acc_.from = self_;
+  const EpochTree tree = EpochTree::Build(pod().table().live, self_,
+                                          config_.epoch.fanout);
+  const std::vector<NodeId> children = tree.Children(self_);
+  const uint32_t height = tree.SubtreeHeight(self_);
+  const SimTime request_cost =
+      config_.costs.epoch_request_per_node *
+      static_cast<SimTime>(children.empty() ? 1 : children.size());
+  cpu_->SubmitKernel(request_cost, CpuCategory::kEpoch,
+                     [this, children, height] {
+    if (!alive() || !collecting_) {
+      return;
+    }
+    for (NodeId node : children) {
+      Send(node, kMsgEpochSummaryReq, config_.costs.small_message_bytes(),
+           EpochSummaryReq{collecting_epoch_, self_, config_.epoch.fanout});
+    }
+    // Our own summary, charged at the same scan rates as everyone else's.
+    const SimTime scan =
+        config_.costs.epoch_scan_per_local_page * frames_->local_count() +
+        config_.costs.epoch_scan_per_global_page * frames_->global_count() +
+        config_.costs.epoch_summary_marshal;
+    cpu_->SubmitKernel(scan, CpuCategory::kEpoch, [this, height] {
+      if (!alive() || !collecting_) {
+        return;
+      }
+      EpochSummary own;
+      BuildOwnSummary(collecting_epoch_, &own);
+      own.evictions = evictions_since_summary_;
+      evictions_since_summary_ = 0;
+      root_acc_.MergeSummary(own);
+      if (root_acc_.nodes.size() >= pod().table().live.size()) {
+        FinishSummaryCollection();
+        return;
+      }
+      collect_timer_ =
+          sim_->ScheduleTimer(TreeCollectTimeout(config_.epoch, height),
+                              [this] { FinishSummaryCollection(); });
+    });
+  });
+}
+
 void GmsPolicy::BuildOwnSummary(uint64_t epoch, EpochSummary* out) const {
   out->epoch = epoch;
   out->node = self_;
@@ -522,8 +585,13 @@ void GmsPolicy::BuildOwnSummary(uint64_t epoch, EpochSummary* out) const {
   }
 }
 
-void GmsPolicy::HandleEpochSummaryReq(const EpochSummaryReq& msg) {
+void GmsPolicy::HandleEpochSummaryReq(const EpochSummaryReq& msg,
+                                      NodeId from) {
   highest_epoch_seen_ = std::max(highest_epoch_seen_, msg.epoch);
+  if (msg.fanout > 0) {
+    BeginTreeAggregation(msg, from);
+    return;
+  }
   const SimTime scan =
       config_.costs.epoch_scan_per_local_page * frames_->local_count() +
       config_.costs.epoch_scan_per_global_page * frames_->global_count() +
@@ -546,6 +614,16 @@ void GmsPolicy::HandleEpochSummary(const EpochSummary& msg) {
   if (!collecting_ || msg.epoch != collecting_epoch_) {
     return;
   }
+  stats().epoch_root_summary_msgs++;
+  if (config_.epoch.fanout > 0) {
+    // Direct reply to the tree root's re-request sweep (or a flat summary
+    // racing a tree partial covering the same node — MergeSummary dedups).
+    if (root_acc_.MergeSummary(msg) &&
+        root_acc_.nodes.size() >= pod().table().live.size()) {
+      FinishSummaryCollection();
+    }
+    return;
+  }
   for (const EpochSummary& s : summaries_) {
     if (s.node == msg.node) {
       return;  // duplicate delivery (or a reply to a re-request)
@@ -557,14 +635,187 @@ void GmsPolicy::HandleEpochSummary(const EpochSummary& msg) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// tree aggregation (non-root levels of the hierarchical epoch)
+// ---------------------------------------------------------------------------
+
+void GmsPolicy::BeginTreeAggregation(const EpochSummaryReq& msg, NodeId from) {
+  if (tree_collecting_ && tree_epoch_ == msg.epoch) {
+    return;  // duplicate relay of the same round
+  }
+  if (collecting_ && collecting_epoch_ >= msg.epoch) {
+    return;  // we are running a round at least as new ourselves
+  }
+  if (tree_collecting_) {
+    CancelTreeAggregation();  // a newer round supersedes the stale one
+  }
+  tree_collecting_ = true;
+  tree_sending_ = false;
+  tree_epoch_ = msg.epoch;
+  tree_parent_ = from;
+  tree_acc_ = EpochPartial{};
+  tree_acc_.epoch = msg.epoch;
+  tree_acc_.from = self_;
+
+  // Derive our slice of the tree from the replicated membership. If our view
+  // disagrees with the initiator's (mid-reconfiguration), missing nodes are
+  // recovered by the root's direct re-request sweep.
+  const EpochTree tree = EpochTree::Build(pod().table().live, msg.initiator,
+                                          msg.fanout);
+  const bool in_tree = tree.IndexOf(self_) != EpochTree::kNone;
+  const std::vector<NodeId> children =
+      in_tree ? tree.Children(self_) : std::vector<NodeId>{};
+  tree_expected_ = in_tree ? tree.SubtreeSize(self_) : 1;
+  const uint32_t height = in_tree ? tree.SubtreeHeight(self_) : 0;
+  tree_span_ = SpanBegin(tracer_, sim_->now(), self_,
+                         SpanRef{EpochTraceId(msg.epoch), 0},
+                         /*label=*/in_tree ? tree.Depth(self_) : 0);
+
+  if (!children.empty()) {
+    const SimTime relay_cost =
+        config_.costs.epoch_request_per_node *
+        static_cast<SimTime>(children.size());
+    cpu_->SubmitKernel(relay_cost, CpuCategory::kEpoch,
+                       [this, children, msg] {
+      if (!alive() || !tree_collecting_ || tree_epoch_ != msg.epoch) {
+        return;
+      }
+      for (NodeId node : children) {
+        Send(node, kMsgEpochSummaryReq, config_.costs.small_message_bytes(),
+             EpochSummaryReq{msg.epoch, msg.initiator, msg.fanout});
+      }
+    });
+    // Straggler window scaled to the subtree below us: each level gets one
+    // summary_timeout, so a deep subtree's leaves are waited out instead of
+    // silently truncated (the timeout-depth regression in epoch_tree_test).
+    tree_timer_ =
+        sim_->ScheduleTimer(TreeCollectTimeout(config_.epoch, height),
+                            [this] {
+                              tree_timer_ = 0;
+                              SendPartialUp();
+                            });
+  }
+
+  const SimTime scan =
+      config_.costs.epoch_scan_per_local_page * frames_->local_count() +
+      config_.costs.epoch_scan_per_global_page * frames_->global_count() +
+      config_.costs.epoch_summary_marshal;
+  cpu_->SubmitKernel(scan, CpuCategory::kEpoch, [this, epoch = msg.epoch] {
+    if (!alive() || !tree_collecting_ || tree_epoch_ != epoch) {
+      return;
+    }
+    EpochSummary own;
+    BuildOwnSummary(epoch, &own);
+    own.evictions = evictions_since_summary_;
+    evictions_since_summary_ = 0;
+    tree_acc_.MergeSummary(own);
+    MaybeCompleteTreeAggregation();
+  });
+}
+
+void GmsPolicy::MaybeCompleteTreeAggregation() {
+  if (!tree_collecting_ || tree_sending_) {
+    return;
+  }
+  if (tree_acc_.nodes.size() >= tree_expected_) {
+    SendPartialUp();
+  }
+}
+
+void GmsPolicy::SendPartialUp() {
+  if (!tree_collecting_ || tree_sending_) {
+    return;
+  }
+  if (tree_acc_.nodes.empty()) {
+    // Straggler timer fired before even our own scan finished; lower the
+    // completion bar so the first fold (own scan or a child partial) sends
+    // immediately instead of waiting for the full subtree.
+    tree_expected_ = 1;
+    return;
+  }
+  tree_sending_ = true;
+  sim_->CancelTimer(tree_timer_);
+  tree_timer_ = 0;
+  cpu_->SubmitKernel(config_.costs.epoch_summary_marshal, CpuCategory::kEpoch,
+                     [this] {
+    if (!alive() || !tree_collecting_) {
+      return;
+    }
+    tree_collecting_ = false;
+    tree_sending_ = false;
+    stats().epoch_partials_sent++;
+    SpanStep(tracer_, sim_->now(), self_, tree_span_, SpanComp::kService,
+             tree_acc_.nodes.size());
+    Send(tree_parent_, kMsgEpochPartial,
+         EpochPartialBytes(config_.costs.header_size, tree_acc_),
+         Boxed<EpochPartial>(std::move(tree_acc_)));
+    SpanEnd(tracer_, sim_->now(), self_, tree_span_, SpanStatus::kDone,
+            tree_epoch_);
+    tree_span_ = SpanRef{};
+    tree_acc_ = EpochPartial{};
+  });
+}
+
+void GmsPolicy::CancelTreeAggregation() {
+  sim_->CancelTimer(tree_timer_);
+  tree_timer_ = 0;
+  tree_collecting_ = false;
+  tree_sending_ = false;
+  tree_acc_ = EpochPartial{};
+  tree_span_ = SpanRef{};
+}
+
+void GmsPolicy::HandleEpochPartial(const EpochPartial& msg) {
+  // Root: fold a child subtree's contribution into this round.
+  if (collecting_ && config_.epoch.fanout > 0 &&
+      msg.epoch == collecting_epoch_) {
+    stats().epoch_root_summary_msgs++;
+    if (!root_acc_.MergePartial(msg)) {
+      return;  // duplicate (or fully overlapped by the re-request sweep)
+    }
+    stats().epoch_partials_merged++;
+    cpu_->SubmitKernel(config_.costs.epoch_partial_merge, CpuCategory::kEpoch,
+                       [this, epoch = msg.epoch] {
+      if (!alive() || !collecting_ || epoch != collecting_epoch_) {
+        return;
+      }
+      if (root_acc_.nodes.size() >= pod().table().live.size()) {
+        FinishSummaryCollection();
+      }
+    });
+    return;
+  }
+  // Interior aggregator: fold and maybe forward.
+  if (tree_collecting_ && msg.epoch == tree_epoch_) {
+    if (!tree_acc_.MergePartial(msg)) {
+      return;
+    }
+    stats().epoch_partials_merged++;
+    cpu_->SubmitKernel(config_.costs.epoch_partial_merge, CpuCategory::kEpoch,
+                       [this, epoch = msg.epoch] {
+      if (!alive() || !tree_collecting_ || epoch != tree_epoch_) {
+        return;
+      }
+      MaybeCompleteTreeAggregation();
+    });
+  }
+  // Anything else is stale (a partial for a finished or superseded round);
+  // the data is recovered by the root's re-request if it mattered.
+}
+
 void GmsPolicy::FinishSummaryCollection() {
   if (!collecting_) {
     return;
   }
+  const bool tree = config_.epoch.fanout > 0;
+  const size_t have_count = tree ? root_acc_.nodes.size() : summaries_.size();
   if (config_.retry.enabled && !summaries_rerequested_ &&
-      summaries_.size() < pod().table().live.size()) {
+      have_count < pod().table().live.size()) {
     // Timed out with summaries missing: ask the silent nodes once more
-    // before computing a plan from a partial view.
+    // before computing a plan from a partial view. In tree mode the sweep
+    // goes out flat (fanout 0 — reply straight to us): a crashed interior
+    // aggregator takes its whole subtree's partial down with it, and the
+    // orphaned descendants answer this direct request instead.
     summaries_rerequested_ = true;
     stats().control_retries++;
     for (NodeId node : pod().table().live) {
@@ -572,10 +823,14 @@ void GmsPolicy::FinishSummaryCollection() {
         continue;
       }
       bool have = false;
-      for (const EpochSummary& s : summaries_) {
-        if (s.node == node) {
-          have = true;
-          break;
+      if (tree) {
+        have = root_acc_.Contains(node);
+      } else {
+        for (const EpochSummary& s : summaries_) {
+          if (s.node == node) {
+            have = true;
+            break;
+          }
         }
       }
       if (!have) {
@@ -594,9 +849,13 @@ void GmsPolicy::FinishSummaryCollection() {
 
   const SimTime last_duration =
       epoch_started_at_ > 0 ? sim_->now() - epoch_started_at_ : 0;
-  EpochPlan plan = ComputeEpochPlan(config_.epoch, collecting_epoch_,
-                                    net_->num_nodes(), summaries_,
-                                    last_duration, self_);
+  EpochPlan plan =
+      tree ? ComputeEpochPlanFromPartial(config_.epoch, collecting_epoch_,
+                                         net_->num_nodes(), root_acc_,
+                                         last_duration, self_)
+           : ComputeEpochPlan(config_.epoch, collecting_epoch_,
+                              net_->num_nodes(), summaries_, last_duration,
+                              self_);
   // Nodes outside the membership never receive weight.
   for (uint32_t i = 0; i < plan.weights.size(); i++) {
     if (!pod().IsLive(NodeId{i})) {
@@ -613,6 +872,33 @@ void GmsPolicy::FinishSummaryCollection() {
   params.weights = std::move(plan.weights);
 
   const size_t live = pod().table().live.size();
+  if (tree) {
+    // Distribute down the same tree the summaries came up: the root pays
+    // O(fanout) sends and marshal cost; relays fan the rest out.
+    params.tree_root = self_;
+    const std::vector<NodeId> children =
+        EpochTree::Build(pod().table().live, self_, config_.epoch.fanout)
+            .Children(self_);
+    const SimTime cost =
+        config_.costs.epoch_weights_compute_per_node *
+            static_cast<SimTime>(live) +
+        config_.costs.epoch_params_marshal_per_node *
+            static_cast<SimTime>(children.empty() ? 1 : children.size());
+    cpu_->SubmitKernel(cost, CpuCategory::kEpoch,
+                       [this, params = std::move(params), children] {
+      if (!alive()) {
+        return;
+      }
+      SpanStep(tracer_, sim_->now(), self_, epoch_span_, SpanComp::kService);
+      for (NodeId node : children) {
+        Send(node, kMsgEpochParams,
+             EpochParamsBytes(config_.costs.header_size, params.weights.size()),
+             params);
+      }
+      AdoptEpochParams(params);
+    });
+    return;
+  }
   const SimTime cost =
       (config_.costs.epoch_weights_compute_per_node +
        config_.costs.epoch_params_marshal_per_node) *
@@ -635,6 +921,38 @@ void GmsPolicy::FinishSummaryCollection() {
 }
 
 void GmsPolicy::HandleEpochParams(const EpochParams& msg) {
+  if (config_.epoch.fanout > 0 && msg.tree_root.valid() &&
+      msg.epoch > params_relayed_epoch_) {
+    // Relay once down our slice of the distribution tree before adopting.
+    // Duplicated deliveries are absorbed here (relay-once) and by the
+    // stale-epoch rejection in AdoptEpochParams.
+    params_relayed_epoch_ = msg.epoch;
+    if (tree_collecting_ && tree_epoch_ <= msg.epoch) {
+      // The round concluded without our partial (straggler path); drop the
+      // stale aggregation state.
+      CancelTreeAggregation();
+    }
+    const std::vector<NodeId> children =
+        EpochTree::Build(pod().table().live, msg.tree_root,
+                         config_.epoch.fanout)
+            .Children(self_);
+    if (!children.empty()) {
+      const SimTime relay_cost =
+          config_.costs.epoch_params_marshal_per_node *
+          static_cast<SimTime>(children.size());
+      cpu_->SubmitKernel(relay_cost, CpuCategory::kEpoch,
+                         [this, msg, children] {
+        if (!alive()) {
+          return;
+        }
+        for (NodeId node : children) {
+          Send(node, kMsgEpochParams,
+               EpochParamsBytes(config_.costs.header_size, msg.weights.size()),
+               msg);
+        }
+      });
+    }
+  }
   cpu_->SubmitKernel(config_.costs.gcd_lookup, CpuCategory::kEpoch,
                      [this, msg] {
     if (alive()) {
@@ -1023,10 +1341,13 @@ bool GmsPolicy::HandleMessage(const Datagram& dgram) {
       HandlePutPage(dgram.payload.get<PutPage>());
       return true;
     case kMsgEpochSummaryReq:
-      HandleEpochSummaryReq(dgram.payload.get<EpochSummaryReq>());
+      HandleEpochSummaryReq(dgram.payload.get<EpochSummaryReq>(), dgram.src);
       return true;
     case kMsgEpochSummary:
       HandleEpochSummary(*dgram.payload.get<Boxed<EpochSummary>>());
+      return true;
+    case kMsgEpochPartial:
+      HandleEpochPartial(*dgram.payload.get<Boxed<EpochPartial>>());
       return true;
     case kMsgEpochParams:
       HandleEpochParams(dgram.payload.get<EpochParams>());

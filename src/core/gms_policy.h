@@ -86,7 +86,7 @@ class GmsPolicy final : public ReplacementPolicy {
   bool EvictDirty(Frame* frame) override;
   void ApplyGcdAsOwner(const GcdUpdate& update) override;
   bool HandleMessage(const Datagram& dgram) override;
-  bool Quiescent() const override { return !collecting_; }
+  bool Quiescent() const override { return !collecting_ && !tree_collecting_; }
 
   // A rebooted or new node announces itself to the master.
   void Join(NodeId master);
@@ -102,8 +102,9 @@ class GmsPolicy final : public ReplacementPolicy {
  private:
   // Message handlers (engine dispatch lands here via HandleMessage).
   void HandlePutPage(const PutPage& msg);
-  void HandleEpochSummaryReq(const EpochSummaryReq& msg);
+  void HandleEpochSummaryReq(const EpochSummaryReq& msg, NodeId from);
   void HandleEpochSummary(const EpochSummary& msg);
+  void HandleEpochPartial(const EpochPartial& msg);
   void HandleEpochParams(const EpochParams& msg);
   void HandleEpochStale(const EpochStale& msg);
   void HandleJoinReq(const JoinReq& msg);
@@ -119,11 +120,18 @@ class GmsPolicy final : public ReplacementPolicy {
 
   // Epoch machinery.
   void StartEpochAsInitiator();
+  void StartTreeCollection();
   void FinishSummaryCollection();
   void BuildOwnSummary(uint64_t epoch, EpochSummary* out) const;
   void AdoptEpochParams(const EpochParams& params);
   void ArmEpochWatchdog();
   void OnEpochSilent();
+
+  // Tree-aggregator side (interior nodes and leaves of the epoch tree).
+  void BeginTreeAggregation(const EpochSummaryReq& msg, NodeId from);
+  void MaybeCompleteTreeAggregation();
+  void SendPartialUp();
+  void CancelTreeAggregation();
 
   // Membership machinery (master side).
   void MasterReconfigure(std::vector<NodeId> live,
@@ -149,16 +157,35 @@ class GmsPolicy final : public ReplacementPolicy {
   bool stale_reported_ = false;
   TimerId epoch_timer_ = 0;
 
-  // Epoch initiator state.
+  // Epoch initiator state. In tree mode (config_.epoch.fanout > 0) the root
+  // accumulates into root_acc_ instead of summaries_; everything else —
+  // collecting_, the epoch numbering, the straggler timer — is shared with
+  // the flat protocol.
   bool collecting_ = false;
   uint64_t collecting_epoch_ = 0;
   std::vector<EpochSummary> summaries_;
+  EpochPartial root_acc_;
   TimerId collect_timer_ = 0;
   SimTime epoch_started_at_ = 0;
   // Root span of the epoch round this node initiated (trace id derived from
   // the epoch number, so participants join the same trace without any new
   // fields in the size-capped epoch messages).
   SpanRef epoch_span_;
+
+  // Tree-aggregator state (interior node or leaf of the epoch tree; active
+  // only between a relayed EpochSummaryReq and the partial going up).
+  bool tree_collecting_ = false;
+  bool tree_sending_ = false;  // marshal kernel in flight
+  uint64_t tree_epoch_ = 0;
+  NodeId tree_parent_;         // where our merged partial goes (the relayer)
+  size_t tree_expected_ = 0;   // nodes covered by our subtree
+  EpochPartial tree_acc_;
+  TimerId tree_timer_ = 0;
+  // Per-level aggregation span: joins the epoch's trace so trace_spans can
+  // attribute latency level by level (label = this node's tree depth).
+  SpanRef tree_span_;
+  // Down-tree params relay dedup: highest epoch whose params we relayed.
+  uint64_t params_relayed_epoch_ = 0;
 
   // Retry-hardening state (idle unless config_.retry.enabled).
   TimerId join_retry_timer_ = 0;

@@ -56,6 +56,12 @@ struct MemoryServiceStats {
   uint64_t global_hits_served = 0;  // getpage requests we answered with data
   uint64_t epochs_started = 0;
   uint64_t gcd_lookups = 0;
+  // Hierarchical epoch aggregation (all zero in flat mode except
+  // epoch_root_summary_msgs, which also counts flat summaries arriving at
+  // the initiator — the root-traffic figure the scale-out bench bounds).
+  uint64_t epoch_partials_sent = 0;     // merged partials forwarded upward
+  uint64_t epoch_partials_merged = 0;   // child partials folded at this node
+  uint64_t epoch_root_summary_msgs = 0; // summary-carrying msgs at the root
   // Dirty-global extension counters.
   uint64_t dirty_putpages_sent = 0;   // dirty pages replicated to peers
   uint64_t dirty_writebacks_sent = 0; // dirty globals returned for write-back

@@ -48,6 +48,7 @@ enum MsgType : uint32_t {
   kMsgGcdInvalidate = 19,  // GCD node -> stale global holder: drop your copy
   kMsgWriteBack = 20,      // dirty-global holder -> backing node: write to disk
   kMsgProtoAck = 21,       // receipt ack for sequence-numbered control msgs
+  kMsgEpochPartial = 22,   // tree-reduced epoch summaries, child -> parent
 };
 
 // Page-path messages carry a SpanRef (src/obs/trace.h): the causal identity
@@ -132,6 +133,12 @@ struct GcdUpdate {
 struct EpochSummaryReq {
   uint64_t epoch = 0;
   NodeId initiator;
+  // Hierarchical aggregation: 0 means the flat protocol (summary goes
+  // straight back to the initiator); a nonzero value is the branching factor
+  // of the aggregation tree rooted at `initiator`, and the receiver relays
+  // the request to its tree children and replies to its parent with a
+  // merged EpochPartial instead.
+  uint32_t fanout = 0;
 };
 
 // Per-node age summary (section 3.2): a fixed-size histogram of page ages
@@ -149,12 +156,52 @@ struct EpochSummary {
   uint32_t evictions = 0;
 };
 
+// Tree-reduced epoch data for one node, in the sparse form the aggregation
+// tree puts on the wire. The full per-node breakdown (not just a merged
+// histogram) must travel to the root: the per-node weights depend on MinAge,
+// which only the root can compute from the global aggregate. Sparseness is
+// what keeps the partial cheap — a node's pages cluster into a handful of
+// the 192 age buckets, and re-adding the nonzero buckets reproduces the
+// node's histogram bit for bit (LogHistogram::AddBucket), so the root's
+// weight computation is exactly the flat CountAtOrAbove.
+struct EpochNodeStat {
+  NodeId node;
+  uint32_t evictions = 0;
+  std::vector<std::pair<uint16_t, uint64_t>> buckets;  // (index, count)
+};
+
+// One subtree's contribution to an epoch: the premerged age histogram and
+// eviction total (maintained incrementally so interior nodes and the root
+// pay O(children), not O(subtree)), plus the per-node sparse stats the root
+// needs for weights. Merge members are defined in epoch.cc next to
+// ComputeEpochPlan; both fold duplicates idempotently, so duplicated or
+// overlapping deliveries (retry, chaos) cannot double-count a node.
+struct EpochPartial {
+  uint64_t epoch = 0;
+  NodeId from;
+  LogHistogram ages;        // == sum of every expanded nodes[i] histogram
+  uint64_t evictions = 0;   // == sum of every nodes[i].evictions
+  std::vector<EpochNodeStat> nodes;
+
+  bool Contains(NodeId node) const;
+  // Folds one node's summary / another subtree's partial. Returns false if
+  // nothing new was folded (every node already present).
+  bool MergeSummary(const EpochSummary& s);
+  bool MergePartial(const EpochPartial& other);
+};
+
 struct EpochParams {
   uint64_t epoch = 0;
   SimTime min_age = 0;
   SimTime duration = 0;   // T
   uint64_t budget = 0;    // M
   NodeId next_initiator;
+  // Tree distribution: when valid, receivers relay the params to their
+  // children in the tree rooted here (the round's initiator). The branching
+  // factor is not on the wire — it is uniform deployment configuration
+  // (EpochConfig::fanout), like every other epoch constant. Sits in what
+  // was alignment padding, keeping the payload at the 64-byte ceiling.
+  NodeId tree_root = kInvalidNode;
   // weights[i] = w_i for cluster node i (dense by NodeId); zero for nodes
   // with no old pages.
   std::vector<double> weights;
@@ -266,6 +313,16 @@ inline uint32_t EpochParamsBytes(uint32_t header, size_t num_nodes) {
   return header + 28 + static_cast<uint32_t>(num_nodes) * 4;
 }
 
+// A partial carries the premerged histogram plus, per covered node, a small
+// fixed part (id + eviction count) and its nonzero (bucket, count) pairs.
+inline uint32_t EpochPartialBytes(uint32_t header, const EpochPartial& p) {
+  uint32_t bytes = header + 16 + static_cast<uint32_t>(LogHistogram::kWireSize);
+  for (const EpochNodeStat& n : p.nodes) {
+    bytes += 8 + static_cast<uint32_t>(n.buckets.size()) * 6;
+  }
+  return bytes;
+}
+
 inline uint32_t MemberUpdateBytes(uint32_t header, size_t num_live,
                                   size_t num_buckets) {
   return header + static_cast<uint32_t>(num_live + num_buckets) * 4 + 12;
@@ -331,7 +388,7 @@ using MessagePayload =
                 Boxed<EpochSummary>, EpochParams, EpochStale, JoinReq,
                 MemberUpdate, Heartbeat, HeartbeatAck, NfsReadReq,
                 NfsReadReply, Republish, GcdInvalidate, ProtoAck, WriteBack,
-                NchanceForward>;
+                NchanceForward, Boxed<EpochPartial>>;
 
 static_assert(sizeof(MessagePayload) <= 80,
               "keep Datagram contiguous and small: box oversized messages");

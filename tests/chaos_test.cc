@@ -11,6 +11,7 @@
 // membership-churn scenario (crash + rejoin under loss with heartbeats on).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -28,6 +29,9 @@ std::string CaseName(const ::testing::TestParamInfo<ChaosCase>& info) {
   // 0.001 -> "Loss0p1pct" style (permille avoids '.' in test names).
   out << "Seed" << info.param.seed << "Loss"
       << static_cast<int>(info.param.loss * 1000 + 0.5) << "permille";
+  if (info.param.epoch_fanout > 0) {
+    out << "Fanout" << info.param.epoch_fanout;
+  }
   return out.str();
 }
 
@@ -67,6 +71,29 @@ TEST_P(ChaosSoakTest, InvariantsHoldAfterFaultyRun) {
   }
   // The partition cut real traffic in every run.
   EXPECT_GT(fs.drops_partition.events, 0u);
+
+  // Tree-epoch runs must have exercised the aggregation path for real:
+  // partials flowed upward, and every node ended the run on the same epoch
+  // (whatever faults did to individual rounds, the cluster converged).
+  if (GetParam().epoch_fanout > 0) {
+    uint64_t partials_sent = 0;
+    for (uint32_t i = 0; i < cluster->num_nodes(); i++) {
+      partials_sent +=
+          cluster->service(NodeId{i}).stats().epoch_partials_sent;
+    }
+    EXPECT_GT(partials_sent, 0u) << "tree mode never sent a partial";
+    uint64_t lo = UINT64_MAX;
+    uint64_t hi = 0;
+    for (uint32_t i = 0; i < cluster->num_nodes(); i++) {
+      const uint64_t e = cluster->gms_agent(NodeId{i})->epoch_view().epoch;
+      lo = std::min(lo, e);
+      hi = std::max(hi, e);
+    }
+    EXPECT_GE(lo, 1u);
+    // At most one round of skew: a node may miss the final round's params
+    // (exactly as in flat mode under loss), but never wedges further behind.
+    EXPECT_LE(hi - lo, 1u) << "epochs diverged [" << lo << ", " << hi << "]";
+  }
 }
 
 std::vector<ChaosCase> MakeSweep() {
@@ -81,6 +108,26 @@ std::vector<ChaosCase> MakeSweep() {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, ChaosSoakTest,
                          ::testing::ValuesIn(MakeSweep()), CaseName);
+
+// The same soak with hierarchical epoch aggregation: every EpochSummaryReq
+// relay, EpochPartial, and EpochParams relay rides the same lossy network —
+// dropped and duplicated partials, straggler timeouts, and the root's flat
+// re-request sweep all fire across the sweep. Fanout 2 on the 4-node
+// scenario gives a two-level tree (the deepest this membership allows).
+std::vector<ChaosCase> MakeTreeSweep() {
+  std::vector<ChaosCase> cases;
+  for (uint64_t seed = 1; seed <= 8; seed++) {
+    for (double loss : {0.0, 0.01, 0.05}) {
+      ChaosCase c{seed, loss};
+      c.epoch_fanout = 2;
+      cases.push_back(c);
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeEpochSweep, ChaosSoakTest,
+                         ::testing::ValuesIn(MakeTreeSweep()), CaseName);
 
 // Control: the same cluster and workloads with no faults and no partition
 // must be near-perfectly consistent after quiesce. If this accumulates
@@ -191,6 +238,73 @@ TEST(ChaosMembershipTest, CrashAndRejoinUnderLoss) {
   InvariantReport report = ClusterInvariantChecker::Check(*cluster);
   EXPECT_TRUE(report.ok()) << report.ToString();
   EXPECT_EQ(cluster->totals().accesses, 9000u + 7000u);
+}
+
+// An interior aggregator crashing takes its whole subtree's partial down
+// with it: its children's relayed requests are orphaned and its own merged
+// partial never reaches the root. The root's straggler timeout plus the flat
+// re-request sweep must recover every orphaned node's summary, and once
+// heartbeats remove the corpse from the membership, later rounds rebuild the
+// tree without it. Nine nodes at fanout 2 put two full levels under the
+// crashed node (node 1's subtree is {1, 3, 4, 7, 8} — over half the
+// cluster).
+TEST(ChaosTreeEpochTest, InteriorAggregatorCrashMidEpoch) {
+  ClusterConfig config;
+  config.num_nodes = 9;
+  config.policy = PolicyKind::kGms;
+  config.frames = 256;
+  config.seed = 21;
+  config.gms.epoch.t_min = Milliseconds(200);
+  config.gms.epoch.t_max = Seconds(1);
+  config.gms.epoch.m_min = 16;
+  config.gms.epoch.summary_timeout = Milliseconds(100);
+  config.gms.epoch.fanout = 2;
+  config.gms.retry.enabled = true;
+  config.gms.enable_heartbeats = true;
+  config.gms.heartbeat_interval = Milliseconds(200);
+  config.gms.heartbeat_miss_limit = 2;
+  auto cluster = std::make_unique<Cluster>(config);
+
+  // Jitter keeps collection rounds in flight long enough that the crash
+  // lands mid-epoch; no drops, so every lost summary is the crash's doing.
+  cluster->net().EnableFaultInjection(0xdead1);
+  FaultSpec faults;
+  faults.delay_jitter = Milliseconds(40);
+  cluster->net().SetDefaultFaults(faults);
+
+  cluster->Start();
+  cluster->sim().RunFor(Milliseconds(250));
+  cluster->CrashNode(NodeId{1});
+  cluster->sim().RunFor(Seconds(6));
+  ASSERT_TRUE(cluster->RunUntilQuiescent(Seconds(30)));
+
+  // Every round between the crash and the membership update ran with a dead
+  // interior: the root must have fallen back to direct re-requests at least
+  // once rather than planning without the orphaned subtree.
+  EXPECT_GT(cluster->service(NodeId{0}).stats().control_retries, 0u)
+      << "the re-request sweep never fired";
+  EXPECT_FALSE(cluster->gms_agent(NodeId{0})->pod().IsLive(NodeId{1}));
+
+  const EpochView& root_view = cluster->gms_agent(NodeId{0})->epoch_view();
+  EXPECT_GE(root_view.epoch, 2u) << "epochs stopped advancing after the crash";
+  for (uint32_t i = 2; i < 9; i++) {
+    const EpochView& v = cluster->gms_agent(NodeId{i})->epoch_view();
+    // A round may be mid-distribution at the measurement instant, so allow
+    // one epoch of skew; a node that actually agrees with the root must
+    // agree on the whole plan.
+    EXPECT_LE(root_view.epoch - v.epoch, 1u) << "node " << i << " wedged";
+    if (v.epoch == root_view.epoch) {
+      EXPECT_EQ(v.min_age, root_view.min_age) << "node " << i;
+      EXPECT_EQ(v.budget, root_view.budget) << "node " << i;
+    }
+    // The orphaned subtree's survivors ({3, 4, 7, 8}) kept contributing:
+    // an idle node's free frames guarantee it weight in any plan it is
+    // part of, so a zero weight here means its summary was dropped.
+    EXPECT_GT(v.my_weight, 0) << "node " << i << " fell out of the epoch";
+  }
+
+  InvariantReport report = ClusterInvariantChecker::Check(*cluster);
+  EXPECT_TRUE(report.ok()) << report.ToString();
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // deterministic lowest-id succession driven by heartbeat silence).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "src/cluster/cluster.h"
@@ -156,6 +157,52 @@ TEST_F(ElectionTest, MasterFailoverDuringInflightRepublish) {
   cluster_->sim().RunFor(Seconds(1));
   EXPECT_TRUE(done);
   EXPECT_TRUE(hit);
+}
+
+// Failover with hierarchical epoch aggregation: crashing the master — who
+// is also the epoch initiator and the aggregation-tree root — must not stop
+// the epoch machinery. The survivors elect a new master, the epoch watchdog
+// restarts rounds from a new root, and the rebuilt tree (now missing node 0)
+// keeps converging on agreed plans.
+TEST(ElectionTreeEpochTest, EpochsSurviveRootFailover) {
+  ClusterConfig config;
+  config.num_nodes = 7;
+  config.policy = PolicyKind::kGms;
+  config.frames = 256;
+  config.gms.enable_heartbeats = true;
+  config.gms.enable_master_election = true;
+  config.gms.heartbeat_interval = Milliseconds(200);
+  config.gms.heartbeat_miss_limit = 2;
+  config.gms.retry.enabled = true;
+  config.gms.epoch.t_min = Milliseconds(200);
+  config.gms.epoch.t_max = Seconds(1);
+  config.gms.epoch.summary_timeout = Milliseconds(100);
+  config.gms.epoch.fanout = 2;
+  auto cluster = std::make_unique<Cluster>(config);
+  cluster->Start();
+  cluster->sim().RunFor(Seconds(2));
+
+  const uint64_t before = cluster->gms_agent(NodeId{3})->epoch_view().epoch;
+  ASSERT_GE(before, 1u) << "tree epochs never started";
+
+  cluster->CrashNode(NodeId{0});
+  cluster->sim().RunFor(Seconds(5));
+
+  uint64_t hi = 0;
+  for (uint32_t i = 1; i < 7; i++) {
+    hi = std::max(hi, cluster->gms_agent(NodeId{i})->epoch_view().epoch);
+  }
+  EXPECT_GT(hi, before) << "epochs stopped advancing after the root died";
+  for (uint32_t i = 1; i < 7; i++) {
+    const EpochView& v = cluster->gms_agent(NodeId{i})->epoch_view();
+    EXPECT_EQ(cluster->gms_agent(NodeId{i})->master(), NodeId{1})
+        << "node " << i;
+    EXPECT_LE(hi - v.epoch, 1u) << "node " << i << " wedged at " << v.epoch;
+    // Post-failover plans come from trees that exclude the corpse; every
+    // survivor is idle, so every survivor holds weight in any plan built
+    // from a complete summary set.
+    EXPECT_GT(v.my_weight, 0) << "node " << i;
+  }
 }
 
 }  // namespace

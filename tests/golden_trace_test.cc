@@ -121,6 +121,37 @@ TEST(GoldenTraceTest, SerialAndParallelSweepDigestsAreIdentical) {
   EXPECT_NE(serial[0], serial[1]);
 }
 
+// The same identity for the hierarchical epoch path: tree rounds add relay
+// and partial-merge events to the trace, and those must be just as
+// deterministic under parallel sweep execution as the flat protocol's. Also
+// pins the tree path's effect on the trace: a tree point must not trace
+// identically to its flat twin (otherwise the aggregation spans were lost).
+TEST(GoldenTraceTest, TreeEpochSweepIsDeterministicInParallel) {
+  if (!kTraceCompiledIn) {
+    GTEST_SKIP() << "tracer compiled out (GMS_TRACE=OFF)";
+  }
+  std::vector<ChaosCase> points = {{1, 0.0}, {5, 0.01}, {7, 0.02}};
+  for (ChaosCase& p : points) {
+    p.epoch_fanout = 2;
+  }
+  auto run_point = [&points](size_t i) {
+    return RunTracedChaosPoint(points[i]);
+  };
+  const auto serial = RunSweepParallel(points.size(), 1, run_point);
+  const auto parallel = RunSweepParallel(points.size(), 4, run_point);
+  ASSERT_EQ(serial.size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i])
+        << "tree point " << i << " (seed=" << points[i].seed
+        << ") traced differently in parallel";
+    EXPECT_FALSE(serial[i].empty());
+  }
+  ChaosCase flat_twin = points[1];
+  flat_twin.epoch_fanout = 0;
+  EXPECT_NE(serial[1], RunTracedChaosPoint(flat_twin))
+      << "fanout=2 left no mark on the trace";
+}
+
 // No observer effect: enabling tracing *and* the metric snapshot timer must
 // leave the simulated results bit-identical to a dark run. Trace recording
 // happens outside the event queue, and the snapshot event only reads stats,

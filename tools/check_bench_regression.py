@@ -40,6 +40,43 @@ def load(path):
     return doc
 
 
+def check_epoch_scaleout(path, doc, max_root_cost):
+    """Gate a schema-2 epoch_scaleout doc (fig7_scaleout --scaleout_nodes).
+
+    These docs have no committed baseline — the bound is absolute: the
+    initiator's summary traffic per epoch must stay at the tree's fanout
+    (plus straggler re-requests), never at O(N). A missing bound is an
+    error so CI cannot silently run the job unguarded.
+    """
+    if max_root_cost is None:
+        sys.exit(f"{path}: epoch_scaleout doc requires --max-epoch-root-cost")
+    failures = []
+    epochs = doc.get("epochs", 0)
+    msgs = doc.get("root_summary_msgs_per_epoch")
+    print(f"epoch_scaleout: nodes={doc.get('nodes')} "
+          f"fanout={doc.get('fanout')} epochs={epochs} "
+          f"root_summary_msgs_per_epoch={msgs} "
+          f"root_epoch_cpu_us_per_epoch="
+          f"{doc.get('root_epoch_cpu_us_per_epoch')}")
+    if epochs < 1:
+        failures.append(f"{path}: no epoch completed")
+    if msgs is None:
+        failures.append(f"{path}: missing root_summary_msgs_per_epoch")
+    elif msgs > max_root_cost:
+        failures.append(
+            f"root summary msgs/epoch {msgs:.1f} exceeds "
+            f"--max-epoch-root-cost {max_root_cost:.1f}: the initiator's "
+            "traffic is scaling with N, not fanout"
+        )
+    if failures:
+        print("\nFAIL: epoch scale-out bound violated:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nOK: root epoch cost bounded by fanout")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", help="freshly generated BENCH_core.json")
@@ -71,6 +108,16 @@ def main():
         "speed",
     )
     parser.add_argument(
+        "--max-epoch-root-cost",
+        type=float,
+        default=None,
+        help="for schema-2 epoch_scaleout docs (fig7_scaleout "
+        "--scaleout_nodes --emit_bench_json): maximum allowed root summary "
+        "messages per epoch — an absolute bound proving the hierarchical "
+        "aggregation keeps initiator traffic O(fanout), not O(N); such docs "
+        "skip the baseline comparison entirely",
+    )
+    parser.add_argument(
         "--expect-tracing-disabled",
         action="store_true",
         help="fail unless the current JSON was produced by a build with the "
@@ -79,6 +126,12 @@ def main():
         "tracer call sites",
     )
     args = parser.parse_args()
+
+    with open(args.current) as f:
+        cur_raw = json.load(f)
+    if cur_raw.get("schema") == 2 and cur_raw.get("kind") == "epoch_scaleout":
+        return check_epoch_scaleout(args.current, cur_raw,
+                                    args.max_epoch_root_cost)
 
     cur = load(args.current)
     base = load(args.baseline)
