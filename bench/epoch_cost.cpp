@@ -9,7 +9,16 @@
 // many nodes sit below them. This bench prints both curves; the expected
 // shape is the flat column growing linearly down the table while each tree
 // column stays flat.
+//
+// --threads=N runs each cluster on the sharded parallel event loop (the
+// printed numbers are thread-invariant; only wall time changes).
+// --emit_bench_json[=path] additionally writes the whole grid as a schema-2
+// "epoch_cost" doc that tools/check_bench_regression.py gates with
+// --max-epoch-root-cost (applied to the tree points; flat points are
+// reported but unbounded — their linear growth is the baseline the tree is
+// measured against).
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -20,6 +29,7 @@ int main(int argc, char** argv) {
   const auto epochs = static_cast<uint64_t>(FlagValue(argc, argv, "epochs", 3));
   const auto max_nodes =
       static_cast<uint32_t>(FlagValue(argc, argv, "max_nodes", 4000));
+  const uint32_t threads = BenchThreads(argc, argv);
   std::vector<uint32_t> sizes;
   for (uint32_t n : {250u, 1000u, 2000u, 4000u, 10000u}) {
     if (n <= max_nodes) {
@@ -29,18 +39,22 @@ int main(int argc, char** argv) {
   const std::vector<uint32_t> fanouts = {0, 4, 16, 64};  // 0 = flat
 
   std::printf("=== Epoch cost at the root: summary msgs & CPU per round ===\n");
-  std::printf("(%llu rounds per point; pass --max_nodes=10000 for the full "
-              "sweep)\n\n",
-              static_cast<unsigned long long>(epochs));
+  std::printf("(%llu rounds per point, %u sim thread%s; pass "
+              "--max_nodes=10000 for the full sweep)\n\n",
+              static_cast<unsigned long long>(epochs), threads,
+              threads == 1 ? "" : "s");
   std::printf("%8s | %18s | %18s | %18s | %18s\n", "nodes", "flat", "fanout 4",
               "fanout 16", "fanout 64");
   std::printf("%8s | %10s %7s | %10s %7s | %10s %7s | %10s %7s\n", "",
               "msgs/ep", "cpu us", "msgs/ep", "cpu us", "msgs/ep", "cpu us",
               "msgs/ep", "cpu us");
+  std::vector<EpochScaleoutResult> grid;
   for (uint32_t n : sizes) {
     std::printf("%8u |", n);
     for (uint32_t fanout : fanouts) {
-      const EpochScaleoutResult r = RunEpochScaleout(n, fanout, epochs);
+      const EpochScaleoutResult r =
+          RunEpochScaleout(n, fanout, epochs, threads);
+      grid.push_back(r);
       if (r.epochs == 0) {
         std::printf(" %10s %7s |", "-", "-");
         continue;
@@ -58,5 +72,34 @@ int main(int argc, char** argv) {
       "straggler window — past that point the flat initiator plans from a\n"
       "partial view of the cluster, which is the scaling failure the tree\n"
       "removes (its root absorbs only ~fanout pre-merged partials).\n");
+
+  const std::string json_out = FlagString(argc, argv, "emit_bench_json");
+  if (!json_out.empty()) {
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_out.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"schema\": 2,\n  \"kind\": \"epoch_cost\",\n"
+                 "  \"epochs\": %llu,\n  \"threads\": %u,\n  \"points\": [\n",
+                 static_cast<unsigned long long>(epochs), threads);
+    for (size_t i = 0; i < grid.size(); i++) {
+      const EpochScaleoutResult& r = grid[i];
+      std::fprintf(f,
+                   "    {\"nodes\": %u, \"fanout\": %u, \"epochs\": %llu,\n"
+                   "     \"root_summary_msgs_per_epoch\": %.3f,\n"
+                   "     \"root_epoch_cpu_us_per_epoch\": %.3f,\n"
+                   "     \"sim_s\": %.3f}%s\n",
+                   r.nodes, r.fanout,
+                   static_cast<unsigned long long>(r.epochs),
+                   r.root_summary_msgs_per_epoch,
+                   r.root_epoch_cpu_us_per_epoch, r.sim_s,
+                   i + 1 == grid.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("bench json -> %s\n", json_out.c_str());
+  }
   return 0;
 }

@@ -13,6 +13,9 @@
 int main(int argc, char** argv) {
   using namespace gms;
   PaperScale s = BenchScale(argc, argv);
+  // --threads means the sweep's point pool here (one serial cluster per
+  // thread, below); inner sim sharding on top would only oversubscribe.
+  s.threads = 1;
   BenchHeader("Figure 13: CPU load on the single idle node", s);
 
   TablePrinter table({"Clients", "Idle-node CPU %", "Page-transfer ops/s",

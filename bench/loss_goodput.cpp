@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench/bench_util.h"
 #include "src/cluster/cluster.h"
 #include "src/common/table.h"
 #include "src/workload/patterns.h"
@@ -25,13 +26,14 @@ struct LossResult {
   uint64_t drops = 0;
 };
 
-LossResult RunAtLoss(double loss) {
+LossResult RunAtLoss(double loss, uint32_t threads) {
   ClusterConfig config;
   config.num_nodes = 4;
   config.policy = PolicyKind::kGms;
   config.frames_per_node = {256, 320, 1024, 768};
   config.frames = 256;
   config.seed = 7;
+  config.threads = threads;  // every reported number is thread-invariant
   config.gms.epoch.t_min = Milliseconds(200);
   config.gms.epoch.t_max = Seconds(2);
   config.gms.epoch.m_min = 16;
@@ -94,13 +96,14 @@ LossResult RunAtLoss(double loss) {
 }  // namespace
 }  // namespace gms
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gms;
+  const uint32_t threads = BenchThreads(argc, argv);
   std::printf("Goodput vs injected loss (4 nodes, retries on, 16k accesses)\n\n");
   TablePrinter table({"Loss", "Run (s)", "Accesses/s", "Getpage hit %",
                       "Retries", "Drops"});
   for (double loss : {0.0, 0.001, 0.01, 0.05}) {
-    LossResult r = RunAtLoss(loss);
+    LossResult r = RunAtLoss(loss, threads);
     char label[32];
     std::snprintf(label, sizeof(label), "%.1f%%", loss * 100);
     table.AddNumericRow(label,

@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   config.policy = PolicyKind::kGms;
   config.frames = 2048;
   config.seed = s.seed;
+  config.threads = BenchThreads(argc, argv);  // measured latencies invariant
   ApplyObsFlags(argc, argv, &config.obs);
   Cluster cluster(config);
   cluster.Start();
@@ -126,7 +127,7 @@ int main(int argc, char** argv) {
       if (gcd != a && gcd != c) {
         Frame* frame = cluster.frames(c).Allocate(uid, PageLocation::kLocal,
                                                   cluster.sim().now());
-        frame->shared = true;
+        frame->set_shared(true);
         cluster.gms_agent(gcd)->ApplyGcdLocal(
             GcdUpdate{uid, GcdUpdate::kAdd, c, false});
         break;

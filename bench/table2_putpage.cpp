@@ -33,7 +33,7 @@ PutCase MeasurePutPage(Cluster& cluster, NodeId a, const Uid& uid) {
     std::printf("setup error: page not resident\n");
     return result;
   }
-  frame->dirty = false;  // only clean pages enter global memory
+  frame->set_dirty(false);  // only clean pages enter global memory
 
   const uint64_t wire_before =
       cluster.net().type_traffic(kMsgPutPage).events;
@@ -100,6 +100,7 @@ int main(int argc, char** argv) {
   config.policy = PolicyKind::kGms;
   config.frames = 2048;
   config.seed = s.seed;
+  config.threads = BenchThreads(argc, argv);  // measured latencies invariant
   ApplyObsFlags(argc, argv, &config.obs);
   Cluster cluster(config);
   cluster.Start();

@@ -22,6 +22,7 @@ double RunCase(PolicyKind policy, bool sequential, const PaperScale& s) {
   config.num_nodes = 2;
   config.policy = policy;
   config.seed = s.seed;
+  config.threads = s.threads;
   const uint32_t frames = s.Frames();
   const uint64_t footprint = frames * 2;
   config.frames_per_node = {frames, static_cast<uint32_t>(footprint) + 64};

@@ -16,6 +16,8 @@ std::unique_ptr<Cluster> BuildChaosCluster(const ChaosCase& chaos,
   config.frames_per_node = {256, 320, 1024, 768};
   config.frames = 256;
   config.seed = chaos.seed;
+  config.threads = chaos.threads;
+  config.sim_shards = chaos.sim_shards;
   config.gms.epoch.t_min = Milliseconds(200);
   config.gms.epoch.t_max = Seconds(2);
   config.gms.epoch.m_min = 16;

@@ -23,6 +23,11 @@ struct ChaosCase {
   // summary tree under the same fault injection — dropped/duplicated
   // partials, crashed interior aggregators, straggler timeouts.
   uint32_t epoch_fanout = 0;
+  // Parallel simulation controls forwarded to ClusterConfig. The chaos
+  // digests and stats dumps are invariant to both — that is what the
+  // parallel identity tests pin.
+  uint32_t threads = 1;
+  uint32_t sim_shards = 0;
 };
 
 // Builds the standard chaos cluster: 4 nodes (two busy, two idle), retries

@@ -22,6 +22,22 @@ uint64_t MixSeed(uint64_t seed, uint64_t salt) {
 
 Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   assert(config_.num_nodes >= 1);
+  // Sharding is configured before any subsystem exists: the network sizes
+  // its per-lane stats off lane_count(), and no event may be scheduled
+  // earlier. The lookahead is the network's fixed propagation floor — every
+  // cross-node interaction goes through the network and fault injection only
+  // adds delay, so no event can cross shards in less than this.
+  uint32_t shards = config_.sim_shards != 0
+                        ? config_.sim_shards
+                        : (config_.threads > 1 ? config_.threads : 1);
+  if (shards > config_.num_nodes) {
+    shards = config_.num_nodes;
+  }
+  if (config_.net.fixed_latency <= 0) {
+    shards = 1;  // no latency floor => no conservative lookahead window
+  }
+  sim_.ConfigureSharding(config_.num_nodes, shards, config_.threads,
+                         config_.net.fixed_latency);
   if (config_.obs.trace && kTraceCompiledIn) {
     tracer_ = std::make_unique<Tracer>(config_.num_nodes,
                                        config_.obs.trace_ring_capacity);
@@ -192,11 +208,15 @@ void Cluster::Start() {
     live.push_back(NodeId{i});
   }
   const PodTable pod = Pod::Build(1, live);
-  for (auto& rt : nodes_) {
-    if (rt->gms != nullptr) {
-      rt->gms->Start(pod, config_.master, config_.first_initiator);
-    } else if (rt->engine != nullptr) {
-      rt->engine->Start(pod);
+  for (uint32_t i = 0; i < config_.num_nodes; i++) {
+    NodeRuntime& rt = *nodes_[i];
+    // Start() arms per-node timers (epoch initiation, retries): they must be
+    // stamped and owned by the node's context, not the harness's.
+    Simulator::ContextScope in_node(sim_, i + 1);
+    if (rt.gms != nullptr) {
+      rt.gms->Start(pod, config_.master, config_.first_initiator);
+    } else if (rt.engine != nullptr) {
+      rt.engine->Start(pod);
     }
   }
   if (config_.obs.snapshot_interval > 0) {
@@ -206,8 +226,8 @@ void Cluster::Start() {
 
 void Cluster::ArmSnapshotTimer() {
   // Snapshot events only read stats, so arming them cannot change simulated
-  // behaviour: one extra event shifts later sequence numbers uniformly,
-  // leaving the relative order of all other events intact.
+  // behaviour: they run in the control context, whose stamps never perturb
+  // the relative order of node events.
   sim_.After(config_.obs.snapshot_interval, [this] {
     metrics_.SnapshotEpoch(sim_.now());
     ArmSnapshotTimer();
@@ -294,6 +314,7 @@ bool Cluster::RunUntilQuiescent(SimTime max_time) {
 
 void Cluster::CrashNode(NodeId node) {
   NodeRuntime& rt = *nodes_.at(node.value);
+  Simulator::ContextScope in_node(sim_, node.value + 1);
   net_->SetNodeUp(node, false);
   if (rt.engine != nullptr) {
     rt.engine->SetAlive(false);
@@ -303,6 +324,7 @@ void Cluster::CrashNode(NodeId node) {
 
 void Cluster::RestartNode(NodeId node) {
   NodeRuntime& rt = *nodes_.at(node.value);
+  Simulator::ContextScope in_node(sim_, node.value + 1);
   net_->SetNodeUp(node, true);
   if (config_.policy == PolicyKind::kGms) {
     // Fresh agent: a rebooted kernel has no directory or epoch state.

@@ -47,6 +47,7 @@ ClusterConfig PaperConfig(PolicyKind policy, uint32_t num_nodes,
   config.policy = policy;
   config.seed = s.seed;
   config.frames = s.Frames();
+  config.threads = s.threads;
   return config;
 }
 

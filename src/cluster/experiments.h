@@ -18,6 +18,13 @@ namespace gms {
 struct PaperScale {
   double scale = 0.25;
   uint64_t seed = 1;
+  // Simulator worker threads (--threads=N, default serial): PaperConfig
+  // forwards this to ClusterConfig::threads, so every experiment helper runs
+  // on the sharded parallel event loop when asked. Results are byte-identical
+  // at every thread count; only wall time changes. Sweep-based benches that
+  // give --threads its point-pool meaning reset this to 1 to avoid
+  // oversubscription.
+  uint32_t threads = 1;
 
   // Paper-sized frame counts scaled down (64 MB node = 8192 frames).
   uint32_t Frames(uint32_t paper_frames = 8192) const;

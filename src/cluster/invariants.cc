@@ -42,8 +42,8 @@ InvariantReport ClusterInvariantChecker::Check(Cluster& cluster,
     }
     cluster.frames(NodeId{i}).ForEach([&](const Frame& f) {
       report.frames_checked++;
-      if (f.location == PageLocation::kGlobal) {
-        global_copies[f.uid].push_back(i);
+      if (f.location() == PageLocation::kGlobal) {
+        global_copies[f.uid()].push_back(i);
       }
     });
   }
@@ -84,7 +84,7 @@ InvariantReport ClusterInvariantChecker::Check(Cluster& cluster,
           continue;
         }
         const Frame* f = cluster.frames(h.node).Lookup(uid);
-        if (f == nullptr || (h.global && f->location != PageLocation::kGlobal)) {
+        if (f == nullptr || (h.global && f->location() != PageLocation::kGlobal)) {
           report.stale_hints++;
         }
       }
@@ -106,14 +106,14 @@ InvariantReport ClusterInvariantChecker::Check(Cluster& cluster,
     }
     const Pod& pod = agents[i]->pod();
     cluster.frames(NodeId{i}).ForEach([&](const Frame& f) {
-      if (f.pinned) {
+      if (f.pinned()) {
         return;  // mid-fault or mid-transfer; not yet registered
       }
-      const NodeId owner = pod.GcdNodeFor(f.uid);
+      const NodeId owner = pod.GcdNodeFor(f.uid());
       bool listed = false;
       if (owner.value < n && agents[owner.value] != nullptr) {
         if (const GcdTable::Entry* entry =
-                agents[owner.value]->gcd().Lookup(f.uid)) {
+                agents[owner.value]->gcd().Lookup(f.uid())) {
           for (const GcdTable::Holder& h : entry->holders) {
             if (h.node == NodeId{i}) {
               listed = true;
@@ -125,9 +125,9 @@ InvariantReport ClusterInvariantChecker::Check(Cluster& cluster,
       if (listed) {
         return;
       }
-      if (f.dirty && f.location == PageLocation::kGlobal) {
+      if (f.dirty() && f.location() == PageLocation::kGlobal) {
         std::ostringstream out;
-        out << "dirty global page " << f.uid.ToString() << " on node " << i
+        out << "dirty global page " << f.uid().ToString() << " on node " << i
             << " is unreachable: no gcd entry on owner " << owner.value;
         fail(out.str());
       } else {

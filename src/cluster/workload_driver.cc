@@ -16,6 +16,10 @@ void WorkloadDriver::Start() {
   }
   started_ = true;
   started_at_ = sim_->now();
+  // The driver is the node's application process: everything it schedules
+  // belongs to the node's simulation context, even when Start() is called
+  // from the harness or a control event.
+  Simulator::ContextScope in_node(*sim_, node_->self().value + 1);
   Step();
 }
 
@@ -30,6 +34,7 @@ void WorkloadDriver::Resume() {
   paused_ = false;
   if (parked_ && !finished_) {
     parked_ = false;
+    Simulator::ContextScope in_node(*sim_, node_->self().value + 1);
     Step();
   }
 }

@@ -206,8 +206,8 @@ void CacheEngine::Send(NodeId dst, uint32_t type, uint32_t bytes,
 }
 
 SimTime CacheEngine::EffectiveAge(const Frame& frame) const {
-  const SimTime age = sim_->now() - frame.last_access;
-  if (frame.location == PageLocation::kGlobal) {
+  const SimTime age = sim_->now() - frame.last_access();
+  if (frame.location() == PageLocation::kGlobal) {
     return static_cast<SimTime>(static_cast<double>(age) *
                                 config_.global_age_boost);
   }
@@ -430,7 +430,7 @@ void CacheEngine::HandleGetPageFwd(const GetPageFwd& msg) {
     }
     SpanStep(tracer_, sim_->now(), self_, msg.span, SpanComp::kService);
     Frame* frame = frames_->Lookup(msg.uid);
-    if (frame == nullptr || frame->pinned) {
+    if (frame == nullptr || frame->pinned()) {
       // Stale GCD hint (the page moved or is mid-transfer): the requester
       // falls back to disk — the paper's "worst case" reconfiguration
       // behaviour.
@@ -441,9 +441,9 @@ void CacheEngine::HandleGetPageFwd(const GetPageFwd& msg) {
       return;
     }
     GetPageReply reply{msg.uid, msg.op_id, false,
-                       config_.propagate_dirty && frame->dirty};
+                       config_.propagate_dirty && frame->dirty()};
     reply.span = msg.span;
-    if (frame->location == PageLocation::kGlobal) {
+    if (frame->location() == PageLocation::kGlobal) {
       // A global page has exactly one copy (a dirty page may have replicas;
       // this one moves and any sibling is reconciled by the directory); it
       // moves to the requester and this node's frame becomes free (the
@@ -464,7 +464,7 @@ void CacheEngine::HandleGetPageFwd(const GetPageFwd& msg) {
     } else {
       // Shared page served from our active local memory (case 4): we keep
       // our copy and both copies become duplicates.
-      frame->duplicated = true;
+      frame->set_duplicated(true);
     }
     Send(msg.requester, kMsgGetPageReply, config_.costs.page_message_bytes(),
          reply);
@@ -504,25 +504,25 @@ void CacheEngine::OnPageLoaded(Frame* frame) {
   if (!uses_remote_cache_) {
     return;  // no directory is maintained
   }
-  SendGcdUpdate(frame->uid, GcdUpdate::kAdd, self_,
-                frame->location == PageLocation::kGlobal);
+  SendGcdUpdate(frame->uid(), GcdUpdate::kAdd, self_,
+                frame->location() == PageLocation::kGlobal);
 }
 
 void CacheEngine::DiscardFrame(Frame* frame) {
-  SendGcdUpdate(frame->uid, GcdUpdate::kRemove, self_,
-                frame->location == PageLocation::kGlobal);
+  SendGcdUpdate(frame->uid(), GcdUpdate::kRemove, self_,
+                frame->location() == PageLocation::kGlobal);
   frames_->Free(frame);
 }
 
 void CacheEngine::SendPutPage(Frame* frame, NodeId target, uint8_t freq) {
   stats_.putpages_sent++;
   TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kPutPageSend,
-             frame->uid, target.value);
+             frame->uid(), target.value);
   PutPage msg;
-  msg.uid = frame->uid;
+  msg.uid = frame->uid();
   msg.from = self_;
-  msg.age = sim_->now() - frame->last_access;
-  msg.shared = frame->shared;
+  msg.age = sim_->now() - frame->last_access();
+  msg.shared = frame->shared();
   msg.freq = freq;
   // Each putpage roots its own trace: the eviction is the originating
   // operation, and the receiver's absorb/bounce decision ends it.
@@ -590,8 +590,8 @@ void CacheEngine::HandleGcdInvalidate(const GcdInvalidate& msg) {
       return;
     }
     Frame* frame = frames_->Lookup(msg.uid);
-    if (frame != nullptr && frame->location == PageLocation::kGlobal &&
-        !frame->pinned) {
+    if (frame != nullptr && frame->location() == PageLocation::kGlobal &&
+        !frame->pinned()) {
       frames_->Free(frame);  // clean by construction; disk has it
     }
   });

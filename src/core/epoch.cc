@@ -40,6 +40,28 @@ uint64_t SparseCountAtOrAbove(const EpochNodeStat& stat, uint64_t threshold) {
   return count;
 }
 
+void AccumulateAgeHistogram(const FrameTable& frames, SimTime now,
+                            double global_age_boost, LogHistogram* out) {
+  // Straight-line pass over the two SoA columns the scan needs. The age
+  // arithmetic is kept in double and the slots are visited in index order so
+  // the result is bit-identical to the ForEach-with-closure walk this
+  // replaced — only the per-frame std::function dispatch and fat-record
+  // striding are gone.
+  const uint8_t* flags = frames.flags_data();
+  const SimTime* ages = frames.ages_data();
+  const uint32_t n = frames.num_frames();
+  for (uint32_t i = 0; i < n; i++) {
+    if ((flags[i] & FrameTable::kFlagInUse) == 0) {
+      continue;
+    }
+    double age = static_cast<double>(now - ages[i]);
+    if ((flags[i] & FrameTable::kFlagGlobal) != 0) {
+      age *= global_age_boost;
+    }
+    out->Add(static_cast<uint64_t>(age));
+  }
+}
+
 bool EpochPartial::Contains(NodeId node) const {
   for (const EpochNodeStat& n : nodes) {
     if (n.node == node) {

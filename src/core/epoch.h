@@ -24,6 +24,7 @@
 #include "src/common/node_id.h"
 #include "src/common/time.h"
 #include "src/core/messages.h"
+#include "src/mem/frame_table.h"
 
 namespace gms {
 
@@ -94,6 +95,15 @@ LogHistogram ExpandAges(const EpochNodeStat& stat);
 // CountAtOrAbove over the sparse form; equals ExpandAges(stat)
 // .CountAtOrAbove(threshold) exactly (same bucket-lower-bound predicate).
 uint64_t SparseCountAtOrAbove(const EpochNodeStat& stat, uint64_t threshold);
+
+// The per-epoch age scan: adds every in-use page's age — boosted by
+// `global_age_boost` for global pages, the same arithmetic PickVictim uses —
+// into `out`. Streams the frame table's flags and ages columns directly
+// (no per-frame indirect call); this is the hottest whole-table walk in the
+// simulation, run by every node at every epoch. Bucket order matches the
+// slot-order ForEach walk it replaced, bit for bit.
+void AccumulateAgeHistogram(const FrameTable& frames, SimTime now,
+                            double global_age_boost, LogHistogram* out);
 
 // Computes the plan from an already-reduced partial. ComputeEpochPlan is
 // implemented as a fold into one partial followed by this function, so the

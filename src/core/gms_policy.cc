@@ -92,7 +92,7 @@ void GmsPolicy::EvictClean(Frame* frame) {
 
   // Duplicate shared pages are dropped without network transmission
   // (section 4.5; the Table 4 "GMS duplicate" case).
-  if (frame->shared && frame->duplicated) {
+  if (frame->shared() && frame->duplicated()) {
     stats().discards_duplicate++;
     DiscardFrame(frame);
     return;
@@ -124,17 +124,17 @@ bool GmsPolicy::EvictDirty(Frame* frame) {
   }
   evictions_since_summary_++;
 
-  if (frame->location == PageLocation::kGlobal) {
+  if (frame->location() == PageLocation::kGlobal) {
     // A dirty global page leaving a holder goes home for write-back rather
     // than recirculating; a lingering replica elsewhere is harmless (the
     // write-back is idempotent).
     stats().dirty_writebacks_sent++;
-    WriteBack msg{frame->uid, self_};
+    WriteBack msg{frame->uid(), self_};
     // The write-back roots its own trace; the home node ends it once the
     // page is durable on disk.
     msg.span = TraceBegin(tracer_, sim_->now(), self_, SpanOp::kPutPage);
-    const NodeId backing = NodeOfIp(frame->uid.ip());
-    SendGcdUpdate(frame->uid, GcdUpdate::kRemove, self_, true, kInvalidNode,
+    const NodeId backing = NodeOfIp(frame->uid().ip());
+    SendGcdUpdate(frame->uid(), GcdUpdate::kRemove, self_, true, kInvalidNode,
                   msg.span);
     frames_->Free(frame);
     cpu_->SubmitKernel(config_.costs.put_request, CpuCategory::kFault,
@@ -169,10 +169,10 @@ bool GmsPolicy::EvictDirty(Frame* frame) {
   stats().dirty_putpages_sent++;
   stats().putpages_sent += targets.size();
   PutPage msg;
-  msg.uid = frame->uid;
+  msg.uid = frame->uid();
   msg.from = self_;
-  msg.age = sim_->now() - frame->last_access;
-  msg.shared = frame->shared;
+  msg.age = sim_->now() - frame->last_access();
+  msg.shared = frame->shared();
   msg.dirty = true;
   // One trace covers the whole replication fan-out; every replica's receive
   // span forks off the same root.
@@ -295,8 +295,8 @@ void GmsPolicy::ApplyGcdAsOwner(const GcdUpdate& update) {
           // The superseded global copy is our own: no message needed, the
           // owner drops the stale frame directly.
           Frame* frame = frames_->Lookup(update.uid);
-          if (frame != nullptr && frame->location == PageLocation::kGlobal &&
-              !frame->pinned) {
+          if (frame != nullptr && frame->location() == PageLocation::kGlobal &&
+              !frame->pinned()) {
             frames_->Free(frame);
           }
         }
@@ -371,7 +371,7 @@ void GmsPolicy::HandlePutPage(const PutPage& msg) {
       // would demote a global copy's directory entry when a putpage for a
       // page we already absorbed is replayed.
       SendGcdUpdate(msg.uid, GcdUpdate::kAdd, self_,
-                    existing->location == PageLocation::kGlobal, kInvalidNode,
+                    existing->location() == PageLocation::kGlobal, kInvalidNode,
                     msg.span);
       SpanEnd(tracer_, sim_->now(), self_, msg.span, SpanStatus::kAbsorbed);
     } else {
@@ -395,7 +395,7 @@ void GmsPolicy::HandlePutPage(const PutPage& msg) {
           Frame* dirty_victim = frames_->OldestMatching(
               sim_->now(), config_.epoch.global_age_boost,
               [](const Frame& f) {
-                return f.dirty && f.location == PageLocation::kGlobal;
+                return f.dirty() && f.location() == PageLocation::kGlobal;
               });
           if (dirty_victim != nullptr &&
               EffectiveAge(*dirty_victim) >= msg.age) {
@@ -412,8 +412,8 @@ void GmsPolicy::HandlePutPage(const PutPage& msg) {
         ReportStaleWeights();
         SpanEnd(tracer_, sim_->now(), self_, msg.span, SpanStatus::kBounced);
       } else {
-        frame->shared = msg.shared;
-        frame->dirty = msg.dirty;
+        frame->set_shared(msg.shared);
+        frame->set_dirty(msg.dirty);
         // Confirm our registration: if a concurrent getpage raced ahead of
         // this transfer, its optimistic directory update de-listed us; the
         // re-add heals that (and is a cheap no-op otherwise).
@@ -565,15 +565,8 @@ void GmsPolicy::BuildOwnSummary(uint64_t epoch, EpochSummary* out) const {
   out->local_pages = frames_->local_count();
   out->global_pages = frames_->global_count();
   out->free_frames = frames_->free_count();
-  const SimTime now = sim_->now();
-  const double boost = config_.epoch.global_age_boost;
-  frames_->ForEach([&](const Frame& f) {
-    double age = static_cast<double>(now - f.last_access);
-    if (f.location == PageLocation::kGlobal) {
-      age *= boost;
-    }
-    out->ages.Add(static_cast<uint64_t>(age));
-  });
+  AccumulateAgeHistogram(*frames_, sim_->now(),
+                         config_.epoch.global_age_boost, &out->ages);
   // Free frames are idler than any page — but the pageout daemon keeps a
   // small watermark reserve free on every node, including busy ones, and
   // that reserve is not idle memory. Only the excess counts.
@@ -1185,9 +1178,9 @@ void GmsPolicy::RepublishAfterPodChange() {
   uint64_t entries = 0;
   frames_->ForEach([&](const Frame& f) {
     entries++;
-    GcdUpdate update{f.uid, GcdUpdate::kAdd, self_,
-                     f.location == PageLocation::kGlobal};
-    const NodeId gcd_node = pod().GcdNodeFor(f.uid);
+    GcdUpdate update{f.uid(), GcdUpdate::kAdd, self_,
+                     f.location() == PageLocation::kGlobal};
+    const NodeId gcd_node = pod().GcdNodeFor(f.uid());
     if (gcd_node == self_) {
       gcd().Apply(update);
       return;

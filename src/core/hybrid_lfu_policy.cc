@@ -54,12 +54,12 @@ void HybridLfuPolicy::EvictClean(Frame* frame) {
   assert(frame != nullptr && frame->in_use() && !frame->dirty);
   // Duplicate shared pages are never worth a transfer — another node
   // already caches the copy.
-  if (frame->shared && frame->duplicated) {
+  if (frame->shared() && frame->duplicated()) {
     stats().discards_duplicate++;
     DiscardFrame(frame);
     return;
   }
-  const uint8_t freq = Estimate(frame->uid);
+  const uint8_t freq = Estimate(frame->uid());
   if (freq >= config_.forward_threshold) {
     if (const std::optional<NodeId> target = RandomTarget()) {
       SendPutPage(frame, *target, freq);
@@ -82,7 +82,7 @@ void HybridLfuPolicy::HandlePutPage(const PutPage& msg) {
     if (Frame* existing = frames_->Lookup(msg.uid); existing != nullptr) {
       // Already cached here; keep ours and re-confirm the registration.
       SendGcdUpdate(msg.uid, GcdUpdate::kAdd, self_,
-                    existing->location == PageLocation::kGlobal, kInvalidNode,
+                    existing->location() == PageLocation::kGlobal, kInvalidNode,
                     msg.span);
       SpanEnd(tracer_, sim_->now(), self_, msg.span, SpanStatus::kAbsorbed);
       return;
@@ -96,8 +96,8 @@ void HybridLfuPolicy::HandlePutPage(const PutPage& msg) {
       // GMS); local pages are never displaced for a remote page.
       Frame* victim = frames_->OldestMatching(
           sim_->now(), /*global_age_boost=*/1.0, [this, &msg](const Frame& f) {
-            return f.location == PageLocation::kGlobal && !f.dirty &&
-                   !f.pinned && Estimate(f.uid) <= msg.freq;
+            return f.location() == PageLocation::kGlobal && !f.dirty() &&
+                   !f.pinned() && Estimate(f.uid()) <= msg.freq;
           });
       if (victim != nullptr) {
         DiscardFrame(victim);
@@ -112,8 +112,8 @@ void HybridLfuPolicy::HandlePutPage(const PutPage& msg) {
       SpanEnd(tracer_, sim_->now(), self_, msg.span, SpanStatus::kBounced);
       return;
     }
-    frame->shared = msg.shared;
-    frame->dirty = msg.dirty;
+    frame->set_shared(msg.shared);
+    frame->set_dirty(msg.dirty);
     SendGcdUpdate(msg.uid, GcdUpdate::kAdd, self_, true, kInvalidNode,
                   msg.span);
     SpanEnd(tracer_, sim_->now(), self_, msg.span, SpanStatus::kAbsorbed);

@@ -7,9 +7,14 @@ namespace gms {
 FrameTable::FrameTable(uint32_t num_frames) {
   assert(num_frames > 0);
   frames_.resize(num_frames);
+  uids_.assign(num_frames, kInvalidUid);
+  ages_.assign(num_frames, 0);
+  flags_.assign(num_frames, 0);
+  recirc_.assign(num_frames, 0);
   free_.reserve(num_frames);
   // Hand out low indices first (cosmetic; keeps tests predictable).
   for (uint32_t i = num_frames; i > 0; i--) {
+    frames_[i - 1].table_ = this;
     frames_[i - 1].index_ = i - 1;
     free_.push_back(i - 1);
   }
@@ -34,16 +39,13 @@ Frame* FrameTable::Allocate(const Uid& uid, PageLocation location, SimTime now) 
   }
   const uint32_t idx = free_.back();
   free_.pop_back();
-  Frame& f = frames_[idx];
-  f.uid = uid;
-  f.location = location;
-  f.dirty = false;
-  f.shared = false;
-  f.duplicated = false;
-  f.pinned = false;
-  f.recirculation = 0;
-  f.last_access = now;
+  uids_[idx] = uid;
+  flags_[idx] = kFlagInUse |
+                (location == PageLocation::kGlobal ? kFlagGlobal : 0);
+  recirc_[idx] = 0;
+  ages_[idx] = now;
   index_.emplace(uid, idx);
+  Frame& f = frames_[idx];
   PushMru(&f);
   return &f;
 }
@@ -63,53 +65,54 @@ Frame* FrameTable::AllocateWithAge(const Uid& uid, PageLocation location,
 void FrameTable::Free(Frame* frame) {
   assert(frame != nullptr && frame->in_use());
   Unlink(frame);
-  index_.erase(frame->uid);
-  frame->uid = kInvalidUid;
-  frame->pinned = false;
-  frame->dirty = false;
-  frame->duplicated = false;
+  index_.erase(uids_[frame->index_]);
+  uids_[frame->index_] = kInvalidUid;
+  flags_[frame->index_] = 0;
   free_.push_back(frame->index_);
 }
 
 void FrameTable::Touch(Frame* frame, SimTime now) {
   assert(frame->in_use());
-  frame->last_access = now;
+  ages_[frame->index_] = now;
   Unlink(frame);
   PushMru(frame);
 }
 
 void FrameTable::SetLocation(Frame* frame, PageLocation location, SimTime now) {
   assert(frame->in_use());
-  if (frame->location == location) {
+  if (frame->location() == location) {
     Touch(frame, now);
     return;
   }
   Unlink(frame);
-  frame->location = location;
-  frame->last_access = now;
+  set_flag(frame->index_, kFlagGlobal, location == PageLocation::kGlobal);
+  ages_[frame->index_] = now;
   PushMru(frame);
 }
 
 void FrameTable::MoveToList(Frame* frame, PageLocation location) {
   assert(frame->in_use());
-  if (frame->location == location) {
+  if (frame->location() == location) {
     return;
   }
   Unlink(frame);
-  frame->location = location;
+  set_flag(frame->index_, kFlagGlobal, location == PageLocation::kGlobal);
   InsertByAge(frame);
 }
 
 void FrameTable::Reset() {
   const uint32_t n = num_frames();
-  frames_.clear();
   free_.clear();
   index_.clear();
   lists_[0] = List{};
   lists_[1] = List{};
-  frames_.resize(n);
+  uids_.assign(n, kInvalidUid);
+  ages_.assign(n, 0);
+  flags_.assign(n, 0);
+  recirc_.assign(n, 0);
   for (uint32_t i = n; i > 0; i--) {
-    frames_[i - 1].index_ = i - 1;
+    frames_[i - 1].prev_ = UINT32_MAX;
+    frames_[i - 1].next_ = UINT32_MAX;
     free_.push_back(i - 1);
   }
 }
@@ -122,7 +125,7 @@ Frame* FrameTable::OldestOf(int list_index, bool require_clean) {
   uint32_t idx = lists_[list_index].tail;
   while (idx != UINT32_MAX) {
     Frame& f = frames_[idx];
-    if (!f.pinned && !(require_clean && f.dirty)) {
+    if (!f.pinned() && !(require_clean && f.dirty())) {
       return &f;
     }
     idx = f.prev_;
@@ -141,9 +144,9 @@ Frame* FrameTable::PickVictim(SimTime now, double global_age_boost,
   if (local == nullptr) {
     return global;
   }
-  const double local_age = static_cast<double>(now - local->last_access);
+  const double local_age = static_cast<double>(now - local->last_access());
   const double global_age =
-      static_cast<double>(now - global->last_access) * global_age_boost;
+      static_cast<double>(now - global->last_access()) * global_age_boost;
   return global_age >= local_age ? global : local;
 }
 
@@ -156,9 +159,9 @@ Frame* FrameTable::OldestMatching(
     uint32_t idx = lists_[list].tail;
     while (idx != UINT32_MAX) {
       Frame& f = frames_[idx];
-      if (!f.pinned && pred(f)) {
-        double age = static_cast<double>(now - f.last_access);
-        if (f.location == PageLocation::kGlobal) {
+      if (!f.pinned() && pred(f)) {
+        double age = static_cast<double>(now - f.last_access());
+        if (f.location() == PageLocation::kGlobal) {
           age *= global_age_boost;
         }
         if (age > best_age) {
@@ -183,12 +186,13 @@ void FrameTable::ForEach(const std::function<void(const Frame&)>& fn) const {
 
 void FrameTable::InsertByAge(Frame* f) {
   List& list = list_for(*f);
+  const SimTime f_age = ages_[f->index_];
   // Walk from the MRU end until we find a frame at least as recent as f;
   // putpaged pages are younger than the receiving node's idle tail, so the
   // walk is short in practice.
   uint32_t idx = list.head;
   uint32_t prev = UINT32_MAX;
-  while (idx != UINT32_MAX && frames_[idx].last_access > f->last_access) {
+  while (idx != UINT32_MAX && ages_[idx] > f_age) {
     prev = idx;
     idx = frames_[idx].next_;
   }

@@ -7,6 +7,13 @@
 // oldest-page lookup, replacing the paper's sampled TLB ages with exact
 // last-access timestamps (a documented divergence — strictly better
 // information).
+//
+// Storage is struct-of-arrays: uids, last-access times and packed status
+// flags live in separate contiguous arrays so the per-epoch age scan —
+// the hottest whole-table walk — streams two flat arrays (flags + ages)
+// instead of striding through fat records. Frame is a handle over one slot:
+// its address is stable for the table's lifetime and all field access reads
+// or writes the arrays through accessors.
 #ifndef SRC_MEM_FRAME_TABLE_H_
 #define SRC_MEM_FRAME_TABLE_H_
 
@@ -27,21 +34,32 @@ enum class PageLocation : uint8_t {
   kGlobal,
 };
 
-struct Frame {
-  Uid uid;
-  PageLocation location = PageLocation::kLocal;
-  bool dirty = false;
-  bool shared = false;       // backed by a file that other nodes may cache
-  bool duplicated = false;   // another node is known to cache a copy
-  bool pinned = false;       // mid-fault or mid-transfer; not evictable
-  SimTime last_access = 0;
-  // N-chance recirculation count; unused by GMS proper.
-  uint8_t recirculation = 0;
+class FrameTable;
 
-  bool in_use() const { return uid.valid(); }
+// Handle to one frame slot. Stable identity (the handle vector never
+// reallocates); all state lives in the owning table's arrays.
+class Frame {
+ public:
+  const Uid& uid() const;
+  PageLocation location() const;
+  SimTime last_access() const;
+  bool in_use() const;
+
+  bool dirty() const;
+  void set_dirty(bool v);
+  bool shared() const;  // backed by a file that other nodes may cache
+  void set_shared(bool v);
+  bool duplicated() const;  // another node is known to cache a copy
+  void set_duplicated(bool v);
+  bool pinned() const;  // mid-fault or mid-transfer; not evictable
+  void set_pinned(bool v);
+  // N-chance recirculation count; unused by GMS proper.
+  uint8_t recirculation() const;
+  void set_recirculation(uint8_t v);
 
  private:
   friend class FrameTable;
+  FrameTable* table_ = nullptr;
   uint32_t index_ = UINT32_MAX;
   uint32_t prev_ = UINT32_MAX;
   uint32_t next_ = UINT32_MAX;
@@ -49,6 +67,15 @@ struct Frame {
 
 class FrameTable {
  public:
+  // Packed per-frame status bits (flags_data()[i]). The epoch age scan
+  // branches only on these plus the ages array.
+  static constexpr uint8_t kFlagInUse = 1u << 0;
+  static constexpr uint8_t kFlagGlobal = 1u << 1;
+  static constexpr uint8_t kFlagDirty = 1u << 2;
+  static constexpr uint8_t kFlagShared = 1u << 3;
+  static constexpr uint8_t kFlagDuplicated = 1u << 4;
+  static constexpr uint8_t kFlagPinned = 1u << 5;
+
   explicit FrameTable(uint32_t num_frames);
   FrameTable(const FrameTable&) = delete;
   FrameTable& operator=(const FrameTable&) = delete;
@@ -114,19 +141,34 @@ class FrameTable {
   Frame* OldestMatching(SimTime now, double global_age_boost,
                         const std::function<bool(const Frame&)>& pred);
 
-  // Invokes fn for every in-use frame. Used by the epoch age scan; cost is
-  // charged to the CPU by the caller (Table 5: ~0.3 us/page).
+  // Invokes fn for every in-use frame in slot order. Cost is charged to the
+  // CPU by the caller (Table 5: ~0.3 us/page). The epoch age scan does NOT
+  // use this — it streams the raw arrays below (src/core/epoch.cc,
+  // AccumulateAgeHistogram) with no per-frame indirect call.
   void ForEach(const std::function<void(const Frame&)>& fn) const;
 
+  // Raw column access for whole-table scans. Slot i is in use iff
+  // flags_data()[i] & kFlagInUse; its last access is ages_data()[i].
+  const SimTime* ages_data() const { return ages_.data(); }
+  const uint8_t* flags_data() const { return flags_.data(); }
+  const Uid* uids_data() const { return uids_.data(); }
+
  private:
+  friend class Frame;
+
   struct List {
     uint32_t head = UINT32_MAX;  // MRU
     uint32_t tail = UINT32_MAX;  // LRU
     uint32_t size = 0;
   };
 
+  bool flag(uint32_t i, uint8_t bit) const { return (flags_[i] & bit) != 0; }
+  void set_flag(uint32_t i, uint8_t bit, bool v) {
+    flags_[i] = v ? (flags_[i] | bit) : (flags_[i] & ~bit);
+  }
+
   List& list_for(const Frame& f) {
-    return lists_[f.location == PageLocation::kLocal ? 0 : 1];
+    return lists_[flag(f.index_, kFlagGlobal) ? 1 : 0];
   }
   void PushMru(Frame* f);
   void InsertByAge(Frame* f);
@@ -134,11 +176,57 @@ class FrameTable {
   Frame* OldestOf(int list_index);
   Frame* OldestOf(int list_index, bool require_clean);
 
-  std::vector<Frame> frames_;
+  std::vector<Frame> frames_;  // handles; addresses stable after ctor
+  // The SoA columns, parallel to frames_.
+  std::vector<Uid> uids_;
+  std::vector<SimTime> ages_;
+  std::vector<uint8_t> flags_;
+  std::vector<uint8_t> recirc_;
+
   std::vector<uint32_t> free_;
   std::unordered_map<Uid, uint32_t> index_;
   List lists_[2];  // [0] local, [1] global
 };
+
+inline const Uid& Frame::uid() const { return table_->uids_[index_]; }
+inline PageLocation Frame::location() const {
+  return table_->flag(index_, FrameTable::kFlagGlobal) ? PageLocation::kGlobal
+                                                       : PageLocation::kLocal;
+}
+inline SimTime Frame::last_access() const { return table_->ages_[index_]; }
+inline bool Frame::in_use() const {
+  return table_->flag(index_, FrameTable::kFlagInUse);
+}
+inline bool Frame::dirty() const {
+  return table_->flag(index_, FrameTable::kFlagDirty);
+}
+inline void Frame::set_dirty(bool v) {
+  table_->set_flag(index_, FrameTable::kFlagDirty, v);
+}
+inline bool Frame::shared() const {
+  return table_->flag(index_, FrameTable::kFlagShared);
+}
+inline void Frame::set_shared(bool v) {
+  table_->set_flag(index_, FrameTable::kFlagShared, v);
+}
+inline bool Frame::duplicated() const {
+  return table_->flag(index_, FrameTable::kFlagDuplicated);
+}
+inline void Frame::set_duplicated(bool v) {
+  table_->set_flag(index_, FrameTable::kFlagDuplicated, v);
+}
+inline bool Frame::pinned() const {
+  return table_->flag(index_, FrameTable::kFlagPinned);
+}
+inline void Frame::set_pinned(bool v) {
+  table_->set_flag(index_, FrameTable::kFlagPinned, v);
+}
+inline uint8_t Frame::recirculation() const {
+  return table_->recirc_[index_];
+}
+inline void Frame::set_recirculation(uint8_t v) {
+  table_->recirc_[index_] = v;
+}
 
 }  // namespace gms
 

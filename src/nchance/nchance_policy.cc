@@ -8,22 +8,22 @@ void NchancePolicy::EvictClean(Frame* frame) {
   assert(frame != nullptr && frame->in_use() && !frame->dirty);
 
   // Non-singlets are simply discarded.
-  if (frame->duplicated) {
+  if (frame->duplicated()) {
     stats().discards_duplicate++;
     DiscardFrame(frame);
     return;
   }
 
   uint8_t count;
-  if (frame->location == PageLocation::kGlobal) {
+  if (frame->location() == PageLocation::kGlobal) {
     // A recirculating page being evicted again: one hop consumed.
-    if (frame->recirculation <= 1) {
+    if (frame->recirculation() <= 1) {
       stats().discards_old++;
       nstats_.dropped_exhausted++;
       DiscardFrame(frame);
       return;
     }
-    count = static_cast<uint8_t>(frame->recirculation - 1);
+    count = static_cast<uint8_t>(frame->recirculation() - 1);
   } else {
     count = config_.recirculation;
   }
@@ -31,7 +31,7 @@ void NchancePolicy::EvictClean(Frame* frame) {
   // arriving message's trace instead — see HandleForward).
   const SpanRef span =
       TraceBegin(tracer_, sim_->now(), self_, SpanOp::kPutPage);
-  ForwardPage(frame->uid, frame->shared, sim_->now() - frame->last_access,
+  ForwardPage(frame->uid(), frame->shared(), sim_->now() - frame->last_access(),
               count, frame, span);
 }
 
@@ -103,8 +103,8 @@ void NchancePolicy::HandleForward(const NchanceForward& msg) {
       if (frame == nullptr) {
         return false;
       }
-      frame->shared = msg.shared;
-      frame->recirculation = msg.recirculation;
+      frame->set_shared(msg.shared);
+      frame->set_recirculation(msg.recirculation);
       return true;
     };
 
@@ -118,15 +118,15 @@ void NchancePolicy::HandleForward(const NchanceForward& msg) {
     // documented flaw that displaces active shared pages on non-idle nodes.
     Frame* victim = frames_->OldestMatching(
         sim_->now(), config_.global_age_boost,
-        [](const Frame& f) { return f.duplicated && !f.dirty; });
+        [](const Frame& f) { return f.duplicated() && !f.dirty(); });
     if (victim != nullptr) {
       nstats_.victims_duplicate++;
     } else {
       // (3) the oldest recirculating page.
       victim = frames_->OldestMatching(
           sim_->now(), config_.global_age_boost, [](const Frame& f) {
-            return f.recirculation > 0 && !f.dirty &&
-                   f.location == PageLocation::kGlobal;
+            return f.recirculation() > 0 && !f.dirty() &&
+                   f.location() == PageLocation::kGlobal;
           });
       if (victim != nullptr) {
         nstats_.victims_recirculating++;
@@ -137,7 +137,7 @@ void NchancePolicy::HandleForward(const NchanceForward& msg) {
       Frame* oldest = frames_->PickVictim(sim_->now(), config_.global_age_boost,
                                           /*require_clean=*/true);
       if (oldest != nullptr &&
-          sim_->now() - oldest->last_access >= config_.very_old_age) {
+          sim_->now() - oldest->last_access() >= config_.very_old_age) {
         victim = oldest;
         nstats_.victims_old_singlet++;
       }

@@ -30,18 +30,18 @@ void NodeOs::Access(const Uid& uid, bool write, EventFn done) {
 void NodeOs::ResumeAccess(const Uid& uid, bool write, SimTime started,
                           EventFn done) {
   Frame* frame = frames_->Lookup(uid);
-  if (frame != nullptr && !frame->pinned) {
+  if (frame != nullptr && !frame->pinned()) {
     // Hit. A page of ours sitting in the global list (a self-directed
     // putpage, or a shared page housed for the cluster) is promoted back to
     // local — a free "hit in the global cache" with no transfer.
-    if (frame->location == PageLocation::kGlobal) {
+    if (frame->location() == PageLocation::kGlobal) {
       frames_->SetLocation(frame, PageLocation::kLocal, sim_->now());
       service_->OnPageLoaded(frame);
     } else {
       frames_->Touch(frame, sim_->now());
     }
     if (write) {
-      frame->dirty = true;
+      frame->set_dirty(true);
     }
     stats_.local_hits++;
     // The completion time is known now, so record the latency at schedule
@@ -55,7 +55,7 @@ void NodeOs::ResumeAccess(const Uid& uid, bool write, SimTime started,
     sim_->After(params_.hit_cost, std::move(done));
     return;
   }
-  if ((frame != nullptr && frame->pinned) || faulting_.contains(uid)) {
+  if ((frame != nullptr && frame->pinned()) || faulting_.contains(uid)) {
     // The page is mid-fill (a fault in flight) or mid-write-back; retry the
     // access when the pin drops.
     waiters_[uid].push_back([this, uid, write, started,
@@ -89,8 +89,8 @@ void NodeOs::Fault(const Uid& uid, bool write, EventFn done) {
                    done = std::move(done)]() mutable {
       Frame* frame = frames_->Allocate(uid, PageLocation::kLocal, sim_->now());
       assert(frame != nullptr);
-      frame->pinned = true;
-      frame->shared = IsShared(uid);
+      frame->set_pinned(true);
+      frame->set_shared(IsShared(uid));
       // Zero-length when a free frame was on hand; otherwise the synchronous
       // reclaim (victim scan, possibly a blocking dirty write-back).
       SpanStep(tracer_, sim_->now(), self_, span, SpanComp::kReclaim);
@@ -100,13 +100,13 @@ void NodeOs::Fault(const Uid& uid, bool write, EventFn done) {
           if (result.dirty) {
             // Dirty-global extension: the fetched copy has no disk backing
             // yet, so this node inherits the write-back obligation.
-            frame->dirty = true;
+            frame->set_dirty(true);
           }
           FinishFault(frame, write, result.duplicate, started, result.span,
                       std::move(done));
           return;
         }
-        ReadFromBackingStore(frame->uid, [this, frame, write, started,
+        ReadFromBackingStore(frame->uid(), [this, frame, write, started,
                                           span = result.span,
                                           done = std::move(done)]() mutable {
           service_->OnPageLoaded(frame);
@@ -119,20 +119,20 @@ void NodeOs::Fault(const Uid& uid, bool write, EventFn done) {
 
 void NodeOs::FinishFault(Frame* frame, bool write, bool duplicate,
                          SimTime started, SpanRef span, EventFn done) {
-  frame->pinned = false;
-  frame->duplicated = duplicate;
+  frame->set_pinned(false);
+  frame->set_duplicated(duplicate);
   if (write) {
-    frame->dirty = true;
+    frame->set_dirty(true);
   }
   frames_->Touch(frame, sim_->now());
   const SimTime latency = sim_->now() - started;
   stats_.fault_us.Add(ToMicroseconds(latency));
   stats_.fault_ns.Record(latency);
   TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kFaultDone,
-             frame->uid, static_cast<uint64_t>(latency));
+             frame->uid(), static_cast<uint64_t>(latency));
   SpanEnd(tracer_, sim_->now(), self_, span, SpanStatus::kDone,
           static_cast<uint64_t>(latency));
-  const Uid uid = frame->uid;
+  const Uid uid = frame->uid();
   faulting_.erase(uid);
   done();
   WakeWaiters(uid);
@@ -191,15 +191,15 @@ void NodeOs::WithFreeFrame(EventFn then) {
     WithFreeFrame(std::move(then));
     return;
   }
-  victim->pinned = true;
+  victim->set_pinned(true);
   stats_.disk_writes++;
-  if (!IsShared(victim->uid)) {
-    swap_resident_.insert(victim->uid);
+  if (!IsShared(victim->uid())) {
+    swap_resident_.insert(victim->uid());
   }
-  disk_->Write(DiskBlockOf(victim->uid),
+  disk_->Write(DiskBlockOf(victim->uid()),
                [this, victim, then = std::move(then)]() mutable {
-    victim->dirty = false;
-    victim->pinned = false;
+    victim->set_dirty(false);
+    victim->set_pinned(false);
     ReleaseCleaned(victim);
     WithFreeFrame(std::move(then));
   });
@@ -225,7 +225,7 @@ void NodeOs::PageoutRound(uint32_t remaining) {
     pageout_running_ = false;
     return;
   }
-  if (!victim->dirty) {
+  if (!victim->dirty()) {
     service_->EvictClean(victim);
     sim_->After(0, [this, remaining] { PageoutRound(remaining - 1); });
     return;
@@ -234,14 +234,14 @@ void NodeOs::PageoutRound(uint32_t remaining) {
     sim_->After(0, [this, remaining] { PageoutRound(remaining - 1); });
     return;
   }
-  victim->pinned = true;
+  victim->set_pinned(true);
   stats_.disk_writes++;
-  if (!IsShared(victim->uid)) {
-    swap_resident_.insert(victim->uid);
+  if (!IsShared(victim->uid())) {
+    swap_resident_.insert(victim->uid());
   }
-  disk_->Write(DiskBlockOf(victim->uid), [this, victim, remaining] {
-    victim->dirty = false;
-    victim->pinned = false;
+  disk_->Write(DiskBlockOf(victim->uid()), [this, victim, remaining] {
+    victim->set_dirty(false);
+    victim->set_pinned(false);
     ReleaseCleaned(victim);
     PageoutRound(remaining - 1);
   });
@@ -250,9 +250,9 @@ void NodeOs::PageoutRound(uint32_t remaining) {
 void NodeOs::ReleaseCleaned(Frame* frame) {
   // The page was referenced while pinned for write-back: it is hot, so keep
   // it (reactivation) and let the waiters retry instead of evicting it.
-  if (waiters_.contains(frame->uid)) {
+  if (waiters_.contains(frame->uid())) {
     frames_->Touch(frame, sim_->now());
-    WakeWaiters(frame->uid);
+    WakeWaiters(frame->uid());
     return;
   }
   if (params_.promote_on_write) {
@@ -341,7 +341,7 @@ void NodeOs::HandleNfsRead(const NfsReadReq& msg) {
     NfsReadReply reply{msg.uid, msg.op_id, true};
     reply.span = msg.span;
     Frame* frame = frames_->Lookup(msg.uid);
-    if ((frame != nullptr && frame->pinned) || faulting_.contains(msg.uid)) {
+    if ((frame != nullptr && frame->pinned()) || faulting_.contains(msg.uid)) {
       // Fill already in flight (concurrent client reads); reply once loaded.
       waiters_[msg.uid].push_back([this, msg, reply] {
         net_->Send(Datagram{self_, msg.client, costs_.page_message_bytes(),
@@ -352,7 +352,7 @@ void NodeOs::HandleNfsRead(const NfsReadReq& msg) {
     if (frame != nullptr) {
       // Server buffer-cache hit. Serving marks our copy duplicated (the
       // client will cache one too).
-      frame->duplicated = true;
+      frame->set_duplicated(true);
       net_->Send(Datagram{self_, msg.client, costs_.page_message_bytes(),
                           kMsgNfsReadReply, reply});
       return;
@@ -363,16 +363,16 @@ void NodeOs::HandleNfsRead(const NfsReadReq& msg) {
       Frame* frame = frames_->Allocate(msg.uid, PageLocation::kLocal,
                                        sim_->now());
       assert(frame != nullptr);
-      frame->pinned = true;
-      frame->shared = true;
+      frame->set_pinned(true);
+      frame->set_shared(true);
       stats_.nfs_server_disk_reads++;
       disk_->Read(DiskBlockOf(msg.uid), [this, frame, msg, reply] {
-        frame->pinned = false;
-        frame->duplicated = true;
+        frame->set_pinned(false);
+        frame->set_duplicated(true);
         frames_->Touch(frame, sim_->now());
         service_->OnPageLoaded(frame);
         faulting_.erase(msg.uid);
-        WakeWaiters(frame->uid);
+        WakeWaiters(frame->uid());
         MaybeWakePageout();
         net_->Send(Datagram{self_, msg.client, costs_.page_message_bytes(),
                             kMsgNfsReadReply, reply});

@@ -66,12 +66,36 @@ void Tracer::FlushRing(Ring& ring) {
   if (ring.used == 0) {
     return;
   }
-  digest_.Update(ring.buf.data(), ring.used);
-  recorded_ += ring.used;
+  // The digest is the ring's own: no shared state on the flush path except
+  // the file, which takes a lock (full rings flush from worker threads when
+  // the simulator runs sharded; record order *within one node* is still
+  // deterministic, which is what the per-node digests certify).
+  ring.digest.Update(ring.buf.data(), ring.used);
   if (file_ != nullptr) {
+    std::lock_guard<std::mutex> lk(file_mu_);
     std::fwrite(ring.buf.data(), sizeof(TraceRecord), ring.used, file_);
   }
   ring.used = 0;
+}
+
+const TraceDigest& Tracer::digest() const {
+  // Fold the per-ring digests in node order: FNV-1a over each ring's
+  // (fnv1a, records) pair as 16 little-endian bytes, empty rings included.
+  // tools/trace_stats.py mirrors this fold from the file contents.
+  TraceDigest combined;
+  uint64_t h = combined.fnv1a;
+  for (const Ring& ring : rings_) {
+    const uint64_t pair[2] = {ring.digest.fnv1a, ring.digest.records};
+    const unsigned char* bytes = reinterpret_cast<const unsigned char*>(pair);
+    for (size_t i = 0; i < sizeof(pair); i++) {
+      h ^= bytes[i];
+      h *= 1099511628211ULL;
+    }
+    combined.records += ring.digest.records;
+  }
+  combined.fnv1a = h;
+  combined_ = combined;
+  return combined_;
 }
 
 void Tracer::Flush() {

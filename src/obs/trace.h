@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -155,9 +156,13 @@ struct TraceFileHeader {
 };
 static_assert(sizeof(TraceFileHeader) == 24, "trace header is the wire format");
 
-// Running digest of the flushed record stream: FNV-1a over raw record bytes
-// in flush order, plus the record count. Two runs with equal digests
-// produced byte-identical traces.
+// Running digest of a record stream: FNV-1a over raw record bytes in stream
+// order, plus the record count. The tracer keeps one digest per node ring —
+// each a pure function of that node's own record sequence — and combines
+// them in node order on read, so the combined digest is independent of both
+// the ring capacity (which only changes how flushes interleave) and the
+// parallel window schedule (nodes fill their rings concurrently). Two runs
+// with equal digests produced byte-identical per-node traces.
 struct TraceDigest {
   uint64_t fnv1a = 14695981039346656037ULL;  // FNV-1a 64 offset basis
   uint64_t records = 0;
@@ -209,17 +214,28 @@ class Tracer {
     Record(time, node, kind, uid.hi, uid.lo, value);
   }
 
-  // Flushes every ring (node order) and syncs the file. The logical record
-  // stream — and so the digest — is deterministic for a deterministic
-  // simulation as long as Flush points are deterministic too.
+  // Flushes every ring (node order) and syncs the file. The per-node record
+  // streams — and so the digest — are deterministic for a deterministic
+  // simulation regardless of where the Flush points fall.
   void Flush();
 
   // Flush + close the file. Idempotent; the destructor calls it. Recording
   // after Finish digests records but writes nothing.
   void Finish();
 
-  const TraceDigest& digest() const { return digest_; }
-  uint64_t records_recorded() const { return recorded_; }
+  // Combined digest: FNV-1a folded over every ring's (fnv1a, records) pair
+  // in node order — empty rings included — with the records field the total
+  // count. Valid after Flush/Finish (unflushed tail records are not yet in
+  // their ring digests). tools/trace_stats.py recomputes the same fold from
+  // the file. The reference stays valid until the next call.
+  const TraceDigest& digest() const;
+  uint64_t records_recorded() const {
+    uint64_t total = 0;
+    for (const Ring& ring : rings_) {
+      total += ring.digest.records;
+    }
+    return total;
+  }
   uint32_t num_nodes() const { return static_cast<uint32_t>(rings_.size()); }
 
   // Deterministic id allocation for causal tracing. Counters are per node
@@ -245,9 +261,12 @@ class Tracer {
   }
 
  private:
-  struct Ring {
+  // Cache-line aligned: on a sharded simulator, nodes on different worker
+  // threads record into their rings concurrently.
+  struct alignas(64) Ring {
     std::vector<TraceRecord> buf;
     size_t used = 0;
+    TraceDigest digest;  // this node's flushed stream
   };
 
   void FlushRing(Ring& ring);
@@ -257,8 +276,8 @@ class Tracer {
   std::vector<uint32_t> span_seq_;   // per-node span id counters
   bool enabled_ = false;
   std::FILE* file_ = nullptr;
-  TraceDigest digest_;
-  uint64_t recorded_ = 0;
+  std::mutex file_mu_;  // a full ring can flush from any worker thread
+  mutable TraceDigest combined_;  // merge-on-read cache backing digest()
 };
 
 // Call-site helper: compiles to nothing when tracing is compiled out, and to

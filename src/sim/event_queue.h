@@ -7,14 +7,17 @@
 // width tracking the average event spacing and N tracking the population,
 // push and pop are O(1) amortized. Buckets are small (a couple of events) by
 // construction, so each is *unsorted*: push appends, pop scans for the
-// (time, seq) minimum and swap-removes it. A heap per bucket was measured
+// (time, stamp) minimum and swap-removes it. A heap per bucket was measured
 // ~5x worse: every sift move-relocates a 100+-byte closure through an
 // indirect call. With append + swap-remove, a closure is relocated exactly
 // twice (in, out) per event plus at most one hole-fill.
 //
-// The (time, seq) order extracted is identical to the old binary heap's, so
-// a run's event order (and therefore every simulation result) is
-// bit-identical.
+// Ordering: events are totally ordered by (time, stamp). The stamp is an
+// *intrinsic* key assigned by the simulator — the creating context's id in
+// the high bits, a monotone counter below — so the extracted order is a pure
+// function of what each context did, never of how contexts interleaved on
+// host threads. That is what lets the sharded parallel engine
+// (src/sim/simulator.h) reproduce the serial event order bit for bit.
 //
 // Pop scans buckets from the current position for an event inside the
 // current "year" window; when a full rotation finds nothing (the queue is
@@ -37,10 +40,25 @@
 
 namespace gms {
 
+// Total order over pending events: (time, stamp) lexicographic. Stamps are
+// unique per simulation, so the order is strict.
+struct EventKey {
+  SimTime time;
+  uint64_t stamp;
+
+  friend bool operator<(const EventKey& a, const EventKey& b) {
+    if (a.time != b.time) {
+      return a.time < b.time;
+    }
+    return a.stamp < b.stamp;
+  }
+};
+
 struct SimEvent {
   SimTime time;
-  uint64_t seq;
+  uint64_t stamp;
   uint64_t timer;  // 0 when not cancellable
+  uint32_t ctx;    // owning context: restored as "current" at dispatch
   InlineFn fn;
 };
 
@@ -53,7 +71,8 @@ class CalendarQueue {
 
   // Constructs the event in its bucket; the closure is relocated exactly
   // once on the way in.
-  void Push(SimTime t, uint64_t seq, uint64_t timer, InlineFn&& fn) {
+  void Push(SimTime t, uint64_t stamp, uint64_t timer, uint32_t ctx,
+            InlineFn&& fn) {
     if (size_ + 1 > buckets_.size() * 2) {
       Resize(buckets_.size() * 2);
     }
@@ -68,7 +87,7 @@ class CalendarQueue {
       located_ = false;
     } else if (located_) {
       const SimEvent& min = buckets_[cur_bucket_][min_idx_];
-      if (t < min.time || (t == min.time && seq < min.seq)) {
+      if (t < min.time || (t == min.time && stamp < min.stamp)) {
         // A new event earlier than the located minimum but not behind the
         // window start lies inside the current window: the same bucket.
         if (target == cur_bucket_) {
@@ -78,7 +97,7 @@ class CalendarQueue {
         }
       }
     }
-    buckets_[target].emplace_back(t, seq, timer, std::move(fn));
+    buckets_[target].emplace_back(t, stamp, timer, ctx, std::move(fn));
     size_++;
     ops_since_resize_++;
     if (size_ > peak_since_resize_) {
@@ -95,16 +114,32 @@ class CalendarQueue {
     return buckets_[cur_bucket_][min_idx_].time;
   }
 
-  // Removes the earliest event by (time, seq), moving its closure into `fn`.
-  // Returns its (time, timer). Requires !empty().
-  std::pair<SimTime, uint64_t> PopMin(InlineFn& fn) {
+  // Full (time, stamp) key of the earliest event. Requires !empty(). Used by
+  // the sharded engine to bound a window by an exact event key.
+  EventKey MinKey() {
+    if (!located_) {
+      Locate();
+    }
+    const SimEvent& e = buckets_[cur_bucket_][min_idx_];
+    return EventKey{e.time, e.stamp};
+  }
+
+  // Header of a popped event (the closure travels separately).
+  struct Popped {
+    SimTime time;
+    uint64_t timer;
+    uint32_t ctx;
+  };
+
+  // Removes the earliest event by (time, stamp), moving its closure into
+  // `fn`. Requires !empty().
+  Popped PopMin(InlineFn& fn) {
     if (!located_) {
       Locate();
     }
     Bucket& b = buckets_[cur_bucket_];
     SimEvent& e = b[min_idx_];
-    const SimTime time = e.time;
-    const uint64_t timer = e.timer;
+    const Popped out{e.time, e.timer, e.ctx};
     fn = std::move(e.fn);
     if (min_idx_ != b.size() - 1) {
       e = std::move(b.back());
@@ -112,7 +147,7 @@ class CalendarQueue {
     b.pop_back();
     size_--;
     ops_since_resize_++;
-    UpdateGapEwma(time);
+    UpdateGapEwma(out.time);
     // The scan invariant survives a pop, so if this bucket still has an
     // event inside the window it is the new global minimum — no rescan.
     located_ = false;
@@ -124,7 +159,7 @@ class CalendarQueue {
       }
     }
     MaybeShrink();
-    return {time, timer};
+    return out;
   }
 
  private:
@@ -134,10 +169,10 @@ class CalendarQueue {
     if (a.time != b.time) {
       return a.time < b.time;
     }
-    return a.seq < b.seq;
+    return a.stamp < b.stamp;
   }
 
-  // Index of the (time, seq) minimum of a non-empty bucket.
+  // Index of the (time, stamp) minimum of a non-empty bucket.
   static size_t MinIndex(const Bucket& b) {
     size_t m = 0;
     for (size_t i = 1; i < b.size(); ++i) {

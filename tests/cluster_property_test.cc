@@ -72,8 +72,8 @@ TEST_P(ClusterPropertyTest, GlobalPagesHaveSingleCopy) {
   std::map<Uid, int> global_copies;
   for (uint32_t n = 0; n < cluster->num_nodes(); n++) {
     cluster->frames(NodeId{n}).ForEach([&](const Frame& f) {
-      if (f.location == PageLocation::kGlobal) {
-        global_copies[f.uid]++;
+      if (f.location() == PageLocation::kGlobal) {
+        global_copies[f.uid()]++;
       }
     });
   }
@@ -100,11 +100,11 @@ TEST_P(ClusterPropertyTest, DirectoryPointsAtRealHolders) {
     // whose GCD section is node n, the entry must list that holder.
     for (uint32_t holder = 0; holder < cluster->num_nodes(); holder++) {
       cluster->frames(NodeId{holder}).ForEach([&](const Frame& f) {
-        if (engine->pod().GcdNodeFor(f.uid) != NodeId{n}) {
+        if (engine->pod().GcdNodeFor(f.uid()) != NodeId{n}) {
           return;
         }
         entries++;
-        const GcdTable::Entry* e = gcd->Lookup(f.uid);
+        const GcdTable::Entry* e = gcd->Lookup(f.uid());
         bool listed = false;
         if (e != nullptr) {
           for (const auto& h : e->holders) {

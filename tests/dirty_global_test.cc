@@ -79,8 +79,8 @@ TEST_F(DirtyGlobalTest, ReplicatesOnTwoNodes) {
   for (uint32_t n = 1; n <= 2; n++) {
     Frame* f = cluster_->frames(NodeId{n}).Lookup(uid);
     if (f != nullptr) {
-      EXPECT_TRUE(f->dirty);
-      EXPECT_EQ(f->location, PageLocation::kGlobal);
+      EXPECT_TRUE(f->dirty());
+      EXPECT_EQ(f->location(), PageLocation::kGlobal);
       copies++;
     }
   }
@@ -100,7 +100,7 @@ TEST_F(DirtyGlobalTest, FetchedDirtyPageStaysDirty) {
   Access(0, uid, /*write=*/false);
   Frame* f = cluster_->frames(NodeId{0}).Lookup(uid);
   ASSERT_NE(f, nullptr);
-  EXPECT_TRUE(f->dirty);
+  EXPECT_TRUE(f->dirty());
   // And it never touched the disk.
   EXPECT_EQ(cluster_->node_os(NodeId{0}).stats().disk_reads, 0u);
 }

@@ -81,7 +81,7 @@ TEST_F(GmsAgentTest, EvictionForwardsToIdleNodeAndGetPageRetrieves) {
   EXPECT_EQ(cluster_->frames(NodeId{0}).Lookup(uid), nullptr);
   Frame* remote = cluster_->frames(NodeId{1}).Lookup(uid);
   ASSERT_NE(remote, nullptr);
-  EXPECT_EQ(remote->location, PageLocation::kGlobal);
+  EXPECT_EQ(remote->location(), PageLocation::kGlobal);
 
   // Case 1/2: a fault on the page now hits the global cache.
   const auto hits_before = cluster_->service(NodeId{0}).stats().getpage_hits;
@@ -89,7 +89,7 @@ TEST_F(GmsAgentTest, EvictionForwardsToIdleNodeAndGetPageRetrieves) {
   EXPECT_EQ(cluster_->service(NodeId{0}).stats().getpage_hits, hits_before + 1);
   // Single-copy invariant: the global copy moved, the housing frame freed.
   EXPECT_EQ(cluster_->frames(NodeId{1}).Lookup(uid), nullptr);
-  EXPECT_EQ(cluster_->frames(NodeId{0}).Lookup(uid)->location,
+  EXPECT_EQ(cluster_->frames(NodeId{0}).Lookup(uid)->location(),
             PageLocation::kLocal);
 }
 
@@ -104,10 +104,10 @@ TEST_F(GmsAgentTest, SharedPageServedFromPeerKeepsBothCopies) {
   Frame* on1 = cluster_->frames(NodeId{1}).Lookup(uid);
   ASSERT_NE(on0, nullptr);
   ASSERT_NE(on1, nullptr);
-  EXPECT_TRUE(on0->duplicated);
-  EXPECT_TRUE(on1->duplicated);
-  EXPECT_EQ(on0->location, PageLocation::kLocal);
-  EXPECT_EQ(on1->location, PageLocation::kLocal);
+  EXPECT_TRUE(on0->duplicated());
+  EXPECT_TRUE(on1->duplicated());
+  EXPECT_EQ(on0->location(), PageLocation::kLocal);
+  EXPECT_EQ(on1->location(), PageLocation::kLocal);
 }
 
 TEST_F(GmsAgentTest, DuplicateEvictionIsSilentDrop) {
@@ -131,14 +131,14 @@ TEST_F(GmsAgentTest, PutPagePreservesPageAge) {
   const Uid uid = MakeAnonUid(NodeId{0}, 1, 7);
   Access(0, uid);
   Frame* frame = cluster_->frames(NodeId{0}).Lookup(uid);
-  const SimTime accessed_at = frame->last_access;
+  const SimTime accessed_at = frame->last_access();
   cluster_->sim().RunFor(Seconds(2));  // let it age
   cluster_->service(NodeId{0}).EvictClean(frame);
   cluster_->sim().RunFor(Milliseconds(10));
   Frame* remote = cluster_->frames(NodeId{1}).Lookup(uid);
   ASSERT_NE(remote, nullptr);
   // Age survived the transfer (within the transfer latency).
-  EXPECT_NEAR(static_cast<double>(remote->last_access),
+  EXPECT_NEAR(static_cast<double>(remote->last_access()),
               static_cast<double>(accessed_at),
               static_cast<double>(Milliseconds(10)));
 }

@@ -28,7 +28,7 @@ namespace {
 //   build/tests/golden_trace_test --gtest_filter='*PrintsDigest*'
 // and update this constant only for deliberate trace-format or simulation
 // changes (note them in DESIGN.md).
-constexpr char kGoldenChaosDigest[] = "fnv1a:805c8b4d85733132:530095";
+constexpr char kGoldenChaosDigest[] = "fnv1a:becf928df1631868:529294";
 
 std::string RunTracedChaosPoint(const ChaosCase& chaos,
                                 uint32_t ring_capacity = 16384) {
@@ -68,32 +68,25 @@ TEST(GoldenTraceTest, PrintsDigestForRegeneration) {
             << RunTracedChaosPoint(ChaosCase{5, 0.01}) << "\n";
 }
 
-// The digest is defined over the *flush-ordered* byte stream, so with
-// multiple per-node rings it is a function of (scenario, ring capacity):
-// mid-run flush interleaving differs between capacities even though every
-// ring's own record stream is identical (obs_test pins the single-node
-// case, where the digest IS capacity-independent). What must hold at any
-// capacity: the digest is reproducible, and the set of recorded events —
-// hence the count — does not change. The golden constant above pins the
-// default capacity along with everything else.
+// The digest is a node-order fold of per-node stream digests, so ring
+// capacity — which only changes how per-node flushes interleave in the file
+// — must not leak into it at all. A tiny ring flushes thousands of times
+// mid-run; a huge one only at Finish(); the digests must be equal, not
+// merely reproducible.
 TEST(GoldenTraceTest, DigestReproducibleAtAnyRingCapacity) {
   if (!kTraceCompiledIn) {
     GTEST_SKIP() << "tracer compiled out (GMS_TRACE=OFF)";
   }
   const ChaosCase chaos{7, 0.02};
-  // A tiny ring flushes thousands of times mid-run; a huge one only at
-  // Finish(). Both must be bit-reproducible run over run.
   const std::string small = RunTracedChaosPoint(chaos, /*ring_capacity=*/64);
   const std::string small2 = RunTracedChaosPoint(chaos, /*ring_capacity=*/64);
   const std::string large =
       RunTracedChaosPoint(chaos, /*ring_capacity=*/1 << 20);
   EXPECT_EQ(small, small2);
   EXPECT_FALSE(small.empty());
-  // Same scenario, same events: the record count (the digest suffix) is
-  // capacity-independent even though the flush-order hash is not.
-  const std::string count_small = small.substr(small.rfind(':'));
-  const std::string count_large = large.substr(large.rfind(':'));
-  EXPECT_EQ(count_small, count_large);
+  EXPECT_EQ(small, large)
+      << "ring capacity leaked into the digest: the per-node fold should "
+         "make flush interleaving invisible";
 }
 
 // Traces from a sweep must be byte-identical whether the points run on one

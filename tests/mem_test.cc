@@ -25,8 +25,8 @@ TEST(FrameTableTest, AllocateAndLookup) {
   FrameTable t(4);
   Frame* f = t.Allocate(U(1), PageLocation::kLocal, 100);
   ASSERT_NE(f, nullptr);
-  EXPECT_EQ(f->uid, U(1));
-  EXPECT_EQ(f->last_access, 100);
+  EXPECT_EQ(f->uid(), U(1));
+  EXPECT_EQ(f->last_access(), 100);
   EXPECT_EQ(t.Lookup(U(1)), f);
   EXPECT_EQ(t.free_count(), 3u);
   EXPECT_EQ(t.local_count(), 1u);
@@ -53,15 +53,15 @@ TEST(FrameTableTest, FreeReturnsFrame) {
 TEST(FrameTableTest, FreeClearsFlags) {
   FrameTable t(2);
   Frame* f = t.Allocate(U(1), PageLocation::kLocal, 1);
-  f->dirty = true;
-  f->duplicated = true;
-  f->pinned = true;
+  f->set_dirty(true);
+  f->set_duplicated(true);
+  f->set_pinned(true);
   t.Free(f);
   Frame* g = t.Allocate(U(2), PageLocation::kLocal, 2);
   // Either frame may be handed out; both must be clean.
-  EXPECT_FALSE(g->dirty);
-  EXPECT_FALSE(g->duplicated);
-  EXPECT_FALSE(g->pinned);
+  EXPECT_FALSE(g->dirty());
+  EXPECT_FALSE(g->duplicated());
+  EXPECT_FALSE(g->pinned());
 }
 
 TEST(FrameTableTest, OldestTracksLruTail) {
@@ -69,19 +69,19 @@ TEST(FrameTableTest, OldestTracksLruTail) {
   t.Allocate(U(1), PageLocation::kLocal, 10);
   t.Allocate(U(2), PageLocation::kLocal, 20);
   t.Allocate(U(3), PageLocation::kLocal, 30);
-  EXPECT_EQ(t.OldestLocal()->uid, U(1));
+  EXPECT_EQ(t.OldestLocal()->uid(), U(1));
   // Touching 1 moves it to MRU; oldest becomes 2.
   t.Touch(t.Lookup(U(1)), 40);
-  EXPECT_EQ(t.OldestLocal()->uid, U(2));
+  EXPECT_EQ(t.OldestLocal()->uid(), U(2));
 }
 
 TEST(FrameTableTest, OldestSkipsPinned) {
   FrameTable t(4);
   t.Allocate(U(1), PageLocation::kLocal, 10);
   t.Allocate(U(2), PageLocation::kLocal, 20);
-  t.Lookup(U(1))->pinned = true;
-  EXPECT_EQ(t.OldestLocal()->uid, U(2));
-  t.Lookup(U(2))->pinned = true;
+  t.Lookup(U(1))->set_pinned(true);
+  EXPECT_EQ(t.OldestLocal()->uid(), U(2));
+  t.Lookup(U(2))->set_pinned(true);
   EXPECT_EQ(t.OldestLocal(), nullptr);
 }
 
@@ -91,8 +91,8 @@ TEST(FrameTableTest, LocationListsAreSeparate) {
   t.Allocate(U(2), PageLocation::kGlobal, 5);
   EXPECT_EQ(t.local_count(), 1u);
   EXPECT_EQ(t.global_count(), 1u);
-  EXPECT_EQ(t.OldestLocal()->uid, U(1));
-  EXPECT_EQ(t.OldestGlobal()->uid, U(2));
+  EXPECT_EQ(t.OldestLocal()->uid(), U(1));
+  EXPECT_EQ(t.OldestGlobal()->uid(), U(2));
 }
 
 TEST(FrameTableTest, SetLocationMovesBetweenLists) {
@@ -101,7 +101,7 @@ TEST(FrameTableTest, SetLocationMovesBetweenLists) {
   t.SetLocation(f, PageLocation::kLocal, 50);
   EXPECT_EQ(t.global_count(), 0u);
   EXPECT_EQ(t.local_count(), 1u);
-  EXPECT_EQ(f->last_access, 50);
+  EXPECT_EQ(f->last_access(), 50);
 }
 
 TEST(FrameTableTest, MoveToListPreservesAge) {
@@ -109,10 +109,10 @@ TEST(FrameTableTest, MoveToListPreservesAge) {
   Frame* f = t.Allocate(U(1), PageLocation::kLocal, 10);
   t.Allocate(U(2), PageLocation::kGlobal, 5);
   t.MoveToList(f, PageLocation::kGlobal);
-  EXPECT_EQ(f->last_access, 10);
+  EXPECT_EQ(f->last_access(), 10);
   EXPECT_EQ(t.global_count(), 2u);
   // Ordering by age within the global list: U(2) (age 5) is older.
-  EXPECT_EQ(t.OldestGlobal()->uid, U(2));
+  EXPECT_EQ(t.OldestGlobal()->uid(), U(2));
 }
 
 TEST(FrameTableTest, PickVictimPrefersOldest) {
@@ -120,7 +120,7 @@ TEST(FrameTableTest, PickVictimPrefersOldest) {
   t.Allocate(U(1), PageLocation::kLocal, 10);
   t.Allocate(U(2), PageLocation::kLocal, 100);
   t.Touch(t.Lookup(U(1)), 150);  // U(2) is now the LRU page
-  EXPECT_EQ(t.PickVictim(200, 1.0)->uid, U(2));
+  EXPECT_EQ(t.PickVictim(200, 1.0)->uid(), U(2));
 }
 
 TEST(FrameTableTest, PickVictimBoostsGlobalAges) {
@@ -129,17 +129,17 @@ TEST(FrameTableTest, PickVictimBoostsGlobalAges) {
   // age is 120 and it is chosen.
   t.Allocate(U(1), PageLocation::kLocal, 100);   // age 100 at t=200
   t.Allocate(U(2), PageLocation::kGlobal, 120);  // age 80 at t=200
-  EXPECT_EQ(t.PickVictim(200, 1.5)->uid, U(2));
-  EXPECT_EQ(t.PickVictim(200, 1.0)->uid, U(1));
+  EXPECT_EQ(t.PickVictim(200, 1.5)->uid(), U(2));
+  EXPECT_EQ(t.PickVictim(200, 1.0)->uid(), U(1));
 }
 
 TEST(FrameTableTest, PickVictimRequireCleanSkipsDirty) {
   FrameTable t(4);
   Frame* a = t.Allocate(U(1), PageLocation::kLocal, 10);
   t.Allocate(U(2), PageLocation::kLocal, 50);
-  a->dirty = true;
-  EXPECT_EQ(t.PickVictim(100, 1.0, /*require_clean=*/true)->uid, U(2));
-  EXPECT_EQ(t.PickVictim(100, 1.0, /*require_clean=*/false)->uid, U(1));
+  a->set_dirty(true);
+  EXPECT_EQ(t.PickVictim(100, 1.0, /*require_clean=*/true)->uid(), U(2));
+  EXPECT_EQ(t.PickVictim(100, 1.0, /*require_clean=*/false)->uid(), U(1));
 }
 
 TEST(FrameTableTest, AllocateWithAgeOrdersList) {
@@ -148,11 +148,11 @@ TEST(FrameTableTest, AllocateWithAgeOrdersList) {
   t.Allocate(U(2), PageLocation::kGlobal, 300);
   // Insert a page whose age falls between the two.
   t.AllocateWithAge(U(3), PageLocation::kGlobal, 200);
-  EXPECT_EQ(t.OldestGlobal()->uid, U(1));
+  EXPECT_EQ(t.OldestGlobal()->uid(), U(1));
   t.Free(t.Lookup(U(1)));
-  EXPECT_EQ(t.OldestGlobal()->uid, U(3));
+  EXPECT_EQ(t.OldestGlobal()->uid(), U(3));
   t.Free(t.Lookup(U(3)));
-  EXPECT_EQ(t.OldestGlobal()->uid, U(2));
+  EXPECT_EQ(t.OldestGlobal()->uid(), U(2));
 }
 
 TEST(FrameTableTest, AllocateWithAgeOldestAndYoungest) {
@@ -160,9 +160,9 @@ TEST(FrameTableTest, AllocateWithAgeOldestAndYoungest) {
   t.Allocate(U(1), PageLocation::kLocal, 100);
   t.AllocateWithAge(U(2), PageLocation::kLocal, 50);   // older than all
   t.AllocateWithAge(U(3), PageLocation::kLocal, 500);  // younger than all
-  EXPECT_EQ(t.OldestLocal()->uid, U(2));
+  EXPECT_EQ(t.OldestLocal()->uid(), U(2));
   t.Free(t.Lookup(U(2)));
-  EXPECT_EQ(t.OldestLocal()->uid, U(1));
+  EXPECT_EQ(t.OldestLocal()->uid(), U(1));
 }
 
 TEST(FrameTableTest, OldestMatchingFindsPredicate) {
@@ -170,14 +170,14 @@ TEST(FrameTableTest, OldestMatchingFindsPredicate) {
   Frame* a = t.Allocate(U(1), PageLocation::kLocal, 10);
   Frame* b = t.Allocate(U(2), PageLocation::kLocal, 20);
   t.Allocate(U(3), PageLocation::kGlobal, 5);
-  a->duplicated = false;
-  b->duplicated = true;
+  a->set_duplicated(false);
+  b->set_duplicated(true);
   Frame* found = t.OldestMatching(
-      100, 1.0, [](const Frame& f) { return f.duplicated; });
+      100, 1.0, [](const Frame& f) { return f.duplicated(); });
   ASSERT_NE(found, nullptr);
-  EXPECT_EQ(found->uid, U(2));
+  EXPECT_EQ(found->uid(), U(2));
   EXPECT_EQ(t.OldestMatching(100, 1.0,
-                             [](const Frame& f) { return f.recirculation > 3; }),
+                             [](const Frame& f) { return f.recirculation() > 3; }),
             nullptr);
 }
 
@@ -190,7 +190,7 @@ TEST(FrameTableTest, ForEachVisitsAllInUse) {
   int count = 0;
   t.ForEach([&](const Frame& f) {
     count++;
-    EXPECT_NE(f.uid, U(2));
+    EXPECT_NE(f.uid(), U(2));
   });
   EXPECT_EQ(count, 4);
 }
@@ -240,10 +240,10 @@ TEST_P(FrameTableStressTest, InvariantsHoldUnderRandomOps) {
     // The reported oldest local page really is the minimum last_access.
     Frame* oldest = t.OldestLocal();
     if (oldest != nullptr) {
-      SimTime min_access = oldest->last_access;
+      SimTime min_access = oldest->last_access();
       t.ForEach([&](const Frame& f) {
-        if (f.location == PageLocation::kLocal) {
-          ASSERT_GE(f.last_access, min_access);
+        if (f.location() == PageLocation::kLocal) {
+          ASSERT_GE(f.last_access(), min_access);
         }
       });
     }

@@ -90,10 +90,10 @@ TEST_F(NullMemoryServiceTest, EvictDirtyDefaultsToDiskWriteBack) {
   const Uid uid = MakeAnonUid(NodeId{0}, 1, 4);
   Frame* frame = frames_.Allocate(uid, PageLocation::kLocal, sim_.now());
   ASSERT_NE(frame, nullptr);
-  frame->dirty = true;
+  frame->set_dirty(true);
   EXPECT_FALSE(svc_.EvictDirty(frame));
   EXPECT_EQ(frames_.Lookup(uid), frame);
-  EXPECT_TRUE(frame->dirty);
+  EXPECT_TRUE(frame->dirty());
 }
 
 TEST_F(NullMemoryServiceTest, ResetStatsClearsCounters) {
@@ -120,7 +120,7 @@ TEST(CacheEngineEvictDirtyTest, PolicyDefaultDeclinesDirtyFrames) {
   const Uid uid = MakeAnonUid(NodeId{0}, 1, 0);
   Frame* frame = frames.Allocate(uid, PageLocation::kLocal, sim.now());
   ASSERT_NE(frame, nullptr);
-  frame->dirty = true;
+  frame->set_dirty(true);
   MemoryService& svc = engine;  // through the interface, like NodeOs does
   EXPECT_FALSE(svc.EvictDirty(frame));
   EXPECT_EQ(frames.Lookup(uid), frame);

@@ -50,8 +50,8 @@ TEST_F(NchanceTest, SingletEvictionForwardsToRandomNode) {
   Frame* on2 = cluster_->frames(NodeId{2}).Lookup(uid);
   ASSERT_TRUE((on1 != nullptr) != (on2 != nullptr));
   Frame* remote = on1 != nullptr ? on1 : on2;
-  EXPECT_EQ(remote->location, PageLocation::kGlobal);
-  EXPECT_EQ(remote->recirculation, 2);
+  EXPECT_EQ(remote->location(), PageLocation::kGlobal);
+  EXPECT_EQ(remote->recirculation(), 2);
 }
 
 TEST_F(NchanceTest, DuplicateEvictionIsDropped) {
@@ -60,7 +60,7 @@ TEST_F(NchanceTest, DuplicateEvictionIsDropped) {
   Access(1, uid);
   Access(0, uid);  // now duplicated on both nodes
   Frame* frame = cluster_->frames(NodeId{0}).Lookup(uid);
-  ASSERT_TRUE(frame->duplicated);
+  ASSERT_TRUE(frame->duplicated());
   cluster_->service(NodeId{0}).EvictClean(frame);
   cluster_->sim().RunFor(Milliseconds(10));
   EXPECT_EQ(agent(0).nchance_stats().forwards_sent, 0u);
@@ -78,13 +78,13 @@ TEST_F(NchanceTest, RecirculationCountDropsPageAfterNHops) {
   cluster_->sim().RunFor(Milliseconds(10));
   Frame* hop1 = cluster_->frames(NodeId{1}).Lookup(uid);
   ASSERT_NE(hop1, nullptr);
-  EXPECT_EQ(hop1->recirculation, 2);
+  EXPECT_EQ(hop1->recirculation(), 2);
 
   cluster_->service(NodeId{1}).EvictClean(hop1);  // hop consumed -> count 1
   cluster_->sim().RunFor(Milliseconds(10));
   Frame* hop2 = cluster_->frames(NodeId{0}).Lookup(uid);
   ASSERT_NE(hop2, nullptr);
-  EXPECT_EQ(hop2->recirculation, 1);
+  EXPECT_EQ(hop2->recirculation(), 1);
 
   cluster_->service(NodeId{0}).EvictClean(hop2);  // count exhausted -> drop
   cluster_->sim().RunFor(Milliseconds(10));

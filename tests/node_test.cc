@@ -69,7 +69,7 @@ TEST_F(NodeOsTest, WriteMarksDirtyAndWriteBackCleans) {
   Build(PolicyKind::kNone, {64});
   const Uid uid = MakeAnonUid(NodeId{0}, 1, 0);
   Access(0, uid, /*write=*/true);
-  EXPECT_TRUE(cluster_->frames(NodeId{0}).Lookup(uid)->dirty);
+  EXPECT_TRUE(cluster_->frames(NodeId{0}).Lookup(uid)->dirty());
   // Overflow memory so the dirty page gets written back.
   for (uint32_t i = 1; i < 128; i++) {
     Access(0, MakeAnonUid(NodeId{0}, 1, i), /*write=*/true);

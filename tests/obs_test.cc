@@ -118,6 +118,29 @@ std::vector<TraceRecord> ReadTraceFile(const std::string& path,
   return records;
 }
 
+// Mirrors Tracer::digest(): hash each node's record stream independently,
+// then fold the per-node (fnv1a, records) pairs in node order.
+TraceDigest FoldedDigest(const std::vector<TraceRecord>& records,
+                         uint32_t num_nodes) {
+  std::vector<TraceDigest> per_node(num_nodes);
+  for (const TraceRecord& rec : records) {
+    per_node[rec.node].Update(&rec, 1);
+  }
+  TraceDigest out;
+  uint64_t h = out.fnv1a;
+  for (const TraceDigest& d : per_node) {
+    const uint64_t pair[2] = {d.fnv1a, d.records};
+    const auto* bytes = reinterpret_cast<const unsigned char*>(pair);
+    for (size_t i = 0; i < sizeof(pair); i++) {
+      h ^= bytes[i];
+      h *= 1099511628211ULL;
+    }
+    out.records += d.records;
+  }
+  out.fnv1a = h;
+  return out;
+}
+
 TEST(TracerTest, RecordsRoundTripThroughFile) {
   const std::string path = ::testing::TempDir() + "/obs_roundtrip.trc";
   Tracer tracer(/*num_nodes=*/2, /*ring_capacity=*/8);
@@ -145,10 +168,8 @@ TEST(TracerTest, RecordsRoundTripThroughFile) {
   EXPECT_EQ(records[1].value, 8192u);
   EXPECT_EQ(records[1].node, 1u);
 
-  // The digest is over exactly the flushed record bytes.
-  TraceDigest expect;
-  expect.Update(records.data(), records.size());
-  EXPECT_EQ(tracer.digest(), expect);
+  // The digest is the per-node fold over exactly the flushed record bytes.
+  EXPECT_EQ(tracer.digest(), FoldedDigest(records, header.num_nodes));
   EXPECT_EQ(tracer.digest().records, 2u);
   std::remove(path.c_str());
 }
@@ -192,9 +213,7 @@ TEST(TracerTest, ValueSaturatesAt32Bits) {
   // Reconstruct what was digested: a saturated value.
   TraceRecord rec{0, 0, 0, UINT32_MAX, 0,
                   static_cast<uint16_t>(TraceEventKind::kFaultDone)};
-  TraceDigest expect;
-  expect.Update(&rec, 1);
-  EXPECT_EQ(tracer.digest(), expect);
+  EXPECT_EQ(tracer.digest(), FoldedDigest({rec}, 1));
 }
 
 TEST(TracerTest, DisabledAndNullAndOutOfRangeRecordNothing) {

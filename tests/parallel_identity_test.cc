@@ -1,0 +1,134 @@
+// Serial-vs-parallel byte identity: the tentpole guarantee of the sharded
+// simulation core. A cluster run must produce bit-identical results — the
+// full per-node trace digest (which covers every record, span markers
+// included) and the deterministic stats dump — no matter how many worker
+// threads execute it or how nodes are grouped into shards. The scenarios
+// here deliberately include everything that could break that: fault
+// injection (drops, duplicates, reordering, jitter), a mid-run partition,
+// node crash + rejoin, and the hierarchical epoch tree.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/chaos_scenario.h"
+#include "src/common/time.h"
+#include "src/obs/trace.h"
+
+namespace gms {
+namespace {
+
+struct RunResult {
+  std::string digest;  // empty when the tracer is compiled out
+  std::string dump;
+};
+
+bool operator==(const RunResult& a, const RunResult& b) {
+  return a.digest == b.digest && a.dump == b.dump;
+}
+
+std::ostream& operator<<(std::ostream& os, const RunResult& r) {
+  return os << "digest=" << r.digest << "\n" << r.dump;
+}
+
+// Runs the standard chaos universe to completion and captures everything a
+// run can observably produce. With `crash_restart`, the biggest donor is
+// killed mid-traffic and rebooted 400 ms later — same simulated instant in
+// every configuration, because RunFor synchronizes all lane clocks.
+RunResult RunPoint(const ChaosCase& chaos, bool crash_restart = false) {
+  ObsConfig obs;
+  obs.trace = true;  // digest-only; no-op when compiled out
+  auto cluster = BuildChaosCluster(chaos, /*with_partition=*/true, obs);
+  cluster->StartWorkloads();
+  if (crash_restart) {
+    cluster->sim().RunFor(Milliseconds(200));
+    cluster->CrashNode(NodeId{2});
+    cluster->sim().RunFor(Milliseconds(400));
+    cluster->RestartNode(NodeId{2});
+  }
+  EXPECT_TRUE(cluster->RunUntilWorkloadsDone(Seconds(600)))
+      << "threads=" << chaos.threads << " shards=" << chaos.sim_shards;
+  cluster->RunUntilQuiescent(Seconds(30));
+  RunResult r;
+  r.dump = ChaosStatsDump(*cluster);
+  if (Tracer* tracer = cluster->tracer()) {
+    tracer->Finish();
+    r.digest = tracer->digest().ToString();
+    EXPECT_FALSE(r.digest.empty());
+  }
+  EXPECT_FALSE(r.dump.empty());
+  return r;
+}
+
+TEST(ParallelIdentityTest, ThreadCountNeverChangesResults) {
+  const ChaosCase base{5, 0.01};
+  const RunResult serial = RunPoint(base);
+  for (uint32_t threads : {2u, 4u, 8u}) {
+    ChaosCase chaos = base;
+    chaos.threads = threads;
+    EXPECT_EQ(RunPoint(chaos), serial) << "threads=" << threads;
+  }
+}
+
+// Shards are the unit of parallelism; the hash assignment of nodes to
+// shards must be invisible. Includes shards != threads both ways (more
+// shards than threads, more threads than shards).
+TEST(ParallelIdentityTest, ShardCountNeverChangesResults) {
+  const ChaosCase base{7, 0.02};
+  const RunResult serial = RunPoint(base);
+  const struct {
+    uint32_t threads, shards;
+  } grid[] = {{1, 2}, {2, 4}, {4, 2}, {2, 3}, {4, 4}};
+  for (const auto& point : grid) {
+    ChaosCase chaos = base;
+    chaos.threads = point.threads;
+    chaos.sim_shards = point.shards;
+    EXPECT_EQ(RunPoint(chaos), serial)
+        << "threads=" << point.threads << " shards=" << point.shards;
+  }
+}
+
+// The chaos soak: loss, duplication, reordering, a partition, and a node
+// crash + rejoin, at every thread count. Crash recovery exercises the
+// harness->node context crossings (CrashNode/RestartNode/agent restart)
+// that are easiest to get subtly wrong.
+TEST(ParallelIdentityTest, CrashRestartSoakIsIdenticalAcrossThreads) {
+  const ChaosCase base{11, 0.02};
+  const RunResult serial = RunPoint(base, /*crash_restart=*/true);
+  for (uint32_t threads : {2u, 4u, 8u}) {
+    ChaosCase chaos = base;
+    chaos.threads = threads;
+    EXPECT_EQ(RunPoint(chaos, /*crash_restart=*/true), serial)
+        << "threads=" << threads;
+  }
+}
+
+// The hierarchical epoch tree adds relay/merge traffic with its own timer
+// structure; it must be just as schedule-independent.
+TEST(ParallelIdentityTest, TreeEpochIsIdenticalAcrossThreads) {
+  ChaosCase base{5, 0.01};
+  base.epoch_fanout = 2;
+  const RunResult serial = RunPoint(base);
+  for (uint32_t threads : {2u, 4u}) {
+    ChaosCase chaos = base;
+    chaos.threads = threads;
+    EXPECT_EQ(RunPoint(chaos), serial) << "threads=" << threads;
+  }
+}
+
+// Guard against vacuous passes: a parallel configuration must actually run
+// sharded. (The 4-node chaos cluster caps shards at the node count.)
+TEST(ParallelIdentityTest, ParallelConfigurationActuallyShards) {
+  ChaosCase chaos{5, 0.01};
+  chaos.threads = 4;
+  ObsConfig obs;
+  auto cluster = BuildChaosCluster(chaos, /*with_partition=*/false, obs);
+  EXPECT_EQ(cluster->sim().shard_count(), 4u);
+  EXPECT_EQ(cluster->sim().lane_count(), 5u);  // control lane + 4 shards
+  EXPECT_EQ(cluster->sim().threads(), 4u);
+  EXPECT_GT(cluster->sim().lookahead(), 0);
+}
+
+}  // namespace
+}  // namespace gms

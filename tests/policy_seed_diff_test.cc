@@ -29,11 +29,11 @@ namespace {
 // Baselines captured at the pre-refactor HEAD. Regenerate with:
 //   build/tests/policy_seed_diff_test --gtest_filter='*PrintsBaselines*'
 // and update only for deliberate simulation changes (note them in DESIGN.md).
-constexpr uint64_t kGmsCleanDumpHash = 0x1fde3f588af1ddbbULL;
-constexpr uint64_t kGmsLossyDumpHash = 0x1fd556a6bcd5d3aaULL;
+constexpr uint64_t kGmsCleanDumpHash = 0x5d4600534c9242b1ULL;
+constexpr uint64_t kGmsLossyDumpHash = 0x484f48920327b52bULL;
 constexpr uint64_t kNchanceDumpHash = 0xe8f7b9845c8bb984ULL;
-constexpr char kGmsCleanDigest[] = "fnv1a:963f9aa85619f3a2:519730";
-constexpr char kNchanceDigest[] = "fnv1a:3c4f59435624461b:338424";
+constexpr char kGmsCleanDigest[] = "fnv1a:8801d1387b6b108c:520560";
+constexpr char kNchanceDigest[] = "fnv1a:f75bd8f9b5592515:338424";
 
 uint64_t Fnv1a(const std::string& s) {
   uint64_t h = 0xcbf29ce484222325ULL;

@@ -35,9 +35,47 @@ import sys
 def load(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") != 1:
-        sys.exit(f"{path}: unsupported or missing schema (want 1)")
+    # Schema 1 is the original headline doc; schema 3 adds the
+    # parallel_event_loop section (sharded simulator). The shared fields are
+    # unchanged, so either side of a comparison may be either version.
+    if doc.get("schema") not in (1, 3):
+        sys.exit(f"{path}: unsupported or missing schema (want 1 or 3)")
     return doc
+
+
+def check_epoch_cost(path, doc, max_root_cost):
+    """Gate a schema-2 epoch_cost grid (bench/epoch_cost --emit_bench_json).
+
+    The bound applies to every tree point (fanout > 0): the root must absorb
+    ~fanout summaries per epoch, never O(N). Flat points are printed for the
+    contrast but unbounded — their linear growth is the baseline the tree is
+    measured against.
+    """
+    if max_root_cost is None:
+        sys.exit(f"{path}: epoch_cost doc requires --max-epoch-root-cost")
+    failures = []
+    for p in doc.get("points", []):
+        msgs = p.get("root_summary_msgs_per_epoch")
+        tag = f"nodes={p.get('nodes')} fanout={p.get('fanout')}"
+        print(f"epoch_cost: {tag} epochs={p.get('epochs')} "
+              f"root_summary_msgs_per_epoch={msgs}")
+        if p.get("epochs", 0) < 1:
+            failures.append(f"{tag}: no epoch completed")
+        elif p.get("fanout", 0) > 0 and msgs is not None \
+                and msgs > max_root_cost:
+            failures.append(
+                f"{tag}: root summary msgs/epoch {msgs:.1f} exceeds "
+                f"--max-epoch-root-cost {max_root_cost:.1f}"
+            )
+    if not doc.get("points"):
+        failures.append(f"{path}: no points in epoch_cost doc")
+    if failures:
+        print("\nFAIL: epoch cost bound violated:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nOK: every tree point's root cost bounded by fanout")
+    return 0
 
 
 def check_epoch_scaleout(path, doc, max_root_cost):
@@ -118,6 +156,18 @@ def main():
         "skip the baseline comparison entirely",
     )
     parser.add_argument(
+        "--min-parallel-speedup",
+        type=float,
+        default=None,
+        help="minimum required speedup_vs_serial in the current doc's "
+        "parallel_event_loop section (schema 3): the sharded simulator "
+        "running the same event stream at N threads must beat the serial "
+        "loop by at least this factor. Skipped with a notice when the "
+        "recorded hw_threads is below 4 — an undersized runner cannot "
+        "demonstrate parallel speedup, and a false FAIL there would teach "
+        "people to ignore the gate",
+    )
+    parser.add_argument(
         "--expect-tracing-disabled",
         action="store_true",
         help="fail unless the current JSON was produced by a build with the "
@@ -132,6 +182,9 @@ def main():
     if cur_raw.get("schema") == 2 and cur_raw.get("kind") == "epoch_scaleout":
         return check_epoch_scaleout(args.current, cur_raw,
                                     args.max_epoch_root_cost)
+    if cur_raw.get("schema") == 2 and cur_raw.get("kind") == "epoch_cost":
+        return check_epoch_cost(args.current, cur_raw,
+                                args.max_epoch_root_cost)
 
     cur = load(args.current)
     base = load(args.baseline)
@@ -186,6 +239,35 @@ def main():
             )
         print(f"{'getpage/event_loop':24s} {cur_norm:15.6f}    baseline "
               f"{base_norm:15.6f}  {rel:5.2f}x  {status}")
+
+    par = cur.get("parallel_event_loop")
+    if par is not None:
+        print(f"{'parallel_event_loop':24s} threads={par.get('threads')} "
+              f"hw_threads={par.get('hw_threads')} "
+              f"serial={par.get('serial_events_per_sec', 0):.0f}/s "
+              f"parallel={par.get('events_per_sec', 0):.0f}/s "
+              f"speedup={par.get('speedup_vs_serial', 0):.2f}x")
+    if args.min_parallel_speedup is not None:
+        if par is None:
+            failures.append(
+                f"{args.current}: --min-parallel-speedup given but the doc "
+                "has no parallel_event_loop section (schema 3; micro_ops "
+                "--emit_bench_json --threads=N)"
+            )
+        elif par.get("hw_threads", 0) < 4:
+            # The figure is still recorded above for the logs; only the
+            # pass/fail judgement is suppressed.
+            print(f"parallel speedup gate SKIPPED: hw_threads="
+                  f"{par.get('hw_threads')} < 4, runner cannot demonstrate "
+                  "parallel speedup")
+        elif par.get("speedup_vs_serial", 0) < args.min_parallel_speedup:
+            failures.append(
+                f"parallel_event_loop: speedup "
+                f"{par.get('speedup_vs_serial', 0):.2f}x at "
+                f"{par.get('threads')} threads (hw_threads="
+                f"{par.get('hw_threads')}) is below --min-parallel-speedup "
+                f"{args.min_parallel_speedup:.2f}x"
+            )
 
     if failures:
         print("\nFAIL: throughput regression beyond limit:", file=sys.stderr)

@@ -91,10 +91,29 @@ def read_trace(path):
         fail(f"{path}: {len(body)} record bytes is not a multiple of "
              f"{RECORD.size} (truncated write?)")
 
-    digest = FNV_OFFSET
-    for byte in body:
-        digest = ((digest ^ byte) * FNV_PRIME) & MASK64
+    # The tracer's digest is per-node: each node's record stream (in file
+    # order, which is that node's ring-flush order) is FNV-1a hashed on its
+    # own, then the per-node (fnv1a, count) pairs are folded in node order —
+    # empty nodes included. This makes the digest independent of how ring
+    # flushes from different nodes interleaved in the file (ring capacity,
+    # parallel window schedule).
+    node_digest = [FNV_OFFSET] * num_nodes
+    node_count = [0] * num_nodes
     records = list(RECORD.iter_unpack(body))
+    for i, rec in enumerate(records):
+        node = rec[4]
+        if node >= num_nodes:
+            fail(f"record {i}: node {node} out of range (header says "
+                 f"{num_nodes} nodes)")
+        h = node_digest[node]
+        for byte in body[i * RECORD.size:(i + 1) * RECORD.size]:
+            h = ((h ^ byte) * FNV_PRIME) & MASK64
+        node_digest[node] = h
+        node_count[node] += 1
+    digest = FNV_OFFSET
+    for node in range(num_nodes):
+        for byte in struct.pack("<QQ", node_digest[node], node_count[node]):
+            digest = ((digest ^ byte) * FNV_PRIME) & MASK64
     return num_nodes, records, digest, len(records)
 
 
