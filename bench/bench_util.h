@@ -56,20 +56,35 @@ inline uint32_t BenchThreads(int argc, char** argv, uint32_t fallback = 1) {
   return fallback;
 }
 
+// Resolves one policy name through the registry or exits: unknown names are
+// a hard error listing every registered choice; the special name "list"
+// prints the registry to stdout and exits 0, so `--policy=list` works as
+// discovery on every bench. `flag_name` labels the error ("policy",
+// "policies", ...).
+inline PolicyKind PolicyFlagOrDie(const std::string& flag_name,
+                                  const std::string& name) {
+  if (name == "list") {
+    std::printf("%s\n", KnownPolicyNames().c_str());
+    std::exit(0);
+  }
+  if (const std::optional<PolicyKind> kind = ParsePolicyName(name)) {
+    return *kind;
+  }
+  std::fprintf(stderr, "unknown --%s=%s (known: %s)\n", flag_name.c_str(),
+               name.c_str(), KnownPolicyNames().c_str());
+  std::exit(1);
+}
+
 // Parses --policy=<name> through the policy registry. Benches default to the
-// paper's algorithm; an unknown name is a hard error listing the choices.
+// paper's algorithm; an unknown name is a hard error listing the choices and
+// --policy=list prints them.
 inline PolicyKind BenchPolicy(int argc, char** argv,
                               PolicyKind fallback = PolicyKind::kGms) {
   const std::string name = FlagString(argc, argv, "policy");
   if (name.empty()) {
     return fallback;
   }
-  if (const std::optional<PolicyKind> kind = ParsePolicyName(name)) {
-    return *kind;
-  }
-  std::fprintf(stderr, "unknown --policy=%s (known: %s)\n", name.c_str(),
-               KnownPolicyNames().c_str());
-  std::exit(1);
+  return PolicyFlagOrDie("policy", name);
 }
 
 // Parses --epoch_fanout=: "flat" (or 0) selects the flat epoch protocol;

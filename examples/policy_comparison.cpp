@@ -1,12 +1,19 @@
 // Head-to-head policy comparison on a skewed cluster: every replacement
 // policy the registry knows, on the identical engine and workload — GMS's
 // global knowledge, N-chance's random forwarding, frequency-aware hybrid
-// LFU, the engine-hosted local-LRU baseline, and no cluster memory at all.
+// LFU, the regret-weighted expert ensemble, the ghost-driven adaptive
+// MinAge variant, the engine-hosted local-LRU baseline, and no cluster
+// memory at all.
 //
 // Two of six peers hold nearly all the idle memory (the paper's hardest
 // case for N-chance). The same OO7-style workload runs under each policy;
 // we report completion time, where faults were served, and the network
 // bytes each policy spent.
+//
+// This is the single-workload teaser; bench/policy_tournament sweeps the
+// same policies across seven scenarios (including the phase-change case
+// where the ensemble's online learning beats every fixed heuristic) and
+// emits the full league table as JSON.
 #include <cstdio>
 #include <memory>
 
@@ -61,7 +68,9 @@ int main() {
       {"local LRU (engine baseline)", PolicyKind::kLocalLru},
       {"N-chance forwarding", PolicyKind::kNchance},
       {"hybrid LFU forwarding", PolicyKind::kHybridLfu},
+      {"expert ensemble (learned)", PolicyKind::kEnsemble},
       {"GMS (this paper)", PolicyKind::kGms},
+      {"GMS + adaptive MinAge", PolicyKind::kAdaptiveGms},
   };
   std::printf("%-28s %10s %14s %10s %12s\n", "policy", "elapsed", "cluster hits",
               "disk", "network MB");
@@ -79,6 +88,9 @@ int main() {
               "targeting finds it; N-chance's random forwarding mostly\n"
               "bounces off the empty nodes (paper, Figure 9). Local LRU\n"
               "tracks native exactly — the engine without a global cache is\n"
-              "the same baseline.\n");
+              "the same baseline. The ensemble learns which pages are worth\n"
+              "the wire but still forwards blind; on THIS workload global\n"
+              "knowledge wins — run bench/policy_tournament for the\n"
+              "phase-change scenario where the learner takes the lead.\n");
   return 0;
 }

@@ -119,6 +119,28 @@ std::unique_ptr<MemoryService> Cluster::MakeService(NodeId id,
       rt.engine = agent.get();
       return agent;
     }
+    case PolicyKind::kEnsemble: {
+      EngineConfig engine;
+      engine.costs = config_.ensemble.costs;
+      auto agent = std::make_unique<CacheEngine>(
+          &sim_, net_.get(), rt.cpu.get(), rt.frames.get(), id, engine,
+          std::make_unique<EnsemblePolicy>(seed, config_.ensemble));
+      agent->set_tracer(tracer_.get());
+      rt.engine = agent.get();
+      return agent;
+    }
+    case PolicyKind::kAdaptiveGms: {
+      // Full GMS (epochs, membership, election) with the ghost-driven
+      // adaptive-MinAge extension forced on.
+      GmsConfig gms = config_.gms;
+      gms.adaptive.enabled = true;
+      auto agent = std::make_unique<GmsAgent>(&sim_, net_.get(), rt.cpu.get(),
+                                              rt.frames.get(), id, seed, gms);
+      agent->set_tracer(tracer_.get());
+      rt.gms = agent.get();
+      rt.engine = agent.get();
+      return agent;
+    }
     case PolicyKind::kNone:
       return std::make_unique<NullMemoryService>(&sim_, rt.frames.get());
   }
@@ -326,11 +348,16 @@ void Cluster::RestartNode(NodeId node) {
   NodeRuntime& rt = *nodes_.at(node.value);
   Simulator::ContextScope in_node(sim_, node.value + 1);
   net_->SetNodeUp(node, true);
-  if (config_.policy == PolicyKind::kGms) {
+  if (config_.policy == PolicyKind::kGms ||
+      config_.policy == PolicyKind::kAdaptiveGms) {
     // Fresh agent: a rebooted kernel has no directory or epoch state.
+    GmsConfig gms = config_.gms;
+    if (config_.policy == PolicyKind::kAdaptiveGms) {
+      gms.adaptive.enabled = true;
+    }
     auto agent = std::make_unique<GmsAgent>(
         &sim_, net_.get(), rt.cpu.get(), rt.frames.get(), node,
-        MixSeed(config_.seed, 0x20000 + node.value), config_.gms);
+        MixSeed(config_.seed, 0x20000 + node.value), gms);
     agent->set_tracer(tracer_.get());
     rt.gms = agent.get();
     rt.engine = agent.get();

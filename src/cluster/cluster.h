@@ -12,6 +12,7 @@
 
 #include "src/cluster/policy_registry.h"
 #include "src/cluster/workload_driver.h"
+#include "src/core/ensemble_policy.h"
 #include "src/core/gms_agent.h"
 #include "src/core/hybrid_lfu_policy.h"
 #include "src/core/memory_service.h"
@@ -67,6 +68,7 @@ struct ClusterConfig {
   GmsConfig gms;
   NchanceConfig nchance;
   HybridLfuConfig lfu;
+  EnsembleConfig ensemble;
 
   NodeId master{0};
   NodeId first_initiator{0};

@@ -14,6 +14,8 @@ constexpr NamedPolicy kPolicies[] = {
     {"nchance", PolicyKind::kNchance},
     {"local", PolicyKind::kLocalLru},
     {"lfu", PolicyKind::kHybridLfu},
+    {"ensemble", PolicyKind::kEnsemble},
+    {"adaptive", PolicyKind::kAdaptiveGms},
     {"none", PolicyKind::kNone},
 };
 

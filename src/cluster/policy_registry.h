@@ -12,15 +12,17 @@
 namespace gms {
 
 enum class PolicyKind {
-  kNone,       // native OSF/1: no cluster memory (NullMemoryService)
-  kGms,        // the paper's algorithm
-  kNchance,    // N-chance forwarding baseline
-  kLocalLru,   // engine-hosted no-global-cache baseline
-  kHybridLfu,  // frequency-aware forwarding (EEvA-inspired)
+  kNone,         // native OSF/1: no cluster memory (NullMemoryService)
+  kGms,          // the paper's algorithm
+  kNchance,      // N-chance forwarding baseline
+  kLocalLru,     // engine-hosted no-global-cache baseline
+  kHybridLfu,    // frequency-aware forwarding (EEvA-inspired)
+  kEnsemble,     // regret-weighted expert ensemble over ghost caches
+  kAdaptiveGms,  // gms with the ghost-driven adaptive-MinAge extension
 };
 
-// "gms" | "nchance" | "local" | "lfu" | "none" → kind; nullopt for anything
-// else.
+// "gms" | "nchance" | "local" | "lfu" | "ensemble" | "adaptive" | "none" →
+// kind; nullopt for anything else.
 std::optional<PolicyKind> ParsePolicyName(std::string_view name);
 
 // The canonical name ParsePolicyName accepts for `kind`.

@@ -1,0 +1,209 @@
+#include "src/core/ghost_cache.h"
+
+#include <cassert>
+
+namespace gms {
+
+const char* GhostKindName(GhostKind kind) {
+  switch (kind) {
+    case GhostKind::kLru:
+      return "lru";
+    case GhostKind::kLfu:
+      return "lfu";
+    case GhostKind::kMru:
+      return "mru";
+  }
+  return "unknown";
+}
+
+namespace {
+
+size_t NextPowerOfTwo(size_t v) {
+  size_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+GhostCache::GhostCache(GhostKind kind, uint32_t max_capacity)
+    : kind_(kind), max_capacity_(max_capacity), capacity_(max_capacity) {
+  uids_.resize(max_capacity_);
+  prev_.assign(max_capacity_, kNull);
+  next_.assign(max_capacity_, kNull);
+  freq_.assign(max_capacity_, 0);
+  free_.reserve(max_capacity_);
+  for (uint32_t i = max_capacity_; i-- > 0;) {
+    free_.push_back(i);  // popped back-to-front: entry 0 is handed out first
+  }
+  // Load factor <= 0.5 keeps linear-probe chains short; minimum 8 slots so
+  // the mask is valid even for degenerate capacities.
+  slots_.assign(NextPowerOfTwo(
+                    static_cast<size_t>(max_capacity_) * 2 < 8
+                        ? 8
+                        : static_cast<size_t>(max_capacity_) * 2),
+                0);
+  slot_mask_ = slots_.size() - 1;
+}
+
+uint32_t GhostCache::Find(const Uid& uid) const {
+  for (size_t s = IdealSlot(uid);; s = (s + 1) & slot_mask_) {
+    const uint32_t v = slots_[s];
+    if (v == 0) {
+      return kNull;
+    }
+    if (uids_[v - 1] == uid) {
+      return v - 1;
+    }
+  }
+}
+
+void GhostCache::HashInsert(const Uid& uid, uint32_t idx) {
+  for (size_t s = IdealSlot(uid);; s = (s + 1) & slot_mask_) {
+    if (slots_[s] == 0) {
+      slots_[s] = idx + 1;
+      return;
+    }
+  }
+}
+
+void GhostCache::HashErase(const Uid& uid) {
+  size_t hole = IdealSlot(uid);
+  while (slots_[hole] != 0 && uids_[slots_[hole] - 1] != uid) {
+    hole = (hole + 1) & slot_mask_;
+  }
+  assert(slots_[hole] != 0 && "erasing a uid that is not in the table");
+  // Backward-shift deletion: pull every displaced successor whose ideal slot
+  // lies at or before the hole back into it, so probes never cross an empty
+  // slot that "should" have held them.
+  size_t j = hole;
+  for (;;) {
+    j = (j + 1) & slot_mask_;
+    const uint32_t v = slots_[j];
+    if (v == 0) {
+      break;
+    }
+    const size_t ideal = IdealSlot(uids_[v - 1]);
+    // v may move into the hole iff its ideal slot is NOT cyclically inside
+    // (hole, j] — i.e. its probe path passes through the hole.
+    const bool ideal_in_gap = ((j - ideal) & slot_mask_) <
+                              ((j - hole) & slot_mask_);
+    if (!ideal_in_gap) {
+      slots_[hole] = v;
+      hole = j;
+    }
+  }
+  slots_[hole] = 0;
+}
+
+void GhostCache::PushBack(uint32_t list, uint32_t idx) {
+  List& l = lists_[list];
+  prev_[idx] = l.tail;
+  next_[idx] = kNull;
+  if (l.tail != kNull) {
+    next_[l.tail] = idx;
+  } else {
+    l.head = idx;
+  }
+  l.tail = idx;
+}
+
+void GhostCache::Unlink(uint32_t list, uint32_t idx) {
+  List& l = lists_[list];
+  if (prev_[idx] != kNull) {
+    next_[prev_[idx]] = next_[idx];
+  } else {
+    l.head = next_[idx];
+  }
+  if (next_[idx] != kNull) {
+    prev_[next_[idx]] = prev_[idx];
+  } else {
+    l.tail = prev_[idx];
+  }
+  prev_[idx] = next_[idx] = kNull;
+}
+
+void GhostCache::Touch(uint32_t idx) {
+  const uint8_t f = freq_[idx];
+  Unlink(ListIndexFor(f), idx);
+  const uint8_t bumped = f < kMaxFreq ? static_cast<uint8_t>(f + 1) : kMaxFreq;
+  freq_[idx] = bumped;
+  PushBack(ListIndexFor(bumped), idx);
+}
+
+void GhostCache::Evict() {
+  assert(size_ > 0);
+  uint32_t victim = kNull;
+  uint32_t list = 0;
+  switch (kind_) {
+    case GhostKind::kLru:
+      victim = lists_[0].head;
+      break;
+    case GhostKind::kMru:
+      victim = lists_[0].tail;
+      break;
+    case GhostKind::kLfu: {
+      // Advance the floor to the lowest populated frequency; within that
+      // bucket the head is the least recently promoted = least recently
+      // used at this frequency.
+      while (lists_[min_freq_].head == kNull) {
+        min_freq_++;
+      }
+      list = min_freq_;
+      victim = lists_[list].head;
+      break;
+    }
+  }
+  assert(victim != kNull);
+  HashErase(uids_[victim]);
+  Unlink(list, victim);
+  freq_[victim] = 0;
+  free_.push_back(victim);
+  size_--;
+}
+
+void GhostCache::Insert(const Uid& uid) {
+  assert(!free_.empty());
+  const uint32_t idx = free_.back();
+  free_.pop_back();
+  uids_[idx] = uid;
+  freq_[idx] = 1;
+  PushBack(ListIndexFor(1), idx);
+  HashInsert(uid, idx);
+  min_freq_ = 1;
+  size_++;
+}
+
+bool GhostCache::Access(const Uid& uid) {
+  const uint32_t idx = Find(uid);
+  if (idx != kNull) {
+    hits_++;
+    Touch(idx);
+    return true;
+  }
+  misses_++;
+  if (capacity_ == 0) {
+    return false;
+  }
+  if (size_ >= capacity_) {
+    Evict();
+  }
+  Insert(uid);
+  return false;
+}
+
+uint8_t GhostCache::Frequency(const Uid& uid) const {
+  const uint32_t idx = Find(uid);
+  return idx != kNull ? freq_[idx] : 0;
+}
+
+void GhostCache::set_capacity(uint32_t capacity) {
+  capacity_ = capacity < max_capacity_ ? capacity : max_capacity_;
+  while (size_ > capacity_) {
+    Evict();
+  }
+}
+
+}  // namespace gms

@@ -24,6 +24,8 @@
 #include "src/common/node_id.h"
 #include "src/core/cache_engine.h"
 #include "src/core/directory.h"
+#include "src/core/ensemble_policy.h"
+#include "src/core/ghost_cache.h"
 #include "src/core/hybrid_lfu_policy.h"
 #include "src/core/messages.h"
 #include "src/mem/frame_table.h"
@@ -375,6 +377,95 @@ TEST(AllocTest, EngineDispatchIsAllocationFreeAtSteadyState) {
   EXPECT_GT(engine.stats().gcd_lookups, 8192u);  // the engine really ran
   EXPECT_EQ(window.allocs(), 0u)
       << "an engine receive->dispatch->handle trip allocated at steady state";
+  EXPECT_EQ(window.frees(), 0u);
+}
+
+TEST(AllocTest, GhostCacheAccessNeverAllocates) {
+  // Ghosts sit directly on the fault hot path of the ensemble and adaptive
+  // policies: after construction, Access/Contains/Frequency/set_capacity
+  // must never touch the allocator — thrashing, hits, and mid-trace resizes
+  // included.
+  GhostCache lru(GhostKind::kLru, 256);
+  GhostCache lfu(GhostKind::kLfu, 256);
+  GhostCache mru(GhostKind::kMru, 256);
+  const AllocWindow window;
+  uint64_t hits = 0;
+  for (uint64_t i = 0; i < 20000; i++) {
+    const Uid uid = MakeAnonUid(NodeId{0}, 1, (i * 2654435761u) % 512);
+    hits += lru.Access(uid) + lfu.Access(uid) + mru.Access(uid);
+    if (i % 4096 == 0) {
+      lru.set_capacity(static_cast<uint32_t>(64 + (i % 192)));
+      lru.set_capacity(256);
+    }
+  }
+  EXPECT_GT(hits, 0u);
+  EXPECT_EQ(window.allocs(), 0u)
+      << "a ghost cache operation allocated after construction";
+  EXPECT_EQ(window.frees(), 0u);
+}
+
+TEST(AllocTest, EnsembleLearningIsAllocationFreeAtSteadyState) {
+  // The ensemble's per-fault work — three ghost accesses, the
+  // multiplicative-weights update, normalization — is pure arithmetic over
+  // preallocated state once OnStart has sized the ghosts.
+  EnsembleConfig config;
+  config.ghost_capacity = 256;
+  EnsemblePolicy policy(/*seed=*/3, config);
+  policy.OnStart();  // preallocates the ghosts
+  for (uint64_t i = 0; i < 4096; i++) {  // warm-up
+    policy.OnPageFault(MakeAnonUid(NodeId{0}, 1, i % 512));
+  }
+  const AllocWindow window;
+  for (uint64_t i = 0; i < 8192; i++) {
+    policy.OnPageFault(MakeAnonUid(NodeId{0}, 1, (i * 7) % 512));
+    (void)policy.KeepVote(MakeAnonUid(NodeId{0}, 1, i % 512));
+    (void)policy.Estimate(MakeAnonUid(NodeId{0}, 1, i % 512));
+  }
+  EXPECT_EQ(policy.references(), 12288u);
+  EXPECT_EQ(window.allocs(), 0u)
+      << "an ensemble fault update allocated at steady state";
+  EXPECT_EQ(window.frees(), 0u);
+}
+
+TEST(AllocTest, EnsembleEngineDispatchIsAllocationFreeAtSteadyState) {
+  // Same receive->dispatch->handle bar as the hybrid-LFU engine test, with
+  // the ensemble policy plugged into the seam.
+  Simulator sim;
+  Network net(&sim, 2);
+  Cpu cpu(&sim);
+  FrameTable frames(16);
+  EnsembleConfig config;
+  config.ghost_capacity = 64;
+  CacheEngine engine(&sim, &net, &cpu, &frames, NodeId{1}, EngineConfig{},
+                     std::make_unique<EnsemblePolicy>(/*seed=*/1, config));
+  engine.Start(Pod::Build(1, {NodeId{0}, NodeId{1}}));
+  net.Attach(NodeId{1},
+             [&engine](Datagram&& d) { engine.OnDatagram(std::move(d)); });
+  uint64_t remaining = 0;
+  uint64_t round_trips = 0;
+  const Uid uid = MakeAnonUid(NodeId{0}, 1, 0);
+  net.Attach(NodeId{0}, [&](Datagram&& d) {
+    round_trips++;
+    if (remaining > 0) {
+      remaining--;
+      const uint64_t op = d.payload.get<GetPageMiss>().op_id + 1;
+      net.Send(Datagram{NodeId{0}, NodeId{1}, 64, kMsgGetPageReq,
+                        GetPageReq{uid, NodeId{0}, op, {}}});
+    }
+  });
+  auto run_trips = [&](uint64_t trips) {
+    remaining = trips;
+    net.Send(Datagram{NodeId{0}, NodeId{1}, 64, kMsgGetPageReq,
+                      GetPageReq{uid, NodeId{0}, 1, {}}});
+    sim.Run();
+  };
+  run_trips(4096);  // warm-up
+  const AllocWindow window;
+  const uint64_t before = round_trips;
+  run_trips(4096);
+  EXPECT_GE(round_trips - before, 4096u);
+  EXPECT_EQ(window.allocs(), 0u)
+      << "an ensemble engine trip allocated at steady state";
   EXPECT_EQ(window.frees(), 0u);
 }
 

@@ -173,6 +173,9 @@ INSTANTIATE_TEST_SUITE_P(
                       PropertyCase{PolicyKind::kLocalLru, 1},
                       PropertyCase{PolicyKind::kHybridLfu, 1},
                       PropertyCase{PolicyKind::kHybridLfu, 7},
+                      PropertyCase{PolicyKind::kEnsemble, 1},
+                      PropertyCase{PolicyKind::kEnsemble, 7},
+                      PropertyCase{PolicyKind::kAdaptiveGms, 1},
                       PropertyCase{PolicyKind::kNone, 1}),
     [](const auto& info) {
       std::string name;
@@ -181,6 +184,8 @@ INSTANTIATE_TEST_SUITE_P(
         case PolicyKind::kNchance: name = "Nchance"; break;
         case PolicyKind::kLocalLru: name = "Local"; break;
         case PolicyKind::kHybridLfu: name = "Lfu"; break;
+        case PolicyKind::kEnsemble: name = "Ensemble"; break;
+        case PolicyKind::kAdaptiveGms: name = "Adaptive"; break;
         case PolicyKind::kNone: name = "None"; break;
       }
       return name + "Seed" + std::to_string(info.param.seed);

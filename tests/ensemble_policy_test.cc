@@ -1,0 +1,265 @@
+// Regret-weight invariants for the expert-ensemble policy:
+//   * weights stay normalized and non-negative after every update,
+//   * on a synthetic workload with one clearly-best expert the weights
+//     concentrate on it (and re-concentrate after a phase change),
+//   * the ensemble's cumulative expected loss respects the Hedge bound
+//     (eta * L_best + ln K) / (1 - e^-eta) on arbitrary random streams,
+//   * the adaptive-MinAge extension moves its factor off 1.0 under a
+//     cluster workload while plain gms never does.
+//
+// The learning machinery (OnPageFault) touches only ghosts and weights, so
+// most tests drive a bare EnsemblePolicy with an explicit ghost_capacity —
+// no engine needed; the cluster-level behavior rides in policy_matrix_test
+// and the tournament harness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "src/cluster/cluster.h"
+#include "src/core/directory.h"
+#include "src/core/ensemble_policy.h"
+#include "src/workload/patterns.h"
+
+namespace gms {
+namespace {
+
+constexpr size_t kLruIdx = 0;
+constexpr size_t kLfuIdx = 1;
+constexpr size_t kMruIdx = 2;
+
+Uid TestUid(uint64_t page) {
+  return MakeAnonUid(NodeId{0}, 1, page);
+}
+
+// A policy with explicit ghost capacity needs no engine: OnStart only sizes
+// ghosts and precomputes the decay.
+EnsemblePolicy MakeBare(uint64_t seed, uint32_t ghost_capacity,
+                        double eta = 0.05) {
+  EnsembleConfig config;
+  config.ghost_capacity = ghost_capacity;
+  config.eta = eta;
+  EnsemblePolicy policy(seed, config);
+  policy.OnStart();
+  return policy;
+}
+
+void ExpectNormalized(const EnsemblePolicy& policy) {
+  double sum = 0;
+  for (const double w : policy.weights()) {
+    ASSERT_GE(w, 0.0);
+    ASSERT_LE(w, 1.0 + 1e-12);
+    sum += w;
+  }
+  ASSERT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(EnsemblePolicyTest, WeightsStayNormalizedAndNonNegative) {
+  EnsemblePolicy policy = MakeBare(11, 32);
+  Rng rng(99);
+  for (int i = 0; i < 5000; i++) {
+    policy.OnPageFault(TestUid(rng.NextBelow(200)));
+    ExpectNormalized(policy);
+  }
+  EXPECT_EQ(policy.references(), 5000u);
+}
+
+TEST(EnsemblePolicyTest, ConvergesToLfuOnHotSetPlusScans) {
+  // Hot pages revisited constantly, interleaved with one-touch scan pages:
+  // LFU keeps the hot set (frequency shields it), LRU loses it to every
+  // scan burst, MRU freezes whatever filled the cache first.
+  constexpr uint32_t kCapacity = 64;
+  constexpr uint64_t kHot = 16;
+  EnsemblePolicy policy = MakeBare(12, kCapacity);
+  Rng rng(1234);
+  uint64_t scan_page = 1'000'000;
+  for (int round = 0; round < 600; round++) {
+    policy.OnPageFault(TestUid(rng.NextBelow(kHot)));
+    // A scan burst long enough that LRU's reuse distance exceeds capacity.
+    for (int s = 0; s < 12; s++) {
+      policy.OnPageFault(TestUid(scan_page++));
+    }
+  }
+  ExpectNormalized(policy);
+  const auto& losses = policy.expert_losses();
+  ASSERT_LT(losses[kLfuIdx], losses[kLruIdx]);
+  ASSERT_LT(losses[kLfuIdx], losses[kMruIdx]);
+  // Concentration: the best expert carries (almost) all the weight.
+  EXPECT_GT(policy.weights()[kLfuIdx], 0.95)
+      << "lru=" << policy.weights()[kLruIdx]
+      << " lfu=" << policy.weights()[kLfuIdx]
+      << " mru=" << policy.weights()[kMruIdx];
+}
+
+TEST(EnsemblePolicyTest, ConvergesToMruOnCyclicScan) {
+  // A cyclic scan slightly larger than the cache: LRU (and LFU, which
+  // degenerates to LRU when every page has equal frequency) hit 0%; MRU
+  // keeps n-1 pages resident forever.
+  constexpr uint32_t kCapacity = 64;
+  constexpr uint64_t kUniverse = kCapacity + 8;
+  EnsemblePolicy policy = MakeBare(13, kCapacity);
+  for (int lap = 0; lap < 120; lap++) {
+    for (uint64_t p = 0; p < kUniverse; p++) {
+      policy.OnPageFault(TestUid(p));
+    }
+  }
+  ExpectNormalized(policy);
+  const auto& losses = policy.expert_losses();
+  ASSERT_LT(losses[kMruIdx], losses[kLruIdx]);
+  EXPECT_GT(policy.weights()[kMruIdx], 0.95)
+      << "lru=" << policy.weights()[kLruIdx]
+      << " lfu=" << policy.weights()[kLfuIdx]
+      << " mru=" << policy.weights()[kMruIdx];
+}
+
+TEST(EnsemblePolicyTest, ReAdaptsAcrossPhaseChange) {
+  // Phase 1 favors MRU (cyclic scan); phase 2 switches to a fresh working
+  // set that fits the cache, which only LRU tracks — MRU and LFU are both
+  // frozen full of phase-1 pages (MRU never evicts old residents, classic
+  // LFU protects their accumulated frequency). The weights must migrate —
+  // the whole point of learning online instead of fixing a heuristic at
+  // boot.
+  constexpr uint32_t kCapacity = 64;
+  EnsemblePolicy policy = MakeBare(14, kCapacity);
+  for (int lap = 0; lap < 120; lap++) {
+    for (uint64_t p = 0; p < kCapacity + 8; p++) {
+      policy.OnPageFault(TestUid(p));
+    }
+  }
+  EXPECT_GT(policy.weights()[kMruIdx], 0.9);
+  const auto phase1_losses = policy.expert_losses();
+
+  Rng rng(555);
+  for (int i = 0; i < 20000; i++) {
+    policy.OnPageFault(TestUid(1'000'000 + rng.NextBelow(48)));
+  }
+  ExpectNormalized(policy);
+  // Phase-2-only losses: LRU must strictly beat the frozen MRU ghost. (The
+  // LFU ghost left phase 1 with every page at frequency 1 — a cyclic scan
+  // never re-hits — so it legitimately tracks LRU here; the pair shares the
+  // weight.)
+  const auto& losses = policy.expert_losses();
+  ASSERT_LT(losses[kLruIdx] - phase1_losses[kLruIdx],
+            losses[kMruIdx] - phase1_losses[kMruIdx]);
+  EXPECT_LT(policy.weights()[kMruIdx], 1e-6)
+      << "weight failed to leave the phase-1 expert";
+  EXPECT_GT(policy.weights()[kLruIdx], 0.45)
+      << "weights failed to migrate after the phase change: lru="
+      << policy.weights()[kLruIdx] << " lfu=" << policy.weights()[kLfuIdx]
+      << " mru=" << policy.weights()[kMruIdx];
+}
+
+TEST(EnsemblePolicyTest, BoundedRegretOnRandomStreams) {
+  // The Hedge guarantee holds on ANY stream; check it on several random
+  // shapes (uniform, zipf-flavored via squaring, bursty).
+  for (uint64_t seed = 1; seed <= 6; seed++) {
+    EnsemblePolicy policy = MakeBare(seed, 48);
+    Rng rng(0xBEEF * 6700417 + seed);
+    for (int i = 0; i < 8000; i++) {
+      uint64_t page;
+      switch (seed % 3) {
+        case 0:
+          page = rng.NextBelow(96);  // thrashing uniform
+          break;
+        case 1:
+          page = rng.NextBelow(10) * rng.NextBelow(10);  // center-skewed
+          break;
+        default:
+          page = (static_cast<uint64_t>(i) / 64) * 16 + rng.NextBelow(16);
+          break;  // drifting bursts
+      }
+      policy.OnPageFault(TestUid(page));
+    }
+    ExpectNormalized(policy);
+    EXPECT_LE(policy.expected_loss(), policy.RegretBound() + 1e-6)
+        << "regret bound violated on stream shape " << seed % 3 << " (seed "
+        << seed << "): expected_loss=" << policy.expected_loss()
+        << " bound=" << policy.RegretBound()
+        << " best=" << policy.best_expert_loss();
+    // Sanity: the bound is meaningful, not vacuous — the ensemble really
+    // did pay something on a thrashing stream.
+    EXPECT_GT(policy.expected_loss(), 0.0);
+  }
+}
+
+TEST(EnsemblePolicyTest, KeepVoteFollowsGhostResidencyAndFrequency) {
+  EnsemblePolicy policy = MakeBare(15, 8);
+  // Never-seen page: nobody votes for it.
+  EXPECT_EQ(policy.KeepVote(TestUid(42)), 0.0);
+  policy.OnPageFault(TestUid(42));
+  // Resident everywhere but only touched once: the recency experts endorse
+  // it, the LFU expert withholds (freq 1 < lfu_min_freq) — exactly the
+  // one-pass-scan signature the vote threshold is built to reject.
+  EXPECT_NEAR(policy.KeepVote(TestUid(42)), 2.0 / 3.0, 1e-9);
+  policy.OnPageFault(TestUid(42));
+  // Second touch makes it frequent: unanimous vote.
+  EXPECT_NEAR(policy.KeepVote(TestUid(42)), 1.0, 1e-9);
+  EXPECT_GE(policy.Estimate(TestUid(42)), 2);
+  EXPECT_EQ(policy.Estimate(TestUid(43)), 0);
+}
+
+TEST(EnsemblePolicyTest, EnsembleClusterServesRemoteHitsAndQuiesces) {
+  // End-to-end: the ensemble composes with the engine on a real overflow
+  // cluster and the learning state actually advanced (fault events wired).
+  ClusterConfig config;
+  config.num_nodes = 3;
+  config.policy = PolicyKind::kEnsemble;
+  config.frames_per_node = {64, 512, 512};
+  config.frames = 64;
+  config.seed = 21;
+  Cluster cluster(config);
+  cluster.Start();
+  const uint64_t footprint = 192;
+  cluster.AddWorkload(NodeId{0},
+                      std::make_unique<UniformRandomPattern>(
+                          PageSet{MakeAnonUid(NodeId{0}, 1, 0), footprint},
+                          footprint * 6, Microseconds(30), 0.0),
+                      "overflow");
+  cluster.StartWorkloads();
+  ASSERT_TRUE(cluster.RunUntilWorkloadsDone(Seconds(120)));
+  EXPECT_TRUE(cluster.RunUntilQuiescent(Seconds(10)));
+  const Cluster::Totals t = cluster.totals();
+  EXPECT_GT(t.getpage_hits, 0u);
+  EXPECT_GT(cluster.service(NodeId{0}).stats().putpages_sent, 0u);
+}
+
+TEST(AdaptiveMinAgeTest, FactorMovesUnderLoadAndStaysPinnedWhenDisabled) {
+  // Same overflow cluster twice: plain gms must keep factor == 1.0 and
+  // effective_min_age == the epoch MinAge (the golden-preservation
+  // contract); the adaptive variant must move its factor off 1.0 — node 0
+  // thrashes well beyond 2x its memory, so the ghost signal is strong.
+  for (const bool adaptive : {false, true}) {
+    ClusterConfig config;
+    config.num_nodes = 3;
+    config.policy = adaptive ? PolicyKind::kAdaptiveGms : PolicyKind::kGms;
+    config.frames_per_node = {64, 512, 512};
+    config.frames = 64;
+    config.seed = 9;
+    config.gms.adaptive.update_every = 64;   // react within this short run
+    config.gms.adaptive.high_demand = 0.35;  // uniform-256 over a 128 ghost
+                                             // hovers near 0.5; keep margin
+    Cluster cluster(config);
+    cluster.Start();
+    const uint64_t footprint = 256;
+    cluster.AddWorkload(NodeId{0},
+                        std::make_unique<UniformRandomPattern>(
+                            PageSet{MakeAnonUid(NodeId{0}, 1, 0), footprint},
+                            footprint * 8, Microseconds(30), 0.0),
+                        "overflow");
+    cluster.StartWorkloads();
+    ASSERT_TRUE(cluster.RunUntilWorkloadsDone(Seconds(120)));
+    GmsAgent* agent = cluster.gms_agent(NodeId{0});
+    ASSERT_NE(agent, nullptr);
+    if (adaptive) {
+      EXPECT_NE(agent->adaptive_factor(), 1.0)
+          << "ghost signal never moved the factor";
+    } else {
+      EXPECT_EQ(agent->adaptive_factor(), 1.0);
+      EXPECT_EQ(agent->effective_min_age(), agent->epoch_view().min_age);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gms

@@ -73,7 +73,8 @@ TEST_P(PolicyMatrixTest, OverflowWorkloadCompletesAndQuiesces) {
 TEST(PolicyRegistryTest, NamesRoundTrip) {
   // Every kind the registry exposes parses back to itself, so --policy
   // flags, CI matrix entries, and printed headers stay in sync.
-  for (const char* name : {"gms", "nchance", "local", "lfu", "none"}) {
+  for (const char* name :
+       {"gms", "nchance", "local", "lfu", "ensemble", "adaptive", "none"}) {
     auto kind = ParsePolicyName(name);
     ASSERT_TRUE(kind.has_value()) << name;
     EXPECT_STREQ(PolicyName(*kind), name);
@@ -82,7 +83,8 @@ TEST(PolicyRegistryTest, NamesRoundTrip) {
   EXPECT_FALSE(ParsePolicyName("").has_value());
   // The help string mentions every parseable name.
   const std::string known = KnownPolicyNames();
-  for (const char* name : {"gms", "nchance", "local", "lfu", "none"}) {
+  for (const char* name :
+       {"gms", "nchance", "local", "lfu", "ensemble", "adaptive", "none"}) {
     EXPECT_NE(known.find(name), std::string::npos) << known;
   }
 }
@@ -92,6 +94,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(MatrixCase{PolicyKind::kGms, true},
                       MatrixCase{PolicyKind::kNchance, true},
                       MatrixCase{PolicyKind::kHybridLfu, true},
+                      MatrixCase{PolicyKind::kEnsemble, true},
+                      MatrixCase{PolicyKind::kAdaptiveGms, true},
                       MatrixCase{PolicyKind::kLocalLru, false},
                       MatrixCase{PolicyKind::kNone, false}),
     [](const ::testing::TestParamInfo<MatrixCase>& info) {

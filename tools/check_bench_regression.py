@@ -29,6 +29,7 @@ because the two figures wobble independently on shared runners).
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -115,6 +116,24 @@ def check_epoch_scaleout(path, doc, max_root_cost):
     return 0
 
 
+def check_policy_tournament(path, doc, tolerance):
+    """Gate a schema-2 policy_tournament doc (bench/policy_tournament
+    --json_out) by delegating to tools/check_tournament.py's validator:
+    full-grid coverage, score/league consistency, the Hedge regret bound,
+    and the ensemble-vs-best-fixed-policy phase-change acceptance.
+    """
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from check_tournament import check_doc
+    failures = check_doc(doc, path, phase_change_tolerance=tolerance)
+    if failures:
+        print("\nFAIL: tournament doc invalid:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nOK: tournament doc complete, scored consistently, regret bounded")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", help="freshly generated BENCH_core.json")
@@ -168,6 +187,15 @@ def main():
         "people to ignore the gate",
     )
     parser.add_argument(
+        "--phase-change-tolerance",
+        type=float,
+        default=0.05,
+        help="for schema-2 policy_tournament docs (bench/policy_tournament "
+        "--json_out): allowed fractional slack for the ensemble policy vs "
+        "the best fixed policy on the phase_change scenario; such docs skip "
+        "the baseline comparison entirely",
+    )
+    parser.add_argument(
         "--expect-tracing-disabled",
         action="store_true",
         help="fail unless the current JSON was produced by a build with the "
@@ -185,6 +213,10 @@ def main():
     if cur_raw.get("schema") == 2 and cur_raw.get("kind") == "epoch_cost":
         return check_epoch_cost(args.current, cur_raw,
                                 args.max_epoch_root_cost)
+    if cur_raw.get("schema") == 2 and \
+            cur_raw.get("kind") == "policy_tournament":
+        return check_policy_tournament(args.current, cur_raw,
+                                       args.phase_change_tolerance)
 
     cur = load(args.current)
     base = load(args.baseline)

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Validate a policy-tournament JSON doc (bench/policy_tournament --json_out).
+
+Usage:
+    tools/check_tournament.py TOURNAMENT.json
+                              [--phase-change-tolerance 0.05]
+                              [--require-policies a,b,c]
+                              [--require-scenarios x,y]
+
+Checks, in order:
+  1. schema/kind: a schema-2 "policy_tournament" doc.
+  2. coverage: exactly one completed cell per (policy x scenario) pair —
+     a policy that hung or a scenario that was silently skipped fails here.
+  3. scoring: every cell's score equals best_elapsed/elapsed recomputed from
+     the raw cells, and each scenario has a winner at score 1.0.
+  4. league: mean_score per policy matches a recomputation from the cells
+     and the table is sorted best-first.
+  5. regret: every ensemble audit satisfies the Hedge guarantee
+     expected_loss <= bound (bound is relative to the BEST expert, so this
+     also implies the ensemble never trails the WORST expert by more than
+     the bound; both are asserted independently).
+  6. phase change (when both "ensemble" and "phase_change" are present):
+     the ensemble's elapsed time matches or beats the best fixed policy
+     within --phase-change-tolerance — the headline adaptivity claim.
+
+Exit 0 when all checks pass, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+EPS = 1e-6
+
+
+def check_doc(doc, path, phase_change_tolerance=0.05,
+              require_policies=(), require_scenarios=()):
+    """Returns a list of failure strings (empty = pass), printing a report."""
+    failures = []
+    if doc.get("schema") != 2 or doc.get("kind") != "policy_tournament":
+        return [f"{path}: not a schema-2 policy_tournament doc "
+                f"(schema={doc.get('schema')!r} kind={doc.get('kind')!r})"]
+
+    policies = doc.get("policies", [])
+    scenarios = doc.get("scenarios", [])
+    cells = doc.get("cells", [])
+    print(f"tournament: {len(policies)} policies x {len(scenarios)} "
+          f"scenarios, {len(cells)} cells "
+          f"(scale={doc.get('scale')} seed={doc.get('seed')})")
+
+    for name in require_policies:
+        if name not in policies:
+            failures.append(f"required policy '{name}' missing from doc")
+    for name in require_scenarios:
+        if name not in scenarios:
+            failures.append(f"required scenario '{name}' missing from doc")
+
+    # -- coverage: exactly one completed cell per pair --------------------
+    by_pair = {}
+    for cell in cells:
+        key = (cell.get("scenario"), cell.get("policy"))
+        if key in by_pair:
+            failures.append(f"duplicate cell for {key}")
+        by_pair[key] = cell
+    for scenario in scenarios:
+        for policy in policies:
+            cell = by_pair.get((scenario, policy))
+            if cell is None:
+                failures.append(f"missing cell ({scenario}, {policy})")
+            elif not cell.get("completed"):
+                failures.append(
+                    f"cell ({scenario}, {policy}) did not complete")
+            elif not cell.get("elapsed_s", 0) > 0:
+                failures.append(
+                    f"cell ({scenario}, {policy}) has elapsed_s "
+                    f"{cell.get('elapsed_s')!r}")
+    stray = [k for k in by_pair
+             if k[0] not in scenarios or k[1] not in policies]
+    for key in stray:
+        failures.append(f"cell {key} outside the declared grid")
+
+    # -- scoring ----------------------------------------------------------
+    for scenario in scenarios:
+        row = [by_pair[(scenario, p)] for p in policies
+               if (scenario, p) in by_pair]
+        elapsed = [c["elapsed_s"] for c in row if c.get("elapsed_s", 0) > 0]
+        if not elapsed:
+            continue
+        best = min(elapsed)
+        winners = 0
+        for c in row:
+            if not c.get("elapsed_s", 0) > 0:
+                continue
+            want = best / c["elapsed_s"]
+            if abs(c.get("score", -1) - want) > 1e-3:
+                failures.append(
+                    f"cell ({scenario}, {c['policy']}): score "
+                    f"{c.get('score')} != best/elapsed {want:.6f}")
+            if c.get("score", 0) >= 1.0 - EPS:
+                winners += 1
+        if winners < 1:
+            failures.append(f"scenario {scenario}: no cell at score 1.0")
+
+    # -- league -----------------------------------------------------------
+    league = doc.get("league", [])
+    if sorted(e.get("policy") for e in league) != sorted(policies):
+        failures.append("league entries do not match the policy list")
+    prev = None
+    for entry in league:
+        policy = entry.get("policy")
+        scores = [by_pair[(s, policy)]["score"] for s in scenarios
+                  if (s, policy) in by_pair]
+        if scores:
+            want = sum(scores) / len(scores)
+            if abs(entry.get("mean_score", -1) - want) > 1e-3:
+                failures.append(
+                    f"league {policy}: mean_score {entry.get('mean_score')} "
+                    f"!= recomputed {want:.6f}")
+        if prev is not None and entry.get("mean_score", 0) > prev + EPS:
+            failures.append("league is not sorted best-first")
+        prev = entry.get("mean_score", 0)
+        print(f"  league: {policy:10s} mean={entry.get('mean_score'):.3f} "
+              f"wins={entry.get('wins')}")
+
+    # -- regret -----------------------------------------------------------
+    for audit in doc.get("ensemble_regret", []):
+        scenario = audit.get("scenario")
+        exp = audit.get("expected_loss", float("inf"))
+        bound = audit.get("bound", 0)
+        worst = audit.get("worst_expert_loss", 0)
+        print(f"  regret {scenario:14s} refs={audit.get('references')} "
+              f"expected={exp:.1f} bound={bound:.1f} worst={worst:.1f} "
+              f"ok={audit.get('ok')}")
+        if not audit.get("ok"):
+            failures.append(f"regret audit {scenario}: harness reported NOT ok")
+        if exp > bound + EPS:
+            failures.append(
+                f"regret audit {scenario}: expected_loss {exp:.1f} exceeds "
+                f"Hedge bound {bound:.1f}")
+        if exp > worst + bound + EPS:
+            failures.append(
+                f"regret audit {scenario}: expected_loss {exp:.1f} trails the "
+                f"worst expert ({worst:.1f}) by more than the bound "
+                f"({bound:.1f})")
+    if "ensemble" in policies and not doc.get("ensemble_regret"):
+        failures.append("ensemble played but doc has no regret audits")
+
+    # -- the adaptivity headline ------------------------------------------
+    if "ensemble" in policies and "phase_change" in scenarios:
+        ens = by_pair.get(("phase_change", "ensemble"))
+        rivals = {p: by_pair[("phase_change", p)]["elapsed_s"]
+                  for p in policies
+                  if p != "ensemble" and ("phase_change", p) in by_pair
+                  and by_pair[("phase_change", p)].get("elapsed_s", 0) > 0}
+        if ens and rivals:
+            best_name = min(rivals, key=rivals.get)
+            best = rivals[best_name]
+            limit = best * (1.0 + phase_change_tolerance)
+            verdict = "ok" if ens["elapsed_s"] <= limit else "FAIL"
+            print(f"  phase_change: ensemble {ens['elapsed_s']:.1f}s vs best "
+                  f"fixed {best_name} {best:.1f}s "
+                  f"(tolerance {phase_change_tolerance:.0%}) {verdict}")
+            if ens["elapsed_s"] > limit:
+                failures.append(
+                    f"phase_change: ensemble {ens['elapsed_s']:.1f}s trails "
+                    f"best fixed policy {best_name} {best:.1f}s beyond "
+                    f"{phase_change_tolerance:.0%}")
+
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("doc", help="tournament JSON from policy_tournament")
+    parser.add_argument("--phase-change-tolerance", type=float, default=0.05,
+                        help="allowed fractional slack for the ensemble vs "
+                        "the best fixed policy on phase_change (default 0.05)")
+    parser.add_argument("--require-policies", default="",
+                        help="comma list of policies that must be present")
+    parser.add_argument("--require-scenarios", default="",
+                        help="comma list of scenarios that must be present")
+    args = parser.parse_args()
+
+    with open(args.doc) as f:
+        doc = json.load(f)
+    failures = check_doc(
+        doc, args.doc,
+        phase_change_tolerance=args.phase_change_tolerance,
+        require_policies=[p for p in args.require_policies.split(",") if p],
+        require_scenarios=[s for s in args.require_scenarios.split(",") if s])
+    if failures:
+        print("\nFAIL: tournament doc invalid:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nOK: tournament doc complete, scored consistently, regret bounded")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
