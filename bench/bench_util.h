@@ -125,9 +125,13 @@ struct EpochScaleoutResult {
   double sim_s = 0;  // simulated seconds consumed by the rounds
 };
 
+// `metrics_out`, when non-empty, dumps the point's metrics registry (with a
+// snapshot series over the measured rounds) to `<metrics_out>` — epoch_cost
+// and fig7_scaleout pass per-point file names.
 inline EpochScaleoutResult RunEpochScaleout(uint32_t nodes, uint32_t fanout,
                                             uint64_t target_epochs = 3,
-                                            uint32_t threads = 1) {
+                                            uint32_t threads = 1,
+                                            const std::string& metrics_out = "") {
   ClusterConfig config;
   config.num_nodes = nodes;
   config.policy = PolicyKind::kGms;
@@ -138,6 +142,9 @@ inline EpochScaleoutResult RunEpochScaleout(uint32_t nodes, uint32_t fanout,
   config.gms.epoch.t_max = Milliseconds(400);
   config.gms.epoch.summary_timeout = Milliseconds(100);
   config.gms.epoch.fanout = fanout;
+  if (!metrics_out.empty()) {
+    config.obs.snapshot_interval = Milliseconds(250);
+  }
   Cluster cluster(config);
   cluster.Start();
 
@@ -165,6 +172,16 @@ inline EpochScaleoutResult RunEpochScaleout(uint32_t nodes, uint32_t fanout,
         1e6 / epochs;
   }
   r.sim_s = ToSeconds(cluster.sim().now());
+  if (!metrics_out.empty()) {
+    if (std::FILE* f = std::fopen(metrics_out.c_str(), "w")) {
+      const std::string json = cluster.metrics().ToJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("metrics -> %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+    }
+  }
   return r;
 }
 
@@ -174,10 +191,11 @@ inline void BenchHeader(const std::string& title, const PaperScale& s) {
               s.scale, static_cast<unsigned long long>(s.seed));
 }
 
-// Every bench accepts --trace_out= and --metrics_out=: the run's binary
-// event trace (tools/trace_stats.py, tools/trace_spans) and the metrics
-// registry JSON. Call ApplyObsFlags before constructing the Cluster and
-// WriteObsOutputs after the measured work.
+// Every bench accepts --trace_out=, --metrics_out= and --health_out=: the
+// run's binary event trace (tools/trace_stats.py, tools/trace_spans), the
+// metrics registry JSON, and the health monitor's incident report
+// (tools/check_health.py). Call ApplyObsFlags before constructing the
+// Cluster and WriteObsOutputs after the measured work.
 inline void ApplyObsFlags(int argc, char** argv, ObsConfig* obs) {
   const std::string trace_out = FlagString(argc, argv, "trace_out");
   if (!trace_out.empty()) {
@@ -187,6 +205,9 @@ inline void ApplyObsFlags(int argc, char** argv, ObsConfig* obs) {
   if (!FlagString(argc, argv, "metrics_out").empty() &&
       obs->snapshot_interval == 0) {
     obs->snapshot_interval = Milliseconds(250);
+  }
+  if (!FlagString(argc, argv, "health_out").empty()) {
+    obs->health = true;
   }
 }
 
@@ -212,6 +233,21 @@ inline int WriteObsOutputs(int argc, char** argv, Cluster& cluster) {
     std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);
     std::printf("metrics -> %s\n", metrics_out.c_str());
+  }
+  const std::string health_out = FlagString(argc, argv, "health_out");
+  if (!health_out.empty()) {
+    if (const HealthMonitor* health = cluster.health()) {
+      std::FILE* f = std::fopen(health_out.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", health_out.c_str());
+        return 1;
+      }
+      const std::string json = health->ToJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("health -> %s (%llu incidents)\n", health_out.c_str(),
+                  static_cast<unsigned long long>(health->incidents().size()));
+    }
   }
   return 0;
 }

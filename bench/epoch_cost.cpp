@@ -16,7 +16,8 @@
 // "epoch_cost" doc that tools/check_bench_regression.py gates with
 // --max-epoch-root-cost (applied to the tree points; flat points are
 // reported but unbounded — their linear growth is the baseline the tree is
-// measured against).
+// measured against). --metrics_out=PREFIX writes each point's metrics
+// registry JSON to PREFIX_n<nodes>_f<fanout>.json.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -48,12 +49,18 @@ int main(int argc, char** argv) {
   std::printf("%8s | %10s %7s | %10s %7s | %10s %7s | %10s %7s\n", "",
               "msgs/ep", "cpu us", "msgs/ep", "cpu us", "msgs/ep", "cpu us",
               "msgs/ep", "cpu us");
+  const std::string metrics_prefix = FlagString(argc, argv, "metrics_out");
   std::vector<EpochScaleoutResult> grid;
   for (uint32_t n : sizes) {
     std::printf("%8u |", n);
     for (uint32_t fanout : fanouts) {
+      const std::string metrics_out =
+          metrics_prefix.empty()
+              ? std::string()
+              : metrics_prefix + "_n" + std::to_string(n) + "_f" +
+                    std::to_string(fanout) + ".json";
       const EpochScaleoutResult r =
-          RunEpochScaleout(n, fanout, epochs, threads);
+          RunEpochScaleout(n, fanout, epochs, threads, metrics_out);
       grid.push_back(r);
       if (r.epochs == 0) {
         std::printf(" %10s %7s |", "-", "-");

@@ -21,7 +21,11 @@
 namespace gms {
 namespace {
 
-double RunWithSwaps(PolicyKind policy, SimTime interval, const PaperScale& s) {
+// `health_out`, when non-empty, enables the online health monitor for the
+// run and writes its incident report there — the donor-flap detector sees
+// the role swaps directly (EXPERIMENTS.md, "Diagnosing a load-change flap").
+double RunWithSwaps(PolicyKind policy, SimTime interval, const PaperScale& s,
+                    const std::string& health_out = "") {
   constexpr uint32_t kPeers = 8;
   AppSpec probe = MakeOO7(NodeId{0}, s.scale);
   const uint64_t needed =
@@ -35,6 +39,7 @@ double RunWithSwaps(PolicyKind policy, SimTime interval, const PaperScale& s) {
   for (uint32_t i = 1; i <= kPeers; i++) {
     config.frames_per_node[i] = filler_ws + 64;
   }
+  config.obs.health = !health_out.empty();
 
   Cluster cluster(config);
   cluster.Start();
@@ -93,6 +98,17 @@ double RunWithSwaps(PolicyKind policy, SimTime interval, const PaperScale& s) {
     f->Stop();
     f->Resume();  // let stopped drivers unwind
   }
+  if (const HealthMonitor* health = cluster.health()) {
+    if (std::FILE* f = std::fopen(health_out.c_str(), "w")) {
+      const std::string json = health->ToJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("health -> %s (%zu incidents)\n", health_out.c_str(),
+                  health->incidents().size());
+    } else {
+      std::fprintf(stderr, "cannot open %s\n", health_out.c_str());
+    }
+  }
   return ToSeconds(w.elapsed());
 }
 
@@ -104,11 +120,17 @@ int main(int argc, char** argv) {
   PaperScale s = BenchScale(argc, argv);
   BenchHeader("Figure 8: OO7 speedup vs load-redistribution interval", s);
 
+  // --health_out=PREFIX: each GMS point writes PREFIX_i<interval>.json.
+  const std::string health_prefix = FlagString(argc, argv, "health_out");
   const double baseline = RunWithSwaps(PolicyKind::kNone, Seconds(30), s);
   const int intervals[] = {1, 2, 5, 10, 20, 30};
   TablePrinter table({"Swap interval (s)", "OO7 speedup"});
   for (int x : intervals) {
-    const double t = RunWithSwaps(PolicyKind::kGms, Seconds(x), s);
+    const std::string health_out =
+        health_prefix.empty()
+            ? std::string()
+            : health_prefix + "_i" + std::to_string(x) + ".json";
+    const double t = RunWithSwaps(PolicyKind::kGms, Seconds(x), s, health_out);
     table.AddNumericRow(std::to_string(x), {t > 0 ? baseline / t : 0}, 2);
     std::fflush(stdout);
   }

@@ -26,7 +26,11 @@ struct LossResult {
   uint64_t drops = 0;
 };
 
-LossResult RunAtLoss(double loss, uint32_t threads) {
+// `health_out`, when non-empty, enables the health monitor for this point
+// and writes its incident report there: rising loss should surface as
+// retry_storm/dup_spike incidents while the 0% point stays clean.
+LossResult RunAtLoss(double loss, uint32_t threads,
+                     const std::string& health_out = "") {
   ClusterConfig config;
   config.num_nodes = 4;
   config.policy = PolicyKind::kGms;
@@ -34,6 +38,7 @@ LossResult RunAtLoss(double loss, uint32_t threads) {
   config.frames = 256;
   config.seed = 7;
   config.threads = threads;  // every reported number is thread-invariant
+  config.obs.health = !health_out.empty();
   config.gms.epoch.t_min = Milliseconds(200);
   config.gms.epoch.t_max = Seconds(2);
   config.gms.epoch.m_min = 16;
@@ -90,6 +95,17 @@ LossResult RunAtLoss(double loss, uint32_t threads) {
                                   static_cast<double>(attempts)
                             : 0;
   r.drops = cluster.net().fault_stats().drops_total().events;
+  if (const HealthMonitor* health = cluster.health()) {
+    if (std::FILE* f = std::fopen(health_out.c_str(), "w")) {
+      const std::string json = health->ToJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("health -> %s (%zu incidents)\n", health_out.c_str(),
+                  health->incidents().size());
+    } else {
+      std::fprintf(stderr, "cannot open %s\n", health_out.c_str());
+    }
+  }
   return r;
 }
 
@@ -99,11 +115,18 @@ LossResult RunAtLoss(double loss, uint32_t threads) {
 int main(int argc, char** argv) {
   using namespace gms;
   const uint32_t threads = BenchThreads(argc, argv);
+  // --health_out=PREFIX: each point writes PREFIX_l<loss pct x10>.json.
+  const std::string health_prefix = FlagString(argc, argv, "health_out");
   std::printf("Goodput vs injected loss (4 nodes, retries on, 16k accesses)\n\n");
   TablePrinter table({"Loss", "Run (s)", "Accesses/s", "Getpage hit %",
                       "Retries", "Drops"});
   for (double loss : {0.0, 0.001, 0.01, 0.05}) {
-    LossResult r = RunAtLoss(loss, threads);
+    const std::string health_out =
+        health_prefix.empty()
+            ? std::string()
+            : health_prefix + "_l" +
+                  std::to_string(static_cast<int>(loss * 1000)) + ".json";
+    LossResult r = RunAtLoss(loss, threads, health_out);
     char label[32];
     std::snprintf(label, sizeof(label), "%.1f%%", loss * 100);
     table.AddNumericRow(label,

@@ -28,7 +28,9 @@
 //
 // Flags: --policies=a,b,c --scenarios=x,y --scale= --seed= --threads=
 //        --json_out=FILE (schema-2 "policy_tournament" doc for
-//        tools/check_tournament.py and tools/check_bench_regression.py).
+//        tools/check_tournament.py and tools/check_bench_regression.py)
+//        --metrics_out=PREFIX (per-cell metrics registry JSON with snapshot
+//        series, PREFIX_<scenario>_<policy>.json).
 // --policies=list prints the registry and exits.
 #include <algorithm>
 #include <cstdio>
@@ -86,6 +88,12 @@ Uid Page(uint64_t inode, uint32_t page) {
   return MakeFileUid(NodeId{0}, inode, page);
 }
 
+// --metrics_out=PREFIX: each cell's metrics registry (with a snapshot
+// series) lands in PREFIX_<scenario>_<policy>.json. Routed through file
+// scope because Scenario::build's signature is (policy, scale).
+ObsConfig g_obs;
+std::string g_metrics_prefix;
+
 // Operation counts scale linearly with --scale (default 0.25 keeps the whole
 // tournament to seconds); footprints stay fixed so every memory-pressure
 // ratio against the frame counts is preserved at any scale.
@@ -103,6 +111,7 @@ std::unique_ptr<Cluster> MakeCluster(PolicyKind policy, const PaperScale& s,
   config.frames_per_node = std::move(frames);
   config.seed = s.seed;
   config.threads = s.threads;
+  config.obs = g_obs;
   auto cluster = std::make_unique<Cluster>(config);
   cluster->Start();
   return cluster;
@@ -216,7 +225,8 @@ std::vector<Scenario> AllScenarios() {
          chaos.loss = 0.05;
          chaos.policy = policy;
          chaos.threads = s.threads;
-         return BuildChaosCluster(chaos);  // adds its own two workloads
+         // Adds its own two workloads.
+         return BuildChaosCluster(chaos, /*with_partition=*/true, g_obs);
        }});
 
   return scenarios;
@@ -258,6 +268,18 @@ Cell RunCell(const Scenario& scenario, PolicyKind policy, const PaperScale& s,
       }
     }
   }
+
+  if (!g_metrics_prefix.empty()) {
+    const std::string path =
+        g_metrics_prefix + "_" + cell.scenario + "_" + cell.policy + ".json";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      const std::string json = cluster->metrics().ToJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    }
+  }
   return cell;
 }
 
@@ -284,6 +306,11 @@ std::vector<std::string> SplitList(const std::string& csv) {
 int main(int argc, char** argv) {
   using namespace gms;
   const PaperScale s = BenchScale(argc, argv);
+
+  g_metrics_prefix = FlagString(argc, argv, "metrics_out");
+  if (!g_metrics_prefix.empty()) {
+    g_obs.snapshot_interval = Milliseconds(250);
+  }
 
   // --policies=: comma list through the registry; default = every policy.
   std::vector<PolicyKind> policies;

@@ -5,6 +5,8 @@
 //   --trace_out=FILE    write the binary event trace (GMSTRC00 format;
 //                       tools/trace_stats.py parses it)
 //   --metrics_out=FILE  write the metrics-registry JSON export
+//   --health_out=FILE   enable the health monitor and write its incident
+//                       report (tools/check_health.py validates it)
 //   --ring_capacity=N   per-node ring size in records (default 16384); the
 //                       ring flushes to the file when full, so smaller rings
 //                       trade write frequency for memory, never records
@@ -45,6 +47,8 @@ int main(int argc, char** argv) {
   config.obs.trace_ring_capacity = static_cast<uint32_t>(
       FlagValue(argc, argv, "ring_capacity", config.obs.trace_ring_capacity));
   config.obs.snapshot_interval = Milliseconds(250);
+  const std::string health_out = FlagString(argc, argv, "health_out");
+  config.obs.health = !health_out.empty();
 
   Cluster cluster(config);
   cluster.Start();
@@ -101,6 +105,20 @@ int main(int argc, char** argv) {
     std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);
     std::printf("metrics -> %s\n", metrics_out.c_str());
+  }
+  if (!health_out.empty()) {
+    if (const HealthMonitor* health = cluster.health()) {
+      std::FILE* f = std::fopen(health_out.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", health_out.c_str());
+        return 1;
+      }
+      const std::string json = health->ToJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("health -> %s (%zu incidents)\n", health_out.c_str(),
+                  health->incidents().size());
+    }
   }
   if (!trace_out.empty()) {
     std::printf("trace -> %s\n", trace_out.c_str());

@@ -70,6 +70,15 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     RegisterNodeMetrics(i);
   }
   metrics_.RegisterCounter("net/total", [this] { return &net_->total_traffic(); });
+  if (config_.obs.health) {
+    HealthConfig hc = config_.obs.health_config;
+    if (hc.epoch_period <= 0) {
+      hc.epoch_period = config_.gms.epoch.t_max;
+    }
+    health_ = std::make_unique<HealthMonitor>(&metrics_, config_.num_nodes, hc);
+    health_->set_tracer(tracer_.get());
+    health_->Bind();  // all metric families above exist; Bind resolves them
+  }
 }
 
 Cluster::~Cluster() = default;
@@ -189,6 +198,17 @@ void Cluster::RegisterNodeMetrics(uint32_t i) {
                          [svc] { return svc()->epoch_partials_merged; });
   metrics_.RegisterValue(p + "svc/epoch_root_summary_msgs",
                          [svc] { return svc()->epoch_root_summary_msgs; });
+  metrics_.RegisterValue(p + "svc/getpage_retries",
+                         [svc] { return svc()->getpage_retries; });
+  metrics_.RegisterValue(p + "svc/control_retries",
+                         [svc] { return svc()->control_retries; });
+  metrics_.RegisterValue(p + "svc/duplicate_msgs_dropped",
+                         [svc] { return svc()->duplicate_msgs_dropped; });
+  // The node's adopted epoch number (0 for non-GMS policies): the health
+  // monitor's staleness detector watches its derivative.
+  metrics_.RegisterValue(p + "svc/epoch", [rt] {
+    return rt->gms != nullptr ? rt->gms->epoch_view().epoch : 0;
+  });
   metrics_.RegisterLatency(p + "svc/getpage_hit_ns",
                            [svc] { return &svc()->getpage_hit_ns; });
   metrics_.RegisterLatency(p + "svc/getpage_miss_ns",
@@ -241,17 +261,29 @@ void Cluster::Start() {
       rt.engine->Start(pod);
     }
   }
-  if (config_.obs.snapshot_interval > 0) {
+  if (config_.obs.snapshot_interval > 0 || health_ != nullptr) {
     ArmSnapshotTimer();
   }
 }
 
 void Cluster::ArmSnapshotTimer() {
-  // Snapshot events only read stats, so arming them cannot change simulated
-  // behaviour: they run in the control context, whose stamps never perturb
-  // the relative order of node events.
-  sim_.After(config_.obs.snapshot_interval, [this] {
-    metrics_.SnapshotEpoch(sim_.now());
+  // Snapshot and health-sampling events only read stats, so arming them
+  // cannot change simulated behaviour: they run in the control context,
+  // whose stamps never perturb the relative order of node events. The health
+  // monitor rides the snapshot cadence when one was requested (the snapshot
+  // series stays opt-in — long runs with health on do not accumulate one);
+  // otherwise it samples at its own interval.
+  const SimTime interval =
+      config_.obs.snapshot_interval > 0
+          ? config_.obs.snapshot_interval
+          : config_.obs.health_config.sample_interval;
+  sim_.After(interval, [this] {
+    if (config_.obs.snapshot_interval > 0) {
+      metrics_.SnapshotEpoch(sim_.now());
+    }
+    if (health_ != nullptr) {
+      health_->Sample(sim_.now());
+    }
     ArmSnapshotTimer();
   });
 }

@@ -21,6 +21,7 @@
 #include "src/nchance/nchance_agent.h"
 #include "src/net/network.h"
 #include "src/node/node_os.h"
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sim/cpu.h"
@@ -40,6 +41,13 @@ struct ObsConfig {
   // >0: append a cumulative MetricsRegistry snapshot every interval (the
   // per-epoch time series behind Figure 8/11-style curves).
   SimTime snapshot_interval = 0;
+  // Online health monitoring (src/obs/health.h): detectors sample the
+  // metrics registry on the snapshot timer (or health.sample_interval when
+  // no snapshot series was requested) and record incidents into the trace
+  // and the --health_out report. health.epoch_period is defaulted from
+  // GmsConfig::epoch.t_max when left 0.
+  bool health = false;
+  HealthConfig health_config;
 };
 
 struct ClusterConfig {
@@ -152,6 +160,9 @@ class Cluster {
   // objects, so values track reboots and resets.
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
+  // Null unless config.obs.health. ToJson() is the --health_out report.
+  HealthMonitor* health() { return health_.get(); }
+  const HealthMonitor* health() const { return health_.get(); }
 
  private:
   struct NodeRuntime {
@@ -178,6 +189,7 @@ class Cluster {
   // Tracer*.
   std::unique_ptr<Tracer> tracer_;
   MetricsRegistry metrics_;
+  std::unique_ptr<HealthMonitor> health_;
   std::unique_ptr<Network> net_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
   std::vector<std::unique_ptr<WorkloadDriver>> workloads_;

@@ -1,5 +1,6 @@
 #include "src/obs/metrics.h"
 
+#include <algorithm>
 #include <bit>
 #include <cinttypes>
 #include <cmath>
@@ -170,6 +171,26 @@ std::optional<MetricsRegistry::Kind> MetricsRegistry::KindOf(
   return m->kind;
 }
 
+size_t MetricsRegistry::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < metrics_.size(); i++) {
+    if (metrics_[i].name == name) {
+      return i;
+    }
+  }
+  return kInvalidIndex;
+}
+
+uint64_t MetricsRegistry::ValueAt(size_t index) const {
+  return index < metrics_.size() ? PrimaryValue(metrics_[index]) : 0;
+}
+
+const LatencyHistogram* MetricsRegistry::LatencyAt(size_t index) const {
+  if (index >= metrics_.size() || metrics_[index].kind != Kind::kLatency) {
+    return nullptr;
+  }
+  return metrics_[index].latency();
+}
+
 void MetricsRegistry::SnapshotEpoch(SimTime now) {
   Snapshot snap;
   snap.time = now;
@@ -195,13 +216,18 @@ void AppendF(std::string* out, const char* fmt, ...) {
   }
 }
 
-// Metric names are generated identifiers (alnum, '/', '_', '.') so no JSON
-// escaping beyond quoting is needed; enforce that assumption cheaply.
-void AppendName(std::string* out, const std::string& name) {
+// Proper JSON string escaping: quotes, backslashes, and control characters
+// round-trip losslessly instead of being squashed to '_'.
+void AppendJsonString(std::string* out, const std::string& s) {
   out->push_back('"');
-  for (char c : name) {
-    if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20) {
-      out->push_back('_');
+  for (char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (c == '"') {
+      *out += "\\\"";
+    } else if (c == '\\') {
+      *out += "\\\\";
+    } else if (u < 0x20) {
+      AppendF(out, "\\u%04x", u);
     } else {
       out->push_back(c);
     }
@@ -212,13 +238,24 @@ void AppendName(std::string* out, const std::string& name) {
 }  // namespace
 
 std::string MetricsRegistry::ToJson() const {
+  // Keys are emitted in sorted name order (not registration order) so the
+  // export is diff-friendly and byte-identical across runs that register the
+  // same metrics in different orders.
+  std::vector<size_t> order(metrics_.size());
+  for (size_t i = 0; i < order.size(); i++) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return metrics_[a].name < metrics_[b].name;
+  });
   std::string out;
   out.reserve(4096 + metrics_.size() * 128);
   out += "{\n  \"schema\": 1,\n  \"metrics\": {\n";
-  for (size_t i = 0; i < metrics_.size(); i++) {
+  for (size_t oi = 0; oi < order.size(); oi++) {
+    const size_t i = order[oi];
     const Metric& m = metrics_[i];
     out += "    ";
-    AppendName(&out, m.name);
+    AppendJsonString(&out, m.name);
     out += ": ";
     switch (m.kind) {
       case Kind::kValue:
@@ -253,7 +290,7 @@ std::string MetricsRegistry::ToJson() const {
         break;
       }
     }
-    out += i + 1 < metrics_.size() ? ",\n" : "\n";
+    out += oi + 1 < order.size() ? ",\n" : "\n";
   }
   out += "  },\n  \"snapshots\": {\n    \"times_ns\": [";
   for (size_t i = 0; i < snapshots_.size(); i++) {
@@ -261,15 +298,16 @@ std::string MetricsRegistry::ToJson() const {
             static_cast<long long>(snapshots_[i].time));
   }
   out += "],\n    \"series\": {\n";
-  for (size_t i = 0; i < metrics_.size(); i++) {
+  for (size_t oi = 0; oi < order.size(); oi++) {
+    const size_t i = order[oi];
     out += "      ";
-    AppendName(&out, metrics_[i].name);
+    AppendJsonString(&out, metrics_[i].name);
     out += ": [";
     for (size_t s = 0; s < snapshots_.size(); s++) {
       AppendF(&out, "%s%" PRIu64, s ? ", " : "", snapshots_[s].values[i]);
     }
     out += "]";
-    out += i + 1 < metrics_.size() ? ",\n" : "\n";
+    out += oi + 1 < order.size() ? ",\n" : "\n";
   }
   out += "    }\n  }\n}\n";
   return out;

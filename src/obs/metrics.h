@@ -90,6 +90,16 @@ class MetricsRegistry {
   std::optional<uint64_t> Value(std::string_view name) const;
   std::optional<Kind> KindOf(std::string_view name) const;
 
+  // Index-based access for sampling paths that read many metrics on a timer
+  // (health monitoring): resolve the name once at bind time, then read by
+  // index with no string compare per sample. Indices are stable for the
+  // registry's lifetime (registration only appends).
+  static constexpr size_t kInvalidIndex = ~static_cast<size_t>(0);
+  size_t IndexOf(std::string_view name) const;  // kInvalidIndex if unknown
+  uint64_t ValueAt(size_t index) const;         // primary value
+  // The live histogram behind a kLatency metric; nullptr for other kinds.
+  const LatencyHistogram* LatencyAt(size_t index) const;
+
   // Cumulative snapshot of every metric's primary value, in registration
   // order. Called once per epoch (or any fixed cadence); consecutive
   // snapshots differ by exactly the events of that interval, so deltas

@@ -1,10 +1,13 @@
 #include "src/obs/span.h"
 
 #include <algorithm>
+#include <bit>
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
 #include <cstring>
+
+#include "src/obs/health.h"
 
 namespace gms {
 
@@ -32,9 +35,15 @@ Span& GetSpan(Trace& trace, uint64_t trace_id, uint32_t span_id,
 
 void SpanForest::Consume(const TraceRecord& rec) {
   const auto kind = static_cast<TraceEventKind>(rec.kind);
+  if (kind == TraceEventKind::kHealthIncident) {
+    incidents.push_back(Incident{rec.time, rec.node,
+                                 static_cast<uint16_t>(rec.a),
+                                 std::bit_cast<double>(rec.b), rec.value});
+    return;
+  }
   if (kind != TraceEventKind::kSpanBegin && kind != TraceEventKind::kSpanStep &&
       kind != TraceEventKind::kSpanEnd) {
-    if (rec.kind > static_cast<uint16_t>(TraceEventKind::kSpanEnd)) {
+    if (rec.kind > static_cast<uint16_t>(TraceEventKind::kHealthIncident)) {
       unknown_kind_records++;  // a future kind: skip, never fail
     } else {
       other_records++;
@@ -461,6 +470,16 @@ std::string PerfettoJson(const SpanForest& forest) {
                     s.id, us(s.begin), s.node, p.tid);
       }
     }
+  }
+  // Health incidents as process-scoped instant events: the vertical markers
+  // line up against the node's span lanes at the detection time.
+  for (const SpanForest::Incident& inc : forest.incidents) {
+    AppendEvent(&ev,
+                "{\"name\":\"%s\",\"cat\":\"health\",\"ph\":\"i\","
+                "\"ts\":%.3f,\"pid\":%u,\"tid\":0,\"s\":\"p\","
+                "\"args\":{\"value\":%.6g,\"threshold\":%" PRIu32 "}}",
+                IncidentClassName(static_cast<IncidentClass>(inc.cls)),
+                us(inc.time), inc.node, inc.value, inc.threshold);
   }
   return "{\"traceEvents\":[\n" + ev + "\n],\"displayTimeUnit\":\"ms\"}\n";
 }

@@ -109,6 +109,17 @@ struct SpanForest {
   uint64_t other_records = 0;
   uint64_t unknown_kind_records = 0;  // kinds from the future, skipped
 
+  // Health incidents (kHealthIncident records, src/obs/health.h): collected
+  // in stream order and exported to Perfetto as instant events.
+  struct Incident {
+    SimTime time = 0;
+    uint16_t node = 0;
+    uint16_t cls = 0;       // IncidentClass value
+    double value = 0;       // measured statistic (record b, IEEE-754 bits)
+    uint32_t threshold = 0; // configured limit, saturated at record time
+  };
+  std::vector<Incident> incidents;
+
   void Consume(const TraceRecord& rec);
   void Link();  // resolves roots/children; call once after all records
 

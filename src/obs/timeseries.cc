@@ -1,0 +1,60 @@
+#include "src/obs/timeseries.h"
+
+#include <cmath>
+
+namespace gms {
+
+void LatencyWindow::Push(const LatencyHistogram& cumulative) {
+  count_ = 0;
+  if (!has_prev_) {
+    // First Push: the histogram's whole history predates the window, so it
+    // only establishes the baseline — this "interval" is empty.
+    has_prev_ = true;
+    for (int i = 0; i < LatencyHistogram::kNumBuckets; i++) {
+      prev_[static_cast<size_t>(i)] = cumulative.bucket(i);
+      delta_[static_cast<size_t>(i)] = 0;
+    }
+    return;
+  }
+  for (int i = 0; i < LatencyHistogram::kNumBuckets; i++) {
+    const uint64_t now = cumulative.bucket(i);
+    const uint64_t prev = prev_[static_cast<size_t>(i)];
+    // A histogram reset shows as a drop; treat the window as fresh.
+    const uint64_t delta = now >= prev ? now - prev : now;
+    delta_[static_cast<size_t>(i)] = delta;
+    prev_[static_cast<size_t>(i)] = now;
+    count_ += delta;
+  }
+}
+
+SimTime LatencyWindow::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (q < 0) {
+    q = 0;
+  }
+  if (q > 1) {
+    q = 1;
+  }
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  if (rank == 0) {
+    rank = 1;
+  }
+  uint64_t cum = 0;
+  for (int i = 0; i < LatencyHistogram::kNumBuckets; i++) {
+    cum += delta_[static_cast<size_t>(i)];
+    if (cum >= rank) {
+      const uint64_t lo = LatencyHistogram::BucketLowerBound(i);
+      const uint64_t hi = i + 1 < LatencyHistogram::kNumBuckets
+                              ? LatencyHistogram::BucketLowerBound(i + 1)
+                              : lo * 2;
+      return static_cast<SimTime>(lo + (hi - lo) / 2);
+    }
+  }
+  return static_cast<SimTime>(
+      LatencyHistogram::BucketLowerBound(LatencyHistogram::kNumBuckets - 1));
+}
+
+}  // namespace gms

@@ -64,6 +64,9 @@ enum class TraceEventKind : uint16_t {
   kSpanBegin = 16,     // b = span<<32 | parent span; value = SpanLabel
   kSpanStep = 17,      // b = span<<32 | SpanComp; closes [prev stamp, now]
   kSpanEnd = 18,       // b = span<<32 | SpanStatus; value = e2e ns saturated
+  kHealthIncident = 19,  // a = IncidentClass (health.h); b = measured value
+                         // as an IEEE-754 bit pattern; value = threshold
+                         // saturated to u32. Perfetto instant event.
 };
 
 // --------------------------------------------------------------------------

@@ -30,6 +30,7 @@
 #include "src/core/messages.h"
 #include "src/mem/frame_table.h"
 #include "src/net/network.h"
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sim/cpu.h"
@@ -557,6 +558,88 @@ TEST(AllocTest, ShardedMailboxHandoffIsAllocationFreeAtSteadyState) {
   EXPECT_GT(sim.events_processed() - before, 10000u);
   EXPECT_EQ(window.allocs(), 0u)
       << "a cross-shard mailbox handoff allocated at steady state";
+  EXPECT_EQ(window.frees(), 0u);
+}
+
+// Health sampling runs on the snapshot timer for the whole life of a
+// monitored cluster, so it gets the hot-path bar too: after Bind() has
+// preallocated the windows, rules, and the incident reservation, a Sample()
+// pass — including samples that fire detectors and record incidents into
+// the trace — must never touch the allocator.
+TEST(AllocTest, HealthSamplingIsAllocationFreeAtSteadyState) {
+  MetricsRegistry registry;
+  struct FakeNode {
+    uint64_t retries = 0;
+    uint64_t dups = 0;
+    uint64_t sent = 0;
+    uint64_t received = 0;
+    uint64_t attempts = 0;
+    uint64_t hits = 0;
+    uint64_t epoch = 0;
+    LatencyHistogram hist;
+  };
+  FakeNode nodes[2];
+  for (uint32_t i = 0; i < 2; i++) {
+    FakeNode* m = &nodes[i];
+    const std::string p = "node" + std::to_string(i) + "/svc/";
+    registry.RegisterLatency(p + "getpage_hit_ns", [m] { return &m->hist; });
+    registry.RegisterValue(p + "getpage_retries", [m] { return m->retries; });
+    registry.RegisterValue(p + "control_retries", [m] { return m->retries; });
+    registry.RegisterValue(p + "duplicate_msgs_dropped",
+                           [m] { return m->dups; });
+    registry.RegisterValue(p + "putpages_sent", [m] { return m->sent; });
+    registry.RegisterValue(p + "putpages_received",
+                           [m] { return m->received; });
+    registry.RegisterValue(p + "getpage_attempts", [m] { return m->attempts; });
+    registry.RegisterValue(p + "getpage_hits", [m] { return m->hits; });
+    registry.RegisterValue(p + "epoch", [m] { return m->epoch; });
+  }
+  HealthConfig config;
+  config.epoch_period = Seconds(1);
+  HealthMonitor monitor(&registry, 2, config);
+  Tracer tracer(/*num_nodes=*/2, /*ring_capacity=*/256);
+  tracer.set_enabled(kTraceCompiledIn);
+  monitor.set_tracer(&tracer);
+  ASSERT_TRUE(monitor.Bind());
+
+  SimTime now = 0;
+  auto drive = [&](uint64_t ticks, uint64_t base) {
+    for (uint64_t t = 0; t < ticks; t++) {
+      const uint64_t i = base + t;
+      for (FakeNode& m : nodes) {
+        // Mostly healthy traffic with periodic pathologies so the incident
+        // recording path itself is inside the measured window.
+        for (int s = 0; s < 20; s++) {
+          m.hist.Record(i % 97 == 0 ? Milliseconds(4) : Microseconds(120));
+        }
+        m.attempts += 40;
+        m.hits += i % 89 == 0 ? 2 : 36;
+        m.retries += i % 61 == 0 ? 80 : 1;
+        m.dups += i % 73 == 0 ? 40 : 0;
+        m.sent += i % 2 == 0 ? 40 : 0;
+        m.received += i % 2 == 1 ? 40 : 0;
+        if (i % 7 == 0) {
+          m.epoch++;
+        }
+      }
+      now += Milliseconds(100);
+      monitor.Sample(now);
+    }
+  };
+  drive(512, 0);  // warm-up: every window full, several incidents recorded
+  ASSERT_GT(monitor.incidents().size(), 4u) << "pathologies never fired";
+  const AllocWindow window;
+  const uint64_t incidents_before = monitor.incidents().size();
+  const uint64_t samples_before = monitor.samples();
+  drive(2048, 512);
+  EXPECT_EQ(monitor.samples() - samples_before, 2048u);
+  EXPECT_GT(monitor.incidents().size(), incidents_before)
+      << "the measured window must exercise the incident path";
+  EXPECT_LT(monitor.incidents().size() + monitor.incidents_dropped(),
+            static_cast<uint64_t>(config.max_incidents))
+      << "saturated storage would make the push_back path vacuous";
+  EXPECT_EQ(window.allocs(), 0u)
+      << "a health Sample() pass allocated at steady state";
   EXPECT_EQ(window.frees(), 0u);
 }
 

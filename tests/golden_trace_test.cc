@@ -28,6 +28,12 @@ namespace {
 //   build/tests/golden_trace_test --gtest_filter='*PrintsDigest*'
 // and update this constant only for deliberate trace-format or simulation
 // changes (note them in DESIGN.md).
+//
+// Health monitoring is enabled in this run, and at 1% loss the detectors
+// are (deliberately) silent — so the digest also pins the absence of false
+// positives: a detector that starts firing at this point changes the record
+// stream and shows up as a mismatch. (The 2% ring-capacity point below does
+// fire, pinning the incident records' determinism from the other side.)
 constexpr char kGoldenChaosDigest[] = "fnv1a:becf928df1631868:529294";
 
 std::string RunTracedChaosPoint(const ChaosCase& chaos,
@@ -35,6 +41,9 @@ std::string RunTracedChaosPoint(const ChaosCase& chaos,
   ObsConfig obs;
   obs.trace = true;  // digest-only: no trace_path, nothing hits the disk
   obs.trace_ring_capacity = ring_capacity;
+  // Health monitoring on: kHealthIncident records are part of the golden
+  // stream, so a detector that changes its firing pattern shows up here.
+  obs.health = true;
   auto cluster = BuildChaosCluster(chaos, /*with_partition=*/true, obs);
   cluster->StartWorkloads();
   EXPECT_TRUE(cluster->RunUntilWorkloadsDone(Seconds(600)))

@@ -90,6 +90,43 @@ TEST(LatencyHistogramTest, MergeEqualsConcatenation) {
   EXPECT_EQ(a.Quantile(0.5), both.Quantile(0.5));
 }
 
+TEST(LatencyHistogramTest, EmptyHistogramQuantilesAreZero) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(hist.Quantile(q), 0) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, SingleSampleIsEveryQuantile) {
+  LatencyHistogram hist;
+  hist.Record(Microseconds(7));
+  const SimTime estimate = hist.Quantile(0.5);
+  // One sample: every quantile is that sample's bucket estimate, within the
+  // quarter-octave bucket resolution.
+  EXPECT_NEAR(static_cast<double>(estimate),
+              static_cast<double>(Microseconds(7)),
+              0.13 * static_cast<double>(Microseconds(7)));
+  for (double q : {0.0, 0.01, 0.99, 1.0}) {
+    EXPECT_EQ(hist.Quantile(q), estimate) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, OverflowBucketSaturatesInsteadOfIndexingOut) {
+  LatencyHistogram hist;
+  // Values beyond the last bucket's lower bound all land in the top bucket.
+  const uint64_t top = LatencyHistogram::BucketLowerBound(
+      LatencyHistogram::kNumBuckets - 1);
+  hist.Record(static_cast<SimTime>(top));
+  hist.Record(INT64_MAX);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(UINT64_MAX),
+            LatencyHistogram::kNumBuckets - 1);
+  EXPECT_EQ(hist.bucket(LatencyHistogram::kNumBuckets - 1), 2u);
+  // Quantiles of a saturated histogram report the top bucket's lower bound
+  // (the estimate cannot exceed the representable range).
+  EXPECT_GE(hist.Quantile(0.99), static_cast<SimTime>(top));
+}
+
 TEST(LatencyHistogramTest, ResetAndNegativeClamp) {
   LatencyHistogram hist;
   hist.Record(-5);  // clamps to bucket 0 rather than indexing off the array
@@ -329,6 +366,49 @@ TEST(MetricsRegistryTest, ToJsonContainsSchemaMetricsAndSnapshots) {
             std::count(json.begin(), json.end(), '}'));
   EXPECT_EQ(std::count(json.begin(), json.end(), '['),
             std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(MetricsRegistryTest, ToJsonIsByteIdenticalAndRegistrationOrderFree) {
+  // The JSON is sorted by metric name at serialization time, so two
+  // registries holding the same metrics must serialize byte-identically no
+  // matter the order their subsystems registered in (CI diffs these files).
+  Counter counter;
+  counter.Add(64);
+  uint64_t v = 9;
+  auto build = [&](bool reversed) {
+    auto reg = std::make_unique<MetricsRegistry>();
+    if (reversed) {
+      reg->RegisterValue("z/value", [&] { return v; });
+      reg->RegisterCounter("a/counter", [&] { return &counter; });
+    } else {
+      reg->RegisterCounter("a/counter", [&] { return &counter; });
+      reg->RegisterValue("z/value", [&] { return v; });
+    }
+    reg->SnapshotEpoch(Milliseconds(5));
+    return reg;
+  };
+  const std::string fwd = build(false)->ToJson();
+  const std::string rev = build(true)->ToJson();
+  EXPECT_EQ(fwd, rev) << "registration order leaked into the JSON";
+  EXPECT_EQ(fwd, build(false)->ToJson()) << "repeat serialization differed";
+  // Sorted order: "a/counter" text appears before "z/value" in both the
+  // metrics map and the snapshot series.
+  EXPECT_LT(fwd.find("\"a/counter\""), fwd.find("\"z/value\""));
+}
+
+TEST(MetricsRegistryTest, ToJsonEscapesHostileMetricNames) {
+  // Names come from code today, but the serializer must not depend on that:
+  // quotes, backslashes, and control characters all have to survive.
+  MetricsRegistry reg;
+  uint64_t v = 1;
+  ASSERT_TRUE(reg.RegisterValue("weird\"name\\with\tctl", [&] { return v; }));
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"weird\\\"name\\\\with\\u0009ctl\""),
+            std::string::npos)
+      << json;
+  // The raw (unescaped) byte sequence must not appear anywhere.
+  EXPECT_EQ(json.find("weird\"name"), std::string::npos);
+  EXPECT_EQ(json.find('\t'), std::string::npos);
 }
 
 }  // namespace

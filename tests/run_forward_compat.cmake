@@ -1,6 +1,7 @@
 # Driver for the tools forward-compatibility test: captures a small trace
 # with the trace_capture bench, then runs tools/test_forward_compat.py, which
-# appends an unknown-kind record and checks both offline readers skip it.
+# appends an unknown-kind record plus a health-incident record and checks
+# both offline readers skip the former and recognise the latter.
 set(trace "${WORK_DIR}/forward_compat.trace")
 
 execute_process(

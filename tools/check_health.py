@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Validate a health report JSON produced by --health_out.
+
+Structural checks (always):
+  * schema 1, with nodes/samples/class_counts/incidents present,
+  * every incident has time_ns/node/class/value/threshold, node < nodes,
+    a known class name, and non-decreasing time (detection order),
+  * class_counts agrees with the incident list (plus incidents_dropped).
+
+Expectation checks (what CI's health-smoke job asserts):
+  * --expect-clean          : zero incidents — a steady-state run in which
+                              any firing is a detector false positive;
+  * --expect-classes=a,b    : every listed class fired at least once;
+  * --forbid-classes=a,b    : none of the listed classes fired;
+  * --min-samples=N         : the monitor actually sampled (a report with 0
+                              samples validates vacuously otherwise).
+
+Usage:
+  tools/check_health.py REPORT.json --expect-clean
+  tools/check_health.py REPORT.json --expect-classes=retry_storm,dup_spike
+"""
+
+import argparse
+import json
+import sys
+
+KNOWN_CLASSES = {
+    "getpage_slo",
+    "retry_storm",
+    "dup_spike",
+    "epoch_stale",
+    "donor_flap",
+    "thrash",
+}
+
+
+def fail(msg):
+    sys.exit(f"check_health: {msg}")
+
+
+def split_list(csv):
+    return [item for item in csv.split(",") if item]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="health report JSON (--health_out)")
+    parser.add_argument("--expect-clean", action="store_true",
+                        help="fail on any incident at all")
+    parser.add_argument("--expect-classes", default="",
+                        help="comma list of classes that must have fired")
+    parser.add_argument("--forbid-classes", default="",
+                        help="comma list of classes that must not have fired")
+    parser.add_argument("--min-samples", type=int, default=1,
+                        help="fail if the monitor took fewer samples")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{args.report}: {e}")
+
+    for field in ("schema", "nodes", "samples", "total_incidents",
+                  "incidents_dropped", "class_counts", "incidents"):
+        if field not in doc:
+            fail(f"missing field {field!r}")
+    if doc["schema"] != 1:
+        fail(f"unsupported schema {doc['schema']}")
+    if doc["samples"] < args.min_samples:
+        fail(f"only {doc['samples']} samples (want >= {args.min_samples})")
+
+    counts = {}
+    prev_time = None
+    for i, inc in enumerate(doc["incidents"]):
+        for field in ("time_ns", "node", "class", "value", "threshold"):
+            if field not in inc:
+                fail(f"incident {i} missing {field!r}")
+        if inc["class"] not in KNOWN_CLASSES:
+            fail(f"incident {i} has unknown class {inc['class']!r}")
+        if not 0 <= inc["node"] < doc["nodes"]:
+            fail(f"incident {i} node {inc['node']} out of range")
+        if prev_time is not None and inc["time_ns"] < prev_time:
+            fail(f"incident {i} time {inc['time_ns']} < previous {prev_time}"
+                 " — detection order must be non-decreasing")
+        prev_time = inc["time_ns"]
+        counts[inc["class"]] = counts.get(inc["class"], 0) + 1
+
+    declared = doc["class_counts"]
+    for cls in KNOWN_CLASSES:
+        if cls not in declared:
+            fail(f"class_counts missing {cls!r}")
+    declared_total = sum(declared.values())
+    if declared_total != doc["total_incidents"]:
+        fail(f"class_counts sum {declared_total} != total_incidents "
+             f"{doc['total_incidents']}")
+    if len(doc["incidents"]) + doc["incidents_dropped"] != doc["total_incidents"]:
+        fail(f"{len(doc['incidents'])} stored + {doc['incidents_dropped']} "
+             f"dropped != total {doc['total_incidents']}")
+    if doc["incidents_dropped"] == 0:
+        for cls, n in declared.items():
+            if counts.get(cls, 0) != n:
+                fail(f"class_counts[{cls!r}] = {n} but incident list has "
+                     f"{counts.get(cls, 0)}")
+
+    if args.expect_clean and doc["total_incidents"] != 0:
+        fired = {c: n for c, n in declared.items() if n}
+        fail(f"expected a clean run, got {doc['total_incidents']} "
+             f"incidents: {fired}")
+    for cls in split_list(args.expect_classes):
+        if cls not in KNOWN_CLASSES:
+            fail(f"--expect-classes: unknown class {cls!r}")
+        if declared.get(cls, 0) == 0:
+            fired = {c: n for c, n in declared.items() if n}
+            fail(f"expected class {cls!r} to fire; fired: {fired or 'none'}")
+    for cls in split_list(args.forbid_classes):
+        if cls not in KNOWN_CLASSES:
+            fail(f"--forbid-classes: unknown class {cls!r}")
+        if declared.get(cls, 0) != 0:
+            fail(f"forbidden class {cls!r} fired {declared[cls]} time(s)")
+
+    fired = {c: n for c, n in sorted(declared.items()) if n}
+    print(f"OK: {doc['samples']} samples over {doc['nodes']} nodes, "
+          f"{doc['total_incidents']} incidents {fired if fired else '(clean)'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

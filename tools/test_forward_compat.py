@@ -1,12 +1,18 @@
 #!/usr/bin/env python3
 """Forward-compatibility check for the GMSTRC00 readers.
 
-Appends a record with an unknown (future) kind to a copy of a real trace
-file, then verifies both readers handle it:
-  * tools/trace_stats.py parses the file, reports the unknown kind under a
-    generic name, and exits 0;
-  * the C++ reconstructor (tools/trace_spans) skips it, counts it in its
-    "unknown-kind (skipped)" tally, and exits 0.
+Appends records to a copy of a real trace file, then verifies both readers
+handle them:
+  * a record with an unknown (future) kind: tools/trace_stats.py parses the
+    file, reports it under a generic name, and exits 0; the C++
+    reconstructor (tools/trace_spans) skips it, counts it in its
+    "unknown-kind (skipped)" tally, and exits 0. This is exactly how a
+    pre-health-monitoring reader treated kind 19 (health_incident) when it
+    was the future kind — the skip path is what kept old readers working
+    when it was added;
+  * a health-incident record (kind 19): both current readers recognise it by
+    name instead of skipping it — trace_stats.py counts "health_incident",
+    trace_spans tallies it as a health incident and NOT as unknown-kind.
 
 Usage: tools/test_forward_compat.py TRACE.bin path/to/trace_spans
 """
@@ -19,6 +25,8 @@ import os
 
 RECORD = struct.Struct("<qQQIHH")
 FUTURE_KIND = 99
+HEALTH_KIND = 19
+RETRY_STORM_CLASS = 2
 
 
 def fail(msg):
@@ -32,30 +40,40 @@ def main():
     tools = os.path.dirname(os.path.abspath(__file__))
     mutated = trace + ".future"
     shutil.copyfile(trace, mutated)
+    # The measured value rides in b as an IEEE-754 bit pattern (health.h).
+    value_bits = struct.unpack("<Q", struct.pack("<d", 1234.5))[0]
     with open(mutated, "ab") as f:
         f.write(RECORD.pack(1_000_000, 0xDEAD, 0xBEEF, 42, 0, FUTURE_KIND))
+        f.write(RECORD.pack(2_000_000, RETRY_STORM_CLASS, value_bits, 50, 0,
+                            HEALTH_KIND))
 
-    # Python reader: must exit 0 and surface the unknown kind by count.
+    # Python reader: must exit 0, surface the unknown kind by count, and
+    # recognise the health-incident kind by name.
     out = subprocess.run(
         [sys.executable, os.path.join(tools, "trace_stats.py"), mutated,
          "--json"],
         capture_output=True, text=True)
     if out.returncode != 0:
-        fail(f"trace_stats.py rejected an unknown kind:\n{out.stderr}")
+        fail(f"trace_stats.py rejected an appended kind:\n{out.stderr}")
     if f'"kind{FUTURE_KIND}": 1' not in out.stdout:
         fail("trace_stats.py did not count the unknown kind")
+    if '"health_incident": 1' not in out.stdout:
+        fail("trace_stats.py did not recognise the health_incident kind")
 
-    # C++ reconstructor: must exit 0 and count it as skipped.
+    # C++ reconstructor: must exit 0, count the future kind as skipped, and
+    # collect the health incident (not lump it in with unknown kinds).
     out = subprocess.run([trace_spans, mutated, "--check_tiling"],
                          capture_output=True, text=True)
     if out.returncode != 0:
-        fail(f"trace_spans rejected an unknown kind:\n"
+        fail(f"trace_spans rejected an appended kind:\n"
              f"{out.stdout}\n{out.stderr}")
     if "1 unknown-kind (skipped)" not in out.stdout:
         fail("trace_spans did not report the skipped unknown kind")
+    if "1 health incidents" not in out.stdout:
+        fail("trace_spans did not collect the health incident")
 
     os.remove(mutated)
-    print("OK: both readers skip unknown record kinds cleanly")
+    print("OK: unknown kinds skipped, health incidents recognised")
     return 0
 
 

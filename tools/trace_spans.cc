@@ -73,9 +73,10 @@ int Run(int argc, char** argv) {
     return 2;
   }
   std::printf("%s: %" PRIu64 " span records, %" PRIu64 " other, %" PRIu64
-              " unknown-kind (skipped), %zu traces\n",
+              " unknown-kind (skipped), %zu health incidents, %zu traces\n",
               path.c_str(), forest.span_records, forest.other_records,
-              forest.unknown_kind_records, forest.traces.size());
+              forest.unknown_kind_records, forest.incidents.size(),
+              forest.traces.size());
 
   struct OpAgg {
     uint64_t traces = 0;

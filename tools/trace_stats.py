@@ -53,6 +53,7 @@ KIND_NAMES = {
     16: "span_begin",
     17: "span_step",
     18: "span_end",
+    19: "health_incident",
 }
 # Kinds above the highest known value come from a newer writer: they are
 # counted under a generic "kindN" name and otherwise skipped — never treated

@@ -4,7 +4,8 @@
 Checks, failing loudly on the first violation:
   * the file is valid JSON with a top-level "traceEvents" array,
   * every event has the fields its phase requires ("X" needs ts/dur/pid/tid,
-    "M" needs name/args, flow events need id/ts/pid/tid),
+    "M" needs name/args, flow events need id/ts/pid/tid, instant events
+    ("i", health incidents) need ts/pid and a valid scope),
   * no negative durations, timestamps are numbers,
   * every flow START ("s") has exactly one matching FINISH ("f") with the
     same id and vice versa — an unpaired flow renders as a dangling arrow.
@@ -64,6 +65,13 @@ def main():
                     fail(f"event {i} (flow {ph!r}) missing {field}")
             bucket = starts if ph == "s" else finishes
             bucket[ev["id"]] = bucket.get(ev["id"], 0) + 1
+        elif ph == "i":
+            if not isinstance(ev.get("ts"), (int, float)):
+                fail(f"event {i} ('i' {ev['name']!r}) bad ts")
+            if "pid" not in ev:
+                fail(f"event {i} ('i' {ev['name']!r}) missing pid")
+            if ev.get("s") not in ("g", "p", "t"):
+                fail(f"event {i} ('i' {ev['name']!r}) bad scope {ev.get('s')!r}")
         elif ph == "M":
             if "args" not in ev:
                 fail(f"event {i} (metadata) missing args")
