@@ -26,17 +26,48 @@ inline std::string FlagString(int argc, char** argv, const std::string& name,
   return fallback;
 }
 
-// Every bench accepts --scale=, --seed= and --threads=. The default scale of
-// 0.25 keeps a full bench run to seconds while preserving every
-// memory-pressure ratio; pass --scale=1 for paper-sized runs. --threads runs
-// the simulation on the sharded parallel event loop (default serial); every
-// printed number is invariant to it.
+// Parses the memory-hierarchy flags every bench accepts:
+//   --tiering=on|off     attach a far-memory tier to every node (off = the
+//                        two-level original; on picks a default capacity of
+//                        1024 pages unless --far_mem_frames says otherwise)
+//   --far_mem_frames=N   far-tier capacity in pages per node (implies on)
+//   --far_mem_lat=US     fixed access latency in microseconds (default from
+//                        the cost model: 1800)
+inline void ParseTierFlags(int argc, char** argv, FarMemoryParams* far) {
+  const std::string tiering = FlagString(argc, argv, "tiering");
+  const double frames = FlagValue(argc, argv, "far_mem_frames", 0);
+  const double lat_us = FlagValue(argc, argv, "far_mem_lat", 0);
+  if (tiering == "off") {
+    far->capacity_pages = 0;
+    return;
+  }
+  if (tiering.empty() && frames <= 0) {
+    return;  // default: no tier
+  }
+  if (!tiering.empty() && tiering != "on") {
+    std::fprintf(stderr, "bad --tiering=%s (want on or off)\n",
+                 tiering.c_str());
+    std::exit(1);
+  }
+  far->capacity_pages = frames > 0 ? static_cast<uint64_t>(frames) : 1024;
+  if (lat_us > 0) {
+    far->fixed_latency = Microseconds(static_cast<SimTime>(lat_us));
+  }
+}
+
+// Every bench accepts --scale=, --seed=, --threads= and the tier flags
+// (ParseTierFlags above). The default scale of 0.25 keeps a full bench run
+// to seconds while preserving every memory-pressure ratio; pass --scale=1
+// for paper-sized runs. --threads runs the simulation on the sharded
+// parallel event loop (default serial); every printed number is invariant
+// to it.
 inline PaperScale BenchScale(int argc, char** argv, double default_scale = 0.25) {
   PaperScale s;
   s.scale = FlagValue(argc, argv, "scale", default_scale);
   s.seed = static_cast<uint64_t>(FlagValue(argc, argv, "seed", 1));
   const double threads = FlagValue(argc, argv, "threads", 1);
   s.threads = threads >= 1 ? static_cast<uint32_t>(threads) : 1;
+  ParseTierFlags(argc, argv, &s.far);
   return s;
 }
 
@@ -183,6 +214,12 @@ inline EpochScaleoutResult RunEpochScaleout(uint32_t nodes, uint32_t fanout,
     }
   }
   return r;
+}
+
+// Direct form of ParseTierFlags for benches that build a raw ClusterConfig
+// in main(). Call before constructing the Cluster.
+inline void ApplyTierFlags(int argc, char** argv, ClusterConfig* config) {
+  ParseTierFlags(argc, argv, &config->far);
 }
 
 inline void BenchHeader(const std::string& title, const PaperScale& s) {

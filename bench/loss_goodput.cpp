@@ -30,8 +30,10 @@ struct LossResult {
 // and writes its incident report there: rising loss should surface as
 // retry_storm/dup_spike incidents while the 0% point stays clean.
 LossResult RunAtLoss(double loss, uint32_t threads,
-                     const std::string& health_out = "") {
+                     const std::string& health_out = "",
+                     const FarMemoryParams& far = {}) {
   ClusterConfig config;
+  config.far = far;
   config.num_nodes = 4;
   config.policy = PolicyKind::kGms;
   config.frames_per_node = {256, 320, 1024, 768};
@@ -115,6 +117,8 @@ LossResult RunAtLoss(double loss, uint32_t threads,
 int main(int argc, char** argv) {
   using namespace gms;
   const uint32_t threads = BenchThreads(argc, argv);
+  FarMemoryParams far;
+  ParseTierFlags(argc, argv, &far);
   // --health_out=PREFIX: each point writes PREFIX_l<loss pct x10>.json.
   const std::string health_prefix = FlagString(argc, argv, "health_out");
   std::printf("Goodput vs injected loss (4 nodes, retries on, 16k accesses)\n\n");
@@ -126,7 +130,7 @@ int main(int argc, char** argv) {
             ? std::string()
             : health_prefix + "_l" +
                   std::to_string(static_cast<int>(loss * 1000)) + ".json";
-    LossResult r = RunAtLoss(loss, threads, health_out);
+    LossResult r = RunAtLoss(loss, threads, health_out, far);
     char label[32];
     std::snprintf(label, sizeof(label), "%.1f%%", loss * 100);
     table.AddNumericRow(label,

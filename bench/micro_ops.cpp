@@ -359,8 +359,10 @@ HeadlineResult MeasureEventLoopSharded(double scale, uint32_t threads) {
 // fault -> GCD -> getpage -> reply path. ns/item here is host nanoseconds
 // per *getpage attempt*, the figure DESIGN.md's performance model budgets.
 HeadlineResult MeasureGetPage(double scale,
-                              PolicyKind policy = PolicyKind::kGms) {
+                              PolicyKind policy = PolicyKind::kGms,
+                              const FarMemoryParams& far = {}) {
   ClusterConfig config;
+  config.far = far;
   config.num_nodes = 2;
   config.policy = policy;
   config.frames_per_node = {128, 2048};
@@ -396,10 +398,10 @@ void WriteBench(std::FILE* f, const char* name, const HeadlineResult& r,
 }
 
 int EmitBenchJson(const std::string& path, double scale, PolicyKind policy,
-                  uint32_t threads) {
+                  uint32_t threads, const FarMemoryParams& far = {}) {
   const HeadlineResult ev = MeasureEventLoop(scale);
   const HeadlineResult rt = MeasureRoundTrip(scale);
-  const HeadlineResult gp = MeasureGetPage(scale, policy);
+  const HeadlineResult gp = MeasureGetPage(scale, policy, far);
   // The sharded chain workload, serial and at `threads` workers. Same event
   // stream both times, so the ratio is a true speedup.
   const HeadlineResult ser = MeasureEventLoopSharded(scale, 1);
@@ -482,8 +484,10 @@ int main(int argc, char** argv) {
     // comparing two runs isolates the policy's (and the virtual dispatch
     // seam's) host cost. --threads sizes the parallel_event_loop point; the
     // default of 4 matches the committed baseline and the CI speedup gate.
+    gms::FarMemoryParams far;
+    gms::ParseTierFlags(argc, argv, &far);
     return gms::EmitBenchJson(json_path, scale, gms::BenchPolicy(argc, argv),
-                              gms::BenchThreads(argc, argv, 4));
+                              gms::BenchThreads(argc, argv, 4), far);
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -111,6 +111,7 @@ std::unique_ptr<Cluster> MakeCluster(PolicyKind policy, const PaperScale& s,
   config.frames_per_node = std::move(frames);
   config.seed = s.seed;
   config.threads = s.threads;
+  config.far = s.far;
   config.obs = g_obs;
   auto cluster = std::make_unique<Cluster>(config);
   cluster->Start();

@@ -102,6 +102,7 @@ int main(int argc, char** argv) {
   config.seed = s.seed;
   config.threads = BenchThreads(argc, argv);  // measured latencies invariant
   ApplyObsFlags(argc, argv, &config.obs);
+  ApplyTierFlags(argc, argv, &config);
   Cluster cluster(config);
   cluster.Start();
   cluster.sim().RunFor(Seconds(3));  // settle epochs so weights exist

@@ -23,6 +23,7 @@ double RunCase(PolicyKind policy, bool sequential, const PaperScale& s) {
   config.policy = policy;
   config.seed = s.seed;
   config.threads = s.threads;
+  config.far = s.far;
   const uint32_t frames = s.Frames();
   const uint64_t footprint = frames * 2;
   config.frames_per_node = {frames, static_cast<uint32_t>(footprint) + 64};

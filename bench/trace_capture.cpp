@@ -12,6 +12,9 @@
 //                       trade write frequency for memory, never records
 //   --policy=NAME       replacement policy (gms, nchance, local, lfu, none;
 //                       default gms) — the CI policy matrix runs all of them
+//   --tiering= / --far_mem_frames= / --far_mem_lat=  attach a far-memory
+//                       tier to every node (bench_util.h ApplyTierFlags);
+//                       off by default, and the default digest is unchanged
 //
 // Always prints a "TRACE_DIGEST fnv1a:<hex>:<count>" line: CI's trace-smoke
 // job re-derives the digest from the trace file with tools/trace_stats.py
@@ -49,6 +52,11 @@ int main(int argc, char** argv) {
   config.obs.snapshot_interval = Milliseconds(250);
   const std::string health_out = FlagString(argc, argv, "health_out");
   config.obs.health = !health_out.empty();
+  ApplyTierFlags(argc, argv, &config);
+  if (config.far.capacity_pages > 0) {
+    std::printf("tiering=on far_mem_frames=%llu\n",
+                static_cast<unsigned long long>(config.far.capacity_pages));
+  }
 
   Cluster cluster(config);
   cluster.Start();

@@ -6,6 +6,29 @@
 
 namespace gms {
 
+namespace {
+
+// Re-arms itself every 100 ms, toggling the node's far capacity between the
+// full size and half of it. Scheduled inside the node's simulation context so
+// the evictions it triggers keep their deterministic order under the sharded
+// (parallel) event loop.
+void ArmFarFluctuation(Cluster* cluster, NodeId node, uint64_t full,
+                       uint32_t tick) {
+  Simulator& sim = cluster->sim();
+  Simulator::ContextScope in_node(sim, node.value + 1);
+  // Stagger nodes by 25 ms so capacity cliffs do not land cluster-wide at
+  // the same instant.
+  const SimTime delay =
+      tick == 0 ? Milliseconds(100) + Milliseconds(25) * node.value
+                : Milliseconds(100);
+  sim.After(delay, [cluster, node, full, tick] {
+    cluster->far_tier(node)->SetCapacity(tick % 2 == 0 ? full / 2 : full);
+    ArmFarFluctuation(cluster, node, full, tick + 1);
+  });
+}
+
+}  // namespace
+
 std::unique_ptr<Cluster> BuildChaosCluster(const ChaosCase& chaos,
                                            bool with_partition,
                                            const ObsConfig& obs) {
@@ -27,6 +50,7 @@ std::unique_ptr<Cluster> BuildChaosCluster(const ChaosCase& chaos,
   // Every reliable send must be able to out-wait the partition: 10 attempts
   // at 5/10/20/.../200 ms spacing put several retries past the heal point.
   config.gms.retry.max_attempts = 10;
+  config.far.capacity_pages = chaos.far_frames;
   auto cluster = std::make_unique<Cluster>(config);
 
   Network& net = cluster->net();
@@ -42,6 +66,11 @@ std::unique_ptr<Cluster> BuildChaosCluster(const ChaosCase& chaos,
   }
 
   cluster->Start();
+  if (chaos.far_frames > 0 && chaos.far_fluctuate) {
+    for (uint32_t i = 0; i < config.num_nodes; i++) {
+      ArmFarFluctuation(cluster.get(), NodeId{i}, chaos.far_frames, 0);
+    }
+  }
   cluster->AddWorkload(
       NodeId{0},
       std::make_unique<UniformRandomPattern>(
@@ -84,6 +113,19 @@ std::string ChaosStatsDump(Cluster& cluster) {
         << " received=" << s.putpages_received
         << " bounced=" << s.putpages_bounced
         << " epochs=" << s.epochs_started << "\n";
+    // Tier lines only exist when a far tier does, so the tiering-off dump —
+    // and the golden hashes over it — stays byte-identical.
+    const FarMemoryTier* far = cluster.far_tier(NodeId{i});
+    if (far != nullptr) {
+      const FarMemoryTier::Stats& f = far->stats();
+      out << "node" << i << " far reads=" << f.reads << " writes=" << f.writes
+          << " evictions=" << f.evictions
+          << " resident=" << far->resident_pages()
+          << " fills z/f/d/n=" << s.fills_zero << "/" << s.fills_far << "/"
+          << s.fills_disk << "/" << s.fills_nfs
+          << " demotions=" << s.demotions_far
+          << " promotions=" << s.far_promotions << "\n";
+    }
   }
   const NetworkFaultStats& fs = cluster.net().fault_stats();
   out << "faults dropped=" << fs.drops_injected.events << "/"

@@ -28,6 +28,12 @@ struct ChaosCase {
   // parallel identity tests pin.
   uint32_t threads = 1;
   uint32_t sim_shards = 0;
+  // Far-memory tier per node (pages; 0 = no tier, the two-level original —
+  // and the dump stays byte-identical to the pre-hierarchy format).
+  uint64_t far_frames = 0;
+  // Oscillate each node's far capacity between far_frames and far_frames/2
+  // every 100 ms (phase-staggered per node): the dynamic-capacity adversary.
+  bool far_fluctuate = false;
 };
 
 // Builds the standard chaos cluster: 4 nodes (two busy, two idle), retries

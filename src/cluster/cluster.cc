@@ -59,12 +59,33 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
                                 ? config_.frames_per_node[i]
                                 : config_.frames;
     rt->frames = std::make_unique<FrameTable>(frames);
+    const uint64_t far_pages = i < config_.far_frames_per_node.size()
+                                   ? config_.far_frames_per_node[i]
+                                   : config_.far.capacity_pages;
+    if (far_pages > 0) {
+      FarMemoryParams fp = config_.far;
+      fp.capacity_pages = far_pages;
+      if (fp.fixed_latency == 0) {
+        fp.fixed_latency = config_.gms.costs.far_fixed_latency;
+      }
+      if (fp.per_byte == 0) {
+        fp.per_byte = config_.gms.costs.far_per_byte;
+      }
+      rt->far = std::make_unique<FarMemoryTier>(&sim_, fp);
+      rt->far->set_tracer(tracer_.get(), id);
+    }
     rt->service = MakeService(id, *rt);
     rt->os = std::make_unique<NodeOs>(&sim_, net_.get(), rt->cpu.get(),
                                       rt->disk.get(), rt->frames.get(),
                                       rt->service.get(), id,
                                       config_.gms.costs, config_.node);
     rt->os->set_tracer(tracer_.get());
+    if (rt->far != nullptr) {
+      rt->os->AddBackingTier(rt->far.get());
+      if (rt->engine != nullptr) {
+        rt->engine->set_far_tier(rt->far.get());
+      }
+    }
     nodes_.push_back(std::move(rt));
     AttachDispatcher(id);
     RegisterNodeMetrics(i);
@@ -213,12 +234,36 @@ void Cluster::RegisterNodeMetrics(uint32_t i) {
                            [svc] { return &svc()->getpage_hit_ns; });
   metrics_.RegisterLatency(p + "svc/getpage_miss_ns",
                            [svc] { return &svc()->getpage_miss_ns; });
+  metrics_.RegisterValue(p + "svc/fills_zero",
+                         [svc] { return svc()->fills_zero; });
+  metrics_.RegisterValue(p + "svc/fills_far",
+                         [svc] { return svc()->fills_far; });
+  metrics_.RegisterValue(p + "svc/fills_disk",
+                         [svc] { return svc()->fills_disk; });
+  metrics_.RegisterValue(p + "svc/fills_nfs",
+                         [svc] { return svc()->fills_nfs; });
+  metrics_.RegisterValue(p + "svc/demotions_far",
+                         [svc] { return svc()->demotions_far; });
+  metrics_.RegisterValue(p + "svc/far_promotions",
+                         [svc] { return svc()->far_promotions; });
 
   auto disk = [rt]() { return &rt->disk->stats(); };
   metrics_.RegisterValue(p + "disk/reads", [disk] { return disk()->reads; });
   metrics_.RegisterValue(p + "disk/writes", [disk] { return disk()->writes; });
   metrics_.RegisterStat(p + "disk/read_latency_us",
                         [disk] { return &disk()->read_latency; });
+
+  if (rt->far != nullptr) {
+    auto far = [rt]() { return &rt->far->stats(); };
+    metrics_.RegisterValue(p + "far/reads", [far] { return far()->reads; });
+    metrics_.RegisterValue(p + "far/writes", [far] { return far()->writes; });
+    metrics_.RegisterValue(p + "far/evictions",
+                           [far] { return far()->evictions; });
+    metrics_.RegisterValue(p + "far/resident",
+                           [rt] { return rt->far->resident_pages(); });
+    metrics_.RegisterStat(p + "far/read_latency_us",
+                          [far] { return &far()->read_latency; });
+  }
 
   Network* net = net_.get();
   const NodeId id{i};
@@ -395,6 +440,11 @@ void Cluster::RestartNode(NodeId node) {
     rt.engine = agent.get();
     rt.service = std::move(agent);
     rt.os->set_service(rt.service.get());
+    if (rt.far != nullptr) {
+      // The far tier survived the crash (it is not the node's RAM); the
+      // fresh agent resumes demoting into it.
+      rt.engine->set_far_tier(rt.far.get());
+    }
     std::vector<NodeId> self_only{node};
     rt.gms->Start(Pod::Build(0, self_only), config_.master, kInvalidNode);
     rt.gms->Join(config_.master);
@@ -429,6 +479,9 @@ void Cluster::ResetStats() {
     rt->os->ResetStats();
     rt->service->ResetStats();
     rt->disk->ResetStats();
+    if (rt->far != nullptr) {
+      rt->far->ResetStats();
+    }
   }
   net_->ResetStats();
 }

@@ -17,6 +17,7 @@
 #include "src/core/hybrid_lfu_policy.h"
 #include "src/core/memory_service.h"
 #include "src/disk/disk.h"
+#include "src/mem/far_memory.h"
 #include "src/mem/frame_table.h"
 #include "src/nchance/nchance_agent.h"
 #include "src/net/network.h"
@@ -72,6 +73,13 @@ struct ClusterConfig {
 
   NetworkParams net;
   DiskParams disk;
+  // Far-memory tier between the global cache and the disk backstop.
+  // capacity_pages == 0 (the default) builds no tier at all: the cluster is
+  // the paper's two-level original, byte for byte. Latencies left at 0 are
+  // defaulted from the cost model (gms.costs.far_*). Override single nodes
+  // via far_frames_per_node (0 entries = that node has no far memory).
+  FarMemoryParams far;
+  std::vector<uint64_t> far_frames_per_node;  // empty = uniform
   NodeParams node;
   GmsConfig gms;
   NchanceConfig nchance;
@@ -99,6 +107,11 @@ class Cluster {
   uint32_t num_nodes() const { return config_.num_nodes; }
   Cpu& cpu(NodeId node) { return *nodes_.at(node.value)->cpu; }
   Disk& disk(NodeId node) { return *nodes_.at(node.value)->disk; }
+  // Null when the node has no far memory configured.
+  FarMemoryTier* far_tier(NodeId node) { return nodes_.at(node.value)->far.get(); }
+  const FarMemoryTier* far_tier(NodeId node) const {
+    return nodes_.at(node.value)->far.get();
+  }
   FrameTable& frames(NodeId node) { return *nodes_.at(node.value)->frames; }
   NodeOs& node_os(NodeId node) { return *nodes_.at(node.value)->os; }
   MemoryService& service(NodeId node) { return *nodes_.at(node.value)->service; }
@@ -168,6 +181,10 @@ class Cluster {
   struct NodeRuntime {
     std::unique_ptr<Cpu> cpu;
     std::unique_ptr<Disk> disk;
+    // Far-memory tier; null unless configured. Outlives crashes — the tier
+    // models disaggregated memory, not part of the node's RAM — so a
+    // rebooted node finds its demoted pages still there.
+    std::unique_ptr<FarMemoryTier> far;
     std::unique_ptr<FrameTable> frames;
     std::unique_ptr<MemoryService> service;
     // Views into `service`. `engine` is set for every CacheEngine-backed

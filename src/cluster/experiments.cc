@@ -48,6 +48,7 @@ ClusterConfig PaperConfig(PolicyKind policy, uint32_t num_nodes,
   config.seed = s.seed;
   config.frames = s.Frames();
   config.threads = s.threads;
+  config.far = s.far;
   return config;
 }
 

@@ -25,6 +25,11 @@ struct PaperScale {
   // give --threads its point-pool meaning reset this to 1 to avoid
   // oversubscription.
   uint32_t threads = 1;
+  // Far-memory tier settings parsed from --tiering / --far_mem_frames /
+  // --far_mem_lat (bench_util.h ParseTierFlags); PaperConfig copies this
+  // into ClusterConfig::far, so every experiment helper accepts the
+  // hierarchy flags. capacity_pages == 0 (default) = no tier.
+  FarMemoryParams far;
 
   // Paper-sized frame counts scaled down (64 MB node = 8192 frames).
   uint32_t Frames(uint32_t paper_frames = 8192) const;

@@ -185,7 +185,38 @@ InvariantReport ClusterInvariantChecker::Check(Cluster& cluster,
     fail(out.str());
   }
 
-  // 5. POD agreement (heals on the next membership change — warning only).
+  // 5. Far-memory tiers: residency may never exceed the configured capacity
+  // (SetCapacity evicts synchronously, so even a mid-run shrink holds this).
+  // A far copy coexisting with a same-node RAM copy is legal-but-wasteful
+  // under exclusive promotion (the fill's evict only lands with the
+  // transfer), so flag a flood of them as a warning.
+  uint64_t far_overlaps = 0;
+  for (uint32_t i = 0; i < n; i++) {
+    const FarMemoryTier* far = cluster.far_tier(NodeId{i});
+    if (far == nullptr) {
+      continue;
+    }
+    if (far->capacity_pages() > 0 &&
+        far->resident_pages() > far->capacity_pages()) {
+      std::ostringstream out;
+      out << "far tier on node " << i << " holds " << far->resident_pages()
+          << " pages over its capacity " << far->capacity_pages();
+      fail(out.str());
+    }
+    cluster.frames(NodeId{i}).ForEach([&](const Frame& f) {
+      if (!f.pinned() && far->Holds(f.uid())) {
+        far_overlaps++;
+      }
+    });
+  }
+  if (far_overlaps > 2) {
+    std::ostringstream out;
+    out << far_overlaps
+        << " pages cached in both RAM and the same node's far tier";
+    warn(out.str());
+  }
+
+  // 6. POD agreement (heals on the next membership change — warning only).
   uint64_t vmin = UINT64_MAX;
   uint64_t vmax = 0;
   for (uint32_t i = 0; i < n; i++) {

@@ -509,9 +509,25 @@ void CacheEngine::OnPageLoaded(Frame* frame) {
 }
 
 void CacheEngine::DiscardFrame(Frame* frame) {
+  MaybeDemoteToFar(*frame);
   SendGcdUpdate(frame->uid(), GcdUpdate::kRemove, self_,
                 frame->location() == PageLocation::kGlobal);
   frames_->Free(frame);
+}
+
+void CacheEngine::MaybeDemoteToFar(const Frame& frame) {
+  if (far_ == nullptr || frame.dirty()) {
+    // No tier below us, or the page must reach the disk for durability (only
+    // clean pages are demoted; far memory is not a write-back target).
+    return;
+  }
+  if (!policy_->DemoteOnDiscard(frame)) {
+    return;
+  }
+  stats_.demotions_far++;
+  // Fire-and-forget: the frame is reusable immediately (the copy into the
+  // far tier's transfer buffer is modeled as instantaneous, like putpage).
+  far_->WritePage(frame.uid(), {}, {});
 }
 
 void CacheEngine::SendPutPage(Frame* frame, NodeId target, uint8_t freq) {

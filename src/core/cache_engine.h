@@ -33,6 +33,7 @@
 #include "src/core/memory_service.h"
 #include "src/core/messages.h"
 #include "src/core/replacement_policy.h"
+#include "src/mem/backing_tier.h"
 #include "src/mem/frame_table.h"
 #include "src/net/network.h"
 #include "src/obs/trace.h"
@@ -144,6 +145,14 @@ class CacheEngine : public MemoryService {
   // from 1; membership handling drops its old receive window (buffered
   // pre-crash messages included) so the new stream re-initializes.
   void DropPeerSeqWindow(NodeId peer);
+
+  // Attaches this node's far-memory tier (may be null — the default). With a
+  // tier attached, clean discards consult the policy's DemoteOnDiscard and
+  // write the page into far memory instead of dropping it.
+  void set_far_tier(BackingTier* far) { far_ = far; }
+  bool PromoteOnFarFill(const Uid& uid) override {
+    return policy_->PromoteOnFarFill(uid);
+  }
 
  private:
   friend class ReplacementPolicy;
@@ -261,6 +270,7 @@ class CacheEngine : public MemoryService {
   // Putpage plumbing shared by forwarding policies.
   void SendPutPage(Frame* frame, NodeId target, uint8_t freq = 0);
   void DiscardFrame(Frame* frame);
+  void MaybeDemoteToFar(const Frame& frame);
   void SendGcdUpdate(const Uid& uid, GcdUpdate::Op op, NodeId holder,
                      bool global, NodeId prev = kInvalidNode,
                      SpanRef span = {});
@@ -277,6 +287,7 @@ class CacheEngine : public MemoryService {
   EngineConfig config_;
   Tracer* tracer_ = nullptr;
   bool alive_ = false;
+  BackingTier* far_ = nullptr;  // this node's far tier; null = two-level
   std::unique_ptr<ReplacementPolicy> policy_;
   // Policy traits, cached as plain bools so the fault hot path pays no
   // virtual dispatch for them.
@@ -362,6 +373,9 @@ inline void ReplacementPolicy::NotePutPageReceived(const Uid& uid, SimTime age,
 }
 inline void ReplacementPolicy::DropPeerSeqWindow(NodeId peer) {
   engine_->DropPeerSeqWindow(peer);
+}
+inline void ReplacementPolicy::MaybeDemoteToFar(const Frame& frame) {
+  engine_->MaybeDemoteToFar(frame);
 }
 
 }  // namespace gms

@@ -73,6 +73,14 @@ struct CostModel {
   // + per-node stat append); unused by the flat protocol.
   SimTime epoch_partial_merge = Microseconds(20);
 
+  // --- far memory ---
+  // Disaggregated/CXL-style far tier: fixed access latency plus per-byte
+  // streaming. 1800 us + 50 ns/B puts an 8 KB page at ~2.2 ms — between a
+  // global-memory hit (~1.5 ms) and a sequential disk read (3.6 ms), so the
+  // tier ordering global < far < disk holds with the paper's numbers.
+  SimTime far_fixed_latency = Microseconds(1800);
+  SimTime far_per_byte = Nanoseconds(50);
+
   // --- NFS (Table 4) ---
   // Server-side RPC handling beyond the generic receive cost.
   SimTime nfs_server_processing = Microseconds(430);

@@ -17,8 +17,10 @@ class LocalLruPolicy final : public ReplacementPolicy {
   bool UsesRemoteCache() const override { return false; }
 
   void EvictClean(Frame* frame) override {
-    // Straight to disk; node-local LRU ordering is the FrameTable's.
+    // Straight to disk (or the far tier, when one is attached); node-local
+    // LRU ordering is the FrameTable's.
     stats().discards_old++;
+    MaybeDemoteToFar(*frame);
     frames_->Free(frame);
   }
 };

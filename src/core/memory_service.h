@@ -74,7 +74,22 @@ struct MemoryServiceStats {
   // Request-to-callback latency, split by outcome (Table 2's getpage rows).
   LatencyHistogram getpage_hit_ns;
   LatencyHistogram getpage_miss_ns;
+  // Memory-hierarchy counters: where getpage misses were ultimately filled
+  // from. Every miss produces exactly one fill, so
+  //   fills_zero + fills_far + fills_disk + fills_nfs == getpage_misses
+  // (NFS fills are counted at issue so the identity holds across timeouts).
+  uint64_t fills_zero = 0;  // first touch: no backing copy anywhere
+  uint64_t fills_far = 0;   // served by the far-memory tier
+  uint64_t fills_disk = 0;  // served by the local disk backstop
+  uint64_t fills_nfs = 0;   // served by (or issued to) the file server
+  // Clean discards demoted into the far tier instead of being dropped, and
+  // far copies evicted after a fill (exclusive promotion).
+  uint64_t demotions_far = 0;
+  uint64_t far_promotions = 0;
 };
+
+// Which layer of the memory hierarchy satisfied a getpage miss.
+enum class FillSource : uint8_t { kZero, kFarMemory, kLocalDisk, kNfs };
 
 class MemoryService {
  public:
@@ -112,6 +127,27 @@ class MemoryService {
 
   const MemoryServiceStats& stats() const { return stats_; }
   void ResetStats() { stats_ = MemoryServiceStats{}; }
+
+  // Memory-hierarchy accounting, called by the node/OS fill path: one
+  // NoteFill per resolved miss, tagged with the tier that supplied the data.
+  void NoteFill(FillSource source) {
+    switch (source) {
+      case FillSource::kZero: stats_.fills_zero++; break;
+      case FillSource::kFarMemory: stats_.fills_far++; break;
+      case FillSource::kLocalDisk: stats_.fills_disk++; break;
+      case FillSource::kNfs: stats_.fills_nfs++; break;
+    }
+  }
+  void NoteFarPromotion() { stats_.far_promotions++; }
+
+  // Tier decision: after a fill from the far tier, should the far copy be
+  // evicted (exclusive caching)? CacheEngine forwards this to the
+  // ReplacementPolicy; the default keeps tiers exclusive so far capacity is
+  // not wasted on pages that are now in RAM.
+  virtual bool PromoteOnFarFill(const Uid& uid) {
+    (void)uid;
+    return true;
+  }
 
  protected:
   MemoryServiceStats stats_;

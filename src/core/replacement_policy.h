@@ -90,6 +90,23 @@ class ReplacementPolicy {
   virtual bool WantsFaultEvents() const { return false; }
   virtual void OnPageFault(const Uid& uid) { (void)uid; }
 
+  // --- memory-hierarchy decisions ----------------------------------------
+  // Should a clean frame being discarded (dropped from the cluster cache) be
+  // demoted into the far-memory tier instead of vanishing? Consulted only
+  // when a far tier is attached. The default demotes every frame that is the
+  // last cached copy; duplicates are already cached elsewhere, so writing
+  // them to far memory would waste its bounded capacity.
+  virtual bool DemoteOnDiscard(const Frame& frame) {
+    return !frame.duplicated();
+  }
+
+  // After a getpage miss was filled from the far tier, should the far copy
+  // be evicted (exclusive caching)? Default yes: the page is in RAM now.
+  virtual bool PromoteOnFarFill(const Uid& uid) {
+    (void)uid;
+    return true;
+  }
+
   // Called once by the engine's constructor (and never again).
   void Bind(CacheEngine* engine);
 
@@ -128,6 +145,10 @@ class ReplacementPolicy {
   // between the two agents.
   void NotePutPageReceived(const Uid& uid, SimTime age, SpanRef span);
   void DropPeerSeqWindow(NodeId peer);
+  // Demotes a clean frame into the far tier if one is attached and
+  // DemoteOnDiscard agrees; a no-op otherwise. Call before Free()ing a frame
+  // the policy decided to drop from the cluster cache.
+  void MaybeDemoteToFar(const Frame& frame);
 
  private:
   friend class CacheEngine;

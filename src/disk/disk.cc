@@ -2,9 +2,19 @@
 
 #include <utility>
 
+#include "src/core/directory.h"  // DiskBlockOf (constexpr, header-only)
+
 namespace gms {
 
 Disk::Disk(Simulator* sim, DiskParams params) : sim_(sim), params_(params) {}
+
+void Disk::ReadPage(const Uid& uid, EventFn done, SpanRef span) {
+  Read(DiskBlockOf(uid), std::move(done), span);
+}
+
+void Disk::WritePage(const Uid& uid, EventFn done, SpanRef span) {
+  Write(DiskBlockOf(uid), std::move(done), span);
+}
 
 void Disk::Read(uint64_t block, EventFn done, SpanRef span) {
   queue_.push_back(Request{block, false, sim_->now(), std::move(done), span});

@@ -20,6 +20,7 @@
 
 #include "src/common/stats.h"
 #include "src/common/time.h"
+#include "src/mem/backing_tier.h"
 #include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 
@@ -36,7 +37,10 @@ struct DiskParams {
   SimTime positioning_write = Microseconds(6000);
 };
 
-class Disk {
+// The disk doubles as the backstop BackingTier of the memory hierarchy: it
+// Holds() every page (uids map to blocks via the deterministic DiskBlockOf
+// layout) and its capacity is unbounded.
+class Disk : public BackingTier {
  public:
   Disk(Simulator* sim, DiskParams params = {});
   Disk(const Disk&) = delete;
@@ -49,6 +53,21 @@ class Disk {
 
   // Writes the page at `block`; `done` fires when the write is durable.
   void Write(uint64_t block, EventFn done, SpanRef span = {});
+
+  // --- BackingTier (uid-addressed view over the block API) ---
+  TierKind kind() const override { return TierKind::kDisk; }
+  bool Holds(const Uid& uid) const override {
+    (void)uid;
+    return true;  // the durable backstop
+  }
+  void ReadPage(const Uid& uid, EventFn done, SpanRef span = {}) override;
+  void WritePage(const Uid& uid, EventFn done, SpanRef span = {}) override;
+  uint64_t capacity_pages() const override { return 0; }  // unbounded
+  SimTime ModelReadLatency(uint32_t bytes) const override {
+    // Steady-state random read of one page: full positioning + transfer.
+    (void)bytes;
+    return params_.positioning_random + params_.transfer_per_page;
+  }
 
   struct Stats {
     uint64_t reads = 0;

@@ -1,0 +1,69 @@
+// The N-level memory-hierarchy seam: one interface for every place a page
+// can live below local RAM and the remote global cache.
+//
+// The paper's world is a hard two-level dichotomy — a miss in cluster memory
+// falls through to "the disk". BackingTier generalizes that: the node/OS
+// fill path walks an ordered list of tiers (far memory, then disk) and fills
+// from the first one that holds the page; discarded clean pages are demoted
+// into a tier instead of being dropped. Two implementations exist:
+//
+//   * Disk (src/disk/disk.h)          — the backstop; Holds() every page,
+//   * FarMemoryTier (far_memory.h)    — bounded CXL/disaggregated RAM with a
+//                                       fixed + per-byte latency model.
+//
+// With no tiers attached (the default), the fill path is byte-identical to
+// the pre-hierarchy code: the seam costs nothing unless configured.
+#ifndef SRC_MEM_BACKING_TIER_H_
+#define SRC_MEM_BACKING_TIER_H_
+
+#include <cstdint>
+
+#include "src/common/time.h"
+#include "src/common/uid.h"
+#include "src/obs/trace.h"
+#include "src/sim/simulator.h"
+
+namespace gms {
+
+enum class TierKind : uint8_t {
+  kFarMemory = 1,  // disaggregated/CXL far memory: slower than the network,
+                   // far faster than disk, bounded capacity
+  kDisk = 2,       // the durable backstop: unbounded, holds everything
+};
+
+class BackingTier {
+ public:
+  virtual ~BackingTier() = default;
+
+  virtual TierKind kind() const = 0;
+
+  // True when a read of `uid` from this tier would return data. The disk
+  // backstop always answers true; a far-memory tier answers for exactly the
+  // pages demoted into it (and not yet evicted or promoted away).
+  virtual bool Holds(const Uid& uid) const = 0;
+
+  // Reads the page; `done` fires when the data is in memory. `span` is the
+  // causal span charged for the I/O — implementations stamp queue wait and
+  // service separately so the fault's critical path still tiles exactly.
+  virtual void ReadPage(const Uid& uid, EventFn done, SpanRef span = {}) = 0;
+
+  // Writes (demotes) the page into this tier; `done` may be empty for
+  // fire-and-forget demotions. A bounded tier evicts its oldest entries to
+  // make room.
+  virtual void WritePage(const Uid& uid, EventFn done, SpanRef span = {}) = 0;
+
+  // Drops this tier's copy of `uid`, if any (exclusive promotion after a
+  // fill). No-op on the disk backstop.
+  virtual void Evict(const Uid& uid) { (void)uid; }
+
+  // Capacity in pages; 0 = unbounded (disk).
+  virtual uint64_t capacity_pages() const = 0;
+
+  // Modeled service latency of one `bytes`-sized read, excluding queueing —
+  // the number placement heuristics and tier-sizing benches compare.
+  virtual SimTime ModelReadLatency(uint32_t bytes) const = 0;
+};
+
+}  // namespace gms
+
+#endif  // SRC_MEM_BACKING_TIER_H_

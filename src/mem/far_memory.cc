@@ -1,0 +1,101 @@
+#include "src/mem/far_memory.h"
+
+#include <cassert>
+#include <utility>
+
+namespace gms {
+
+FarMemoryTier::FarMemoryTier(Simulator* sim, FarMemoryParams params)
+    : sim_(sim), params_(params) {}
+
+void FarMemoryTier::ReadPage(const Uid& uid, EventFn done, SpanRef span) {
+  assert(index_.contains(uid));
+  queue_.push_back(Request{uid, false, sim_->now(), std::move(done), span});
+  if (!busy_) {
+    busy_ = true;
+    StartNext();
+  }
+}
+
+void FarMemoryTier::WritePage(const Uid& uid, EventFn done, SpanRef span) {
+  queue_.push_back(Request{uid, true, sim_->now(), std::move(done), span});
+  if (!busy_) {
+    busy_ = true;
+    StartNext();
+  }
+}
+
+void FarMemoryTier::Evict(const Uid& uid) {
+  auto it = index_.find(uid);
+  if (it == index_.end()) {
+    return;
+  }
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void FarMemoryTier::Insert(const Uid& uid) {
+  auto it = index_.find(uid);
+  if (it != index_.end()) {
+    // Refresh: move to MRU.
+    lru_.splice(lru_.end(), lru_, it->second);
+    return;
+  }
+  lru_.push_back(uid);
+  index_.emplace(uid, std::prev(lru_.end()));
+  if (index_.size() > params_.capacity_pages) {
+    EvictDownTo(params_.capacity_pages);
+  }
+}
+
+void FarMemoryTier::EvictDownTo(uint64_t pages) {
+  while (index_.size() > pages) {
+    stats_.evictions++;
+    index_.erase(lru_.front());
+    lru_.pop_front();
+  }
+}
+
+void FarMemoryTier::SetCapacity(uint64_t pages) {
+  params_.capacity_pages = pages;
+  EvictDownTo(pages);
+}
+
+void FarMemoryTier::StartNext() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  Request req = std::move(queue_.front());
+  queue_.pop_front();
+  const SimTime service = ModelReadLatency(params_.page_bytes);
+  stats_.busy_time += service;
+  // Service starts now: everything since enqueue was time behind the
+  // single-channel FIFO.
+  SpanStep(tracer_, sim_->now(), self_, req.span, SpanComp::kFarWait);
+  sim_->After(service, [this, req = std::move(req)]() mutable {
+    const SimTime latency = sim_->now() - req.issued_at;
+    if (req.is_write) {
+      stats_.writes++;
+      // The page becomes visible to Holds() only once the transfer lands;
+      // until then a concurrent fault still falls through to the next tier.
+      Insert(req.uid);
+    } else {
+      stats_.reads++;
+      stats_.read_latency.Add(ToMicroseconds(latency));
+      // A read refreshes recency so hot far pages survive capacity pressure.
+      Insert(req.uid);
+    }
+    TraceEvent(tracer_, sim_->now(), self_,
+               req.is_write ? TraceEventKind::kFarWrite
+                            : TraceEventKind::kFarRead,
+               req.uid, static_cast<uint64_t>(latency));
+    SpanStep(tracer_, sim_->now(), self_, req.span, SpanComp::kFarService);
+    if (req.done) {
+      req.done();
+    }
+    StartNext();
+  });
+}
+
+}  // namespace gms

@@ -266,18 +266,47 @@ void NodeOs::ReleaseCleaned(Frame* frame) {
 
 void NodeOs::ReadFromBackingStore(const Uid& uid, EventFn loaded,
                                   SpanRef span) {
+  // Memory-hierarchy walk: the first attached tier holding the page serves
+  // the fill. Checked before the zero-fill test — a page demoted into far
+  // memory IS the current data, wherever its durable home is. The promotion
+  // decision (evict the far copy once the page is back in RAM) is made now,
+  // deterministically, and applied when the transfer lands.
+  for (BackingTier* tier : tiers_) {
+    if (!tier->Holds(uid)) {
+      continue;
+    }
+    service_->NoteFill(tier->kind() == TierKind::kFarMemory
+                           ? FillSource::kFarMemory
+                           : FillSource::kLocalDisk);
+    const bool promote = tier->kind() == TierKind::kFarMemory &&
+                         service_->PromoteOnFarFill(uid);
+    tier->ReadPage(uid, [this, uid, tier, promote,
+                         loaded = std::move(loaded)]() mutable {
+      if (promote) {
+        tier->Evict(uid);
+        service_->NoteFarPromotion();
+      }
+      loaded();
+    }, span);
+    return;
+  }
   if (!IsShared(uid) && !swap_resident_.contains(uid)) {
     // First touch of an anonymous page: zero-fill, no I/O.
+    service_->NoteFill(FillSource::kZero);
     sim_->After(0, std::move(loaded));
     return;
   }
   const NodeId backing = NodeOfIp(uid.ip());
   if (backing == self_) {
     stats_.disk_reads++;
-    disk_->Read(DiskBlockOf(uid), std::move(loaded), span);
+    service_->NoteFill(FillSource::kLocalDisk);
+    disk_->ReadPage(uid, std::move(loaded), span);
     return;
   }
-  // Remote file: NFS read from the backing server.
+  // Remote file: NFS read from the backing server. The fill is counted at
+  // issue so the per-source sum matches getpage_misses even when the read
+  // times out.
+  service_->NoteFill(FillSource::kNfs);
   stats_.nfs_reads++;
   TraceEvent(tracer_, sim_->now(), self_, TraceEventKind::kNfsRead, uid, 0);
   const uint64_t op = next_nfs_op_++;

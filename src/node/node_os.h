@@ -24,6 +24,7 @@
 #include "src/core/directory.h"
 #include "src/core/memory_service.h"
 #include "src/disk/disk.h"
+#include "src/mem/backing_tier.h"
 #include "src/mem/frame_table.h"
 #include "src/net/network.h"
 #include "src/obs/metrics.h"
@@ -87,6 +88,12 @@ class NodeOs {
   // agent).
   void set_service(MemoryService* service) { service_ = service; }
 
+  // Attaches a backing tier above the disk/NFS backstop. Tiers are walked in
+  // attach order on every fill: the first one holding the page serves it
+  // (far memory before disk). With no tiers attached — the default — the
+  // fill path is exactly the two-level original.
+  void AddBackingTier(BackingTier* tier) { tiers_.push_back(tier); }
+
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
   const NodeOsStats& stats() const { return stats_; }
@@ -128,6 +135,8 @@ class NodeOs {
   Disk* disk_;
   FrameTable* frames_;
   MemoryService* service_;
+  // Backing tiers above the disk/NFS backstop, in lookup order.
+  std::vector<BackingTier*> tiers_;
   NodeId self_;
   CostModel costs_;
   NodeParams params_;

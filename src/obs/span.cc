@@ -43,7 +43,7 @@ void SpanForest::Consume(const TraceRecord& rec) {
   }
   if (kind != TraceEventKind::kSpanBegin && kind != TraceEventKind::kSpanStep &&
       kind != TraceEventKind::kSpanEnd) {
-    if (rec.kind > static_cast<uint16_t>(TraceEventKind::kHealthIncident)) {
+    if (rec.kind > static_cast<uint16_t>(TraceEventKind::kFarWrite)) {
       unknown_kind_records++;  // a future kind: skip, never fail
     } else {
       other_records++;
@@ -248,6 +248,8 @@ const char* SpanCompName(SpanComp comp) {
     case SpanComp::kReclaim: return "reclaim";
     case SpanComp::kNfsWait: return "nfs_wait";
     case SpanComp::kWire: return "wire";
+    case SpanComp::kFarWait: return "far_wait";
+    case SpanComp::kFarService: return "far_service";
   }
   return "comp?";
 }

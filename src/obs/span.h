@@ -88,7 +88,7 @@ struct Trace {
 // Per-component decomposition of one trace's end-to-end latency.
 // kMaxSpanComp indexes by SpanComp value; [0] is unused.
 inline constexpr size_t kNumSpanComps =
-    static_cast<size_t>(SpanComp::kWire) + 1;
+    static_cast<size_t>(SpanComp::kFarService) + 1;
 
 struct CriticalPath {
   bool complete = false;   // trace had an end and the walk tiled exactly

@@ -67,6 +67,8 @@ enum class TraceEventKind : uint16_t {
   kHealthIncident = 19,  // a = IncidentClass (health.h); b = measured value
                          // as an IEEE-754 bit pattern; value = threshold
                          // saturated to u32. Perfetto instant event.
+  kFarRead = 20,       // far-memory tier fill; value = queue+service ns
+  kFarWrite = 21,      // demotion into the far-memory tier; value = ns
 };
 
 // --------------------------------------------------------------------------
@@ -114,6 +116,8 @@ enum class SpanComp : uint32_t {
   kReclaim = 10,     // synchronous free-frame reclaim inside the fault
   kNfsWait = 11,     // client-side wait for an NFS read round trip
   kWire = 12,        // reconstructor-only: parent->child delivery gap
+  kFarWait = 13,     // time queued behind other far-memory transfers
+  kFarService = 14,  // fixed access + per-byte streaming on the far tier
 };
 
 // Terminal status carried by kSpanEnd.

@@ -105,6 +105,43 @@ TEST_F(NullMemoryServiceTest, ResetStatsClearsCounters) {
   EXPECT_EQ(svc_.stats().getpage_misses, 0u);
 }
 
+TEST_F(NullMemoryServiceTest, NoteFillRoutesToThePerTierCounter) {
+  svc_.NoteFill(FillSource::kZero);
+  svc_.NoteFill(FillSource::kFarMemory);
+  svc_.NoteFill(FillSource::kFarMemory);
+  svc_.NoteFill(FillSource::kLocalDisk);
+  svc_.NoteFill(FillSource::kNfs);
+  svc_.NoteFarPromotion();
+  EXPECT_EQ(svc_.stats().fills_zero, 1u);
+  EXPECT_EQ(svc_.stats().fills_far, 2u);
+  EXPECT_EQ(svc_.stats().fills_disk, 1u);
+  EXPECT_EQ(svc_.stats().fills_nfs, 1u);
+  EXPECT_EQ(svc_.stats().far_promotions, 1u);
+}
+
+// ResetStats is struct re-assignment, so a newly added field would survive a
+// reset only if someone replaced that with member-by-member clearing; this
+// locks the full wipe of the memory-hierarchy counters. (Histogram clearing
+// after real GMS traffic is locked at cluster level in tier_test.cc — the
+// local short-circuit path never records the latency histograms.)
+TEST_F(NullMemoryServiceTest, ResetStatsClearsTierCounters) {
+  svc_.NoteFill(FillSource::kZero);
+  svc_.NoteFill(FillSource::kFarMemory);
+  svc_.NoteFill(FillSource::kLocalDisk);
+  svc_.NoteFill(FillSource::kNfs);
+  svc_.NoteFarPromotion();
+  ASSERT_EQ(svc_.stats().fills_far, 1u);
+  svc_.ResetStats();
+  EXPECT_EQ(svc_.stats().getpage_hit_ns.count(), 0u);
+  EXPECT_EQ(svc_.stats().getpage_miss_ns.count(), 0u);
+  EXPECT_EQ(svc_.stats().fills_zero, 0u);
+  EXPECT_EQ(svc_.stats().fills_far, 0u);
+  EXPECT_EQ(svc_.stats().fills_disk, 0u);
+  EXPECT_EQ(svc_.stats().fills_nfs, 0u);
+  EXPECT_EQ(svc_.stats().demotions_far, 0u);
+  EXPECT_EQ(svc_.stats().far_promotions, 0u);
+}
+
 // The engine delegates EvictDirty straight to the policy, and the policy
 // interface's own default is the same "write it back yourself" answer —
 // a policy that never heard of dirty globals composes with the engine into

@@ -104,6 +104,25 @@ TEST(ParallelIdentityTest, CrashRestartSoakIsIdenticalAcrossThreads) {
   }
 }
 
+// The far-memory tier adds a FIFO device per node plus the 100 ms
+// capacity-oscillation timers (phase-staggered per node, stamped in each
+// node's own context); its demotion/promotion traffic and deterministic LRU
+// evictions must be just as schedule-independent. The dump includes the
+// per-node far lines, so a single reordered eviction shows up as a diff.
+TEST(ParallelIdentityTest, FarTierWithFluctuationIsIdenticalAcrossThreads) {
+  ChaosCase base{5, 0.01};
+  base.far_frames = 64;
+  base.far_fluctuate = true;
+  const RunResult serial = RunPoint(base);
+  // The tier must actually be present and dumped, or this test pins nothing.
+  ASSERT_NE(serial.dump.find(" far "), std::string::npos);
+  for (uint32_t threads : {2u, 4u}) {
+    ChaosCase chaos = base;
+    chaos.threads = threads;
+    EXPECT_EQ(RunPoint(chaos), serial) << "threads=" << threads;
+  }
+}
+
 // The hierarchical epoch tree adds relay/merge traffic with its own timer
 // structure; it must be just as schedule-independent.
 TEST(ParallelIdentityTest, TreeEpochIsIdenticalAcrossThreads) {

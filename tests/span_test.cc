@@ -10,6 +10,8 @@
 //   * a record with an unknown (future) kind is skipped, not fatal.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -26,7 +28,11 @@ namespace gms {
 namespace {
 
 std::string TempTracePath(const std::string& name) {
-  return ::testing::TempDir() + "/span_test_" + name + ".trace";
+  // ctest runs each test in its own process, so fixtures that rebuild the
+  // same scenario (e.g. SpanChaosTest::SetUpTestSuite) would race on a
+  // shared path under -j; the pid keeps every process's files distinct.
+  return ::testing::TempDir() + "/span_test_" + name + "_" +
+         std::to_string(::getpid()) + ".trace";
 }
 
 // Runs the standard chaos scenario with tracing to `path`, crashing node 2

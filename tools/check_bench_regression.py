@@ -134,6 +134,26 @@ def check_policy_tournament(path, doc, tolerance):
     return 0
 
 
+def check_tier_sweep(path, doc):
+    """Gate a schema-2 tier_sweep doc (bench/tier_sweep --json_out) by
+    delegating to tools/check_tiers.py's validator: fill counters partition
+    the misses, per-level latencies respect global < far < disk, the
+    far/disk fill crossover exists, and the fluctuating-capacity chaos case
+    passed the cluster invariant checker.
+    """
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from check_tiers import check_doc
+    failures = check_doc(doc, path)
+    if failures:
+        print("\nFAIL: tier sweep invalid:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nOK: memory hierarchy ordered, fills accounted, chaos "
+          "invariants hold")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", help="freshly generated BENCH_core.json")
@@ -217,6 +237,8 @@ def main():
             cur_raw.get("kind") == "policy_tournament":
         return check_policy_tournament(args.current, cur_raw,
                                        args.phase_change_tolerance)
+    if cur_raw.get("schema") == 2 and cur_raw.get("kind") == "tier_sweep":
+        return check_tier_sweep(args.current, cur_raw)
 
     cur = load(args.current)
     base = load(args.baseline)

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validate a bench/tier_sweep --json_out document.
+
+The sweep runs a fixed overflow workload while growing every node's
+far-memory tier from nothing to footprint-sized, then runs the
+fluctuating-capacity chaos case through the cluster invariant checker.
+This gate holds the document to what the memory hierarchy promises:
+
+  * structure — schema-2 "tier_sweep" kind, a non-empty monotone capacity
+    grid starting at 0, every point completed;
+  * accounting — at every point the fill counters partition the misses
+    exactly (fills_zero + fills_far + fills_disk + fills_nfs ==
+    getpage_misses);
+  * level ordering — wherever a level was exercised, its measured latency
+    respects global hit < far read < disk read;
+  * the tier works — fills_far is 0 with no tier, grows to > 0 once
+    capacity exists, and at some capacity overtakes fills_disk (the
+    crossover: the far tier absorbing the overflow the disks used to);
+  * chaos — the invariant checker found no violations while the tier's
+    capacity oscillated under loss, and the oscillation actually displaced
+    entries (far_evictions > 0).
+
+Usage: check_tiers.py TIER_SWEEP.json
+Also importable: check_doc(doc, path) returns a list of failure strings
+(tools/check_bench_regression.py dispatches schema-2 tier_sweep docs here).
+"""
+import json
+import sys
+
+
+def check_doc(doc, path):
+    failures = []
+
+    def fail(msg):
+        failures.append(f"{path}: {msg}")
+
+    if doc.get("schema") != 2 or doc.get("kind") != "tier_sweep":
+        fail(f"not a schema-2 tier_sweep doc "
+             f"(schema={doc.get('schema')} kind={doc.get('kind')})")
+        return failures
+
+    points = doc.get("points", [])
+    if not points:
+        fail("no sweep points")
+        return failures
+
+    caps = [p.get("far_frames") for p in points]
+    if caps[0] != 0:
+        fail(f"grid must start at far_frames=0 (the two-level baseline), "
+             f"got {caps[0]}")
+    if caps != sorted(caps) or len(set(caps)) != len(caps):
+        fail(f"capacity grid not strictly increasing: {caps}")
+
+    for p in points:
+        cap = p.get("far_frames")
+        tag = f"point far_frames={cap}"
+        if not p.get("completed"):
+            fail(f"{tag}: workload did not complete")
+        fills = (p.get("fills_zero", 0) + p.get("fills_far", 0)
+                 + p.get("fills_disk", 0) + p.get("fills_nfs", 0))
+        misses = p.get("getpage_misses", 0)
+        if fills != misses:
+            fail(f"{tag}: fill counters do not partition the misses "
+                 f"(zero+far+disk+nfs = {fills}, getpage_misses = {misses})")
+        if cap == 0:
+            if p.get("fills_far", 0) or p.get("demotions_far", 0):
+                fail(f"{tag}: tierless baseline shows far activity "
+                     f"(fills_far={p.get('fills_far')} "
+                     f"demotions={p.get('demotions_far')})")
+        # Level ordering, checked only between levels this point exercised.
+        hit = p.get("getpage_hit_us", 0)
+        far = p.get("far_read_us", 0)
+        disk = p.get("disk_read_us", 0)
+        if hit > 0 and far > 0 and not hit < far:
+            fail(f"{tag}: global hit ({hit:.1f} us) not faster than far "
+                 f"read ({far:.1f} us)")
+        if far > 0 and disk > 0 and not far < disk:
+            fail(f"{tag}: far read ({far:.1f} us) not faster than disk "
+                 f"read ({disk:.1f} us)")
+        if hit > 0 and disk > 0 and not hit < disk:
+            fail(f"{tag}: global hit ({hit:.1f} us) not faster than disk "
+                 f"read ({disk:.1f} us)")
+
+    tiered = [p for p in points if p.get("far_frames", 0) > 0]
+    if tiered and not any(p.get("fills_far", 0) > 0 for p in tiered):
+        fail("no point filled a single page from the far tier")
+    if tiered and not any(
+            p.get("fills_far", 0) > p.get("fills_disk", 0) for p in tiered):
+        fail("no crossover: fills_far never exceeded fills_disk at any "
+             "capacity — the tier never took over the overflow")
+
+    chaos = doc.get("chaos")
+    if chaos is None:
+        fail("missing chaos section (fluctuating-capacity invariant run)")
+    else:
+        if not chaos.get("completed"):
+            fail("chaos workloads did not complete")
+        if chaos.get("violations", 1) != 0:
+            fail(f"invariant checker reported {chaos.get('violations')} "
+                 "violations under fluctuating far capacity")
+        if chaos.get("far_evictions", 0) <= 0:
+            fail("chaos oscillation displaced no far-tier entries "
+                 "(far_evictions == 0): the dynamic-capacity adversary "
+                 "never bit")
+    return failures
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    with open(path) as f:
+        doc = json.load(f)
+    failures = check_doc(doc, path)
+    if failures:
+        print("FAIL: tier sweep invalid:", file=sys.stderr)
+        for msg in failures:
+            print(f"  {msg}", file=sys.stderr)
+        return 1
+    pts = doc["points"]
+    cross = next((p["far_frames"] for p in pts
+                  if p.get("fills_far", 0) > p.get("fills_disk", 0)), None)
+    print(f"OK: {len(pts)} points, levels ordered, fills partition misses, "
+          f"far/disk crossover at far_frames={cross}, chaos invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,10 @@ handle them:
     when it was added;
   * a health-incident record (kind 19): both current readers recognise it by
     name instead of skipping it — trace_stats.py counts "health_incident",
-    trace_spans tallies it as a health incident and NOT as unknown-kind.
+    trace_spans tallies it as a health incident and NOT as unknown-kind;
+  * a far-memory read record (kind 20, the memory-hierarchy tier): both
+    readers classify it by name — it must NOT fall into the unknown-kind
+    tally now that the tier kinds are known.
 
 Usage: tools/test_forward_compat.py TRACE.bin path/to/trace_spans
 """
@@ -26,6 +29,7 @@ import os
 RECORD = struct.Struct("<qQQIHH")
 FUTURE_KIND = 99
 HEALTH_KIND = 19
+FAR_READ_KIND = 20
 RETRY_STORM_CLASS = 2
 
 
@@ -46,6 +50,8 @@ def main():
         f.write(RECORD.pack(1_000_000, 0xDEAD, 0xBEEF, 42, 0, FUTURE_KIND))
         f.write(RECORD.pack(2_000_000, RETRY_STORM_CLASS, value_bits, 50, 0,
                             HEALTH_KIND))
+        f.write(RECORD.pack(3_000_000, 0x1234, 0x5678, 2200, 1,
+                            FAR_READ_KIND))
 
     # Python reader: must exit 0, surface the unknown kind by count, and
     # recognise the health-incident kind by name.
@@ -59,6 +65,8 @@ def main():
         fail("trace_stats.py did not count the unknown kind")
     if '"health_incident": 1' not in out.stdout:
         fail("trace_stats.py did not recognise the health_incident kind")
+    if '"far_read": 1' not in out.stdout:
+        fail("trace_stats.py did not recognise the far_read tier kind")
 
     # C++ reconstructor: must exit 0, count the future kind as skipped, and
     # collect the health incident (not lump it in with unknown kinds).
@@ -68,12 +76,13 @@ def main():
         fail(f"trace_spans rejected an appended kind:\n"
              f"{out.stdout}\n{out.stderr}")
     if "1 unknown-kind (skipped)" not in out.stdout:
-        fail("trace_spans did not report the skipped unknown kind")
+        fail("trace_spans did not report the skipped unknown kind, or "
+             "misfiled the far-memory kind as unknown")
     if "1 health incidents" not in out.stdout:
         fail("trace_spans did not collect the health incident")
 
     os.remove(mutated)
-    print("OK: unknown kinds skipped, health incidents recognised")
+    print("OK: unknown kinds skipped, health and far-memory kinds recognised")
     return 0
 
 

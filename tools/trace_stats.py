@@ -54,6 +54,8 @@ KIND_NAMES = {
     17: "span_step",
     18: "span_end",
     19: "health_incident",
+    20: "far_read",
+    21: "far_write",
 }
 # Kinds above the highest known value come from a newer writer: they are
 # counted under a generic "kindN" name and otherwise skipped — never treated
